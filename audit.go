@@ -1,0 +1,59 @@
+package payless
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// AuditRecord is one line of the query audit log: what was asked, what plan
+// ran, and what it cost. An organisation-wide PayLess installation (paper
+// Fig. 2) keeps this trail to attribute the data-market bill to queries.
+type AuditRecord struct {
+	Time            time.Time `json:"time"`
+	SQL             string    `json:"sql"`
+	Plan            string    `json:"plan"`
+	EstTransactions int64     `json:"estTransactions"`
+	Calls           int64     `json:"calls"`
+	Records         int64     `json:"records"`
+	Transactions    int64     `json:"transactions"`
+	Price           float64   `json:"price"`
+	OptimizeMicros  int64     `json:"optimizeMicros"`
+}
+
+// SetAuditLog starts appending one JSON line per executed query to w.
+// Pass nil to stop. Writes are serialised with the client's lock.
+func (c *Client) SetAuditLog(w io.Writer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.audit = w
+}
+
+// writeAudit appends one record; errors are ignored (auditing must never
+// fail a query).
+func (c *Client) writeAudit(sql string, res *Result) {
+	c.mu.Lock()
+	w := c.audit
+	c.mu.Unlock()
+	if w == nil {
+		return
+	}
+	rec := AuditRecord{
+		Time:            time.Now(),
+		SQL:             sql,
+		Plan:            res.Plan,
+		EstTransactions: res.EstTransactions,
+		Calls:           res.Report.Calls,
+		Records:         res.Report.Records,
+		Transactions:    res.Report.Transactions,
+		Price:           res.Report.Price,
+		OptimizeMicros:  res.OptimizeTime.Microseconds(),
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w.Write(append(line, '\n'))
+}

@@ -1,0 +1,171 @@
+package payless
+
+import (
+	"fmt"
+	"sort"
+
+	"payless/internal/core"
+	"payless/internal/engine"
+	"payless/internal/region"
+	"payless/internal/rewrite"
+	"payless/internal/sqlparse"
+)
+
+// BatchResult is the outcome of one statement inside a batch.
+type BatchResult struct {
+	// Index is the statement's position in the submitted batch.
+	Index int
+	*Result
+}
+
+// QueryBatch executes a batch of statements with multi-query optimization —
+// the extension the paper's conclusion proposes ("we will incorporate
+// multi-query optimization in PayLess if users are willing to defer theirs
+// to become a batch").
+//
+// With semantic query rewriting, the total price of a query set is roughly
+// the price of the union of the regions it touches — but the execution
+// order still matters at the margins: runs that fetch large covering
+// regions first avoid paying per-call ceil(·/t) rounding on many small
+// remainder slivers later, and subsumed queries become entirely free.
+// QueryBatch therefore orders statements by descending estimated price
+// before executing them, re-estimating after each execution (the semantic
+// store grows as the batch runs). Results are returned in submission order.
+func (c *Client) QueryBatch(sqls []string) ([]BatchResult, error) {
+	type pending struct {
+		idx   int
+		bound *core.BoundQuery
+	}
+	var todo []pending
+	for i, sql := range sqls {
+		parsed, err := sqlparse.Parse(sql)
+		if err != nil {
+			return nil, fmt.Errorf("payless: batch statement %d: parse: %w", i, err)
+		}
+		bound, err := core.Bind(parsed, c.cat)
+		if err != nil {
+			return nil, fmt.Errorf("payless: batch statement %d: bind: %w", i, err)
+		}
+		todo = append(todo, pending{idx: i, bound: bound})
+	}
+
+	opts := c.options()
+	results := make([]BatchResult, 0, len(todo))
+	for len(todo) > 0 {
+		// Re-optimize everything still pending against the current store
+		// state and pick the most expensive statement next.
+		opt := core.Optimizer{Catalog: c.cat, Store: c.store, Stats: c.stats, Options: opts}
+		type costed struct {
+			p    pending
+			plan *core.Plan
+		}
+		plans := make([]costed, 0, len(todo))
+		for _, p := range todo {
+			plan, err := opt.Optimize(p.bound)
+			if err != nil {
+				return nil, fmt.Errorf("payless: batch statement %d: optimize: %w", p.idx, err)
+			}
+			plans = append(plans, costed{p: p, plan: plan})
+		}
+		sort.SliceStable(plans, func(i, j int) bool {
+			if plans[i].plan.EstTrans != plans[j].plan.EstTrans {
+				return plans[i].plan.EstTrans > plans[j].plan.EstTrans
+			}
+			return plans[i].p.idx < plans[j].p.idx
+		})
+		pick := plans[0]
+
+		eng := engine.Engine{Catalog: c.cat, Store: c.store, Stats: c.stats, Caller: c.caller, Options: opts}
+		rel, report, err := eng.Execute(pick.plan)
+		if err != nil {
+			return nil, fmt.Errorf("payless: batch statement %d: execute: %w", pick.p.idx, err)
+		}
+		c.mu.Lock()
+		c.total.Add(report)
+		c.counters.Add(pick.plan.Counters)
+		c.queries++
+		c.mu.Unlock()
+
+		res := &Result{
+			Columns:         rel.Schema.Names(),
+			Report:          report,
+			EstTransactions: pick.plan.EstTrans,
+			Counters:        pick.plan.Counters,
+			Plan:            pick.plan.String(),
+			OptimizeTime:    pick.plan.Optimized,
+		}
+		for _, row := range rel.Rows {
+			enc := make([]string, len(row))
+			for i, v := range row {
+				enc[i] = v.String()
+			}
+			res.Rows = append(res.Rows, enc)
+		}
+		c.writeAudit(sqls[pick.p.idx], res)
+		results = append(results, BatchResult{Index: pick.p.idx, Result: res})
+
+		// Drop the executed statement.
+		next := todo[:0]
+		for _, p := range todo {
+			if p.idx != pick.p.idx {
+				next = append(next, p)
+			}
+		}
+		todo = next
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Index < results[j].Index })
+	return results, nil
+}
+
+// TableCoverage describes how much of a market table PayLess already owns.
+type TableCoverage struct {
+	Table string
+	// StoredCalls is the number of recorded RESTful calls.
+	StoredCalls int
+	// StoredRows is the number of materialised (deduplicated) rows.
+	StoredRows int
+	// CoveredFraction estimates the fraction of the table's rows already in
+	// the semantic store, per the current statistics.
+	CoveredFraction float64
+	// FullyCovered reports whether the whole queryable space is covered
+	// (further whole-table queries are free).
+	FullyCovered bool
+	// RemainderTransactions estimates what completing the table download
+	// would cost from here — the "is it worth finishing the download?"
+	// number the paper's Download-All discussion turns on.
+	RemainderTransactions int64
+}
+
+// Coverage reports the semantic store's coverage of every market table —
+// useful for deciding whether finishing the download outright would pay off.
+func (c *Client) Coverage() []TableCoverage {
+	var out []TableCoverage
+	for _, t := range c.cat.Tables() {
+		if t.Local {
+			continue
+		}
+		full := t.FullBox()
+		tc := TableCoverage{
+			Table:        t.Name,
+			StoredCalls:  c.store.EntryCount(t.Name),
+			StoredRows:   c.store.StoredRowCount(t.Name),
+			FullyCovered: c.store.Covered(t.Name, full, c.options().Since),
+		}
+		if t.Cardinality > 0 {
+			tc.CoveredFraction = float64(tc.StoredRows) / float64(t.Cardinality)
+			if tc.CoveredFraction > 1 {
+				tc.CoveredFraction = 1
+			}
+		}
+		if !tc.FullyCovered {
+			opts := c.options()
+			covered := c.store.Boxes(t.Name, opts.Since)
+			plan := rewrite.Remainders(full, covered, core.RewriteConfig(t, &opts), func(b region.Box) float64 {
+				return c.stats.Estimate(t.Name, b)
+			})
+			tc.RemainderTransactions = plan.Transactions
+		}
+		out = append(out, tc)
+	}
+	return out
+}

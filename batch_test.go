@@ -1,0 +1,182 @@
+package payless
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestQueryBatchResultsMatchSequential(t *testing.T) {
+	c1, _, w := testSetup(t, nil)
+	c2, _, _ := testSetup(t, nil)
+	sqls := []string{
+		fmt.Sprintf("SELECT * FROM Weather WHERE Country = 'United States' AND Date >= %d AND Date <= %d", w.Dates[2], w.Dates[6]),
+		fmt.Sprintf("SELECT * FROM Weather WHERE Country = 'United States' AND Date >= %d AND Date <= %d", w.Dates[0], w.Dates[10]),
+		fmt.Sprintf("SELECT COUNT(ZipCode) FROM Pollution WHERE Rank >= 1 AND Rank <= 50"),
+	}
+	batch, err := c1.QueryBatch(sqls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(sqls) {
+		t.Fatalf("batch results: %d", len(batch))
+	}
+	for i, br := range batch {
+		if br.Index != i {
+			t.Fatalf("results must come back in submission order: %v", br.Index)
+		}
+		seq, err := c2.Query(sqls[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(br.Rows) != len(seq.Rows) {
+			t.Errorf("statement %d: batch %d rows, sequential %d rows", i, len(br.Rows), len(seq.Rows))
+		}
+	}
+}
+
+func TestQueryBatchSubsumedQueryIsFree(t *testing.T) {
+	client, _, w := testSetup(t, nil)
+	small := fmt.Sprintf("SELECT * FROM Weather WHERE Country = 'United States' AND Date >= %d AND Date <= %d", w.Dates[5], w.Dates[8])
+	big := fmt.Sprintf("SELECT * FROM Weather WHERE Country = 'United States' AND Date >= %d AND Date <= %d", w.Dates[0], w.Dates[15])
+	// Submitted small-first; the batch optimizer must run the big one first
+	// so the small one is answered from the store.
+	batch, err := client.QueryBatch([]string{small, big})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch[0].Report.Transactions != 0 {
+		t.Errorf("subsumed query should be free in a batch: %+v", batch[0].Report)
+	}
+	if batch[1].Report.Transactions <= 0 {
+		t.Errorf("covering query should pay: %+v", batch[1].Report)
+	}
+}
+
+func TestQueryBatchNeverWorseThanArrivalOrder(t *testing.T) {
+	mk := func() (*Client, []string) {
+		c, _, w := testSetup(t, nil)
+		var sqls []string
+		// Ascending query sizes: arrival order pays ceil() per sliver.
+		for i := 2; i <= 14; i += 3 {
+			sqls = append(sqls, fmt.Sprintf(
+				"SELECT * FROM Weather WHERE Country = 'United States' AND Date >= %d AND Date <= %d",
+				w.Dates[0], w.Dates[i]))
+		}
+		return c, sqls
+	}
+	cb, sqls := mk()
+	if _, err := cb.QueryBatch(sqls); err != nil {
+		t.Fatal(err)
+	}
+	cs, sqls2 := mk()
+	for _, sql := range sqls2 {
+		if _, err := cs.Query(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cb.TotalSpend().Transactions > cs.TotalSpend().Transactions {
+		t.Errorf("batch (%d) must not cost more than arrival order (%d)",
+			cb.TotalSpend().Transactions, cs.TotalSpend().Transactions)
+	}
+}
+
+func TestQueryBatchErrors(t *testing.T) {
+	client, _, _ := testSetup(t, nil)
+	if _, err := client.QueryBatch([]string{"garbage"}); err == nil {
+		t.Error("parse error expected")
+	}
+	if _, err := client.QueryBatch([]string{"SELECT * FROM Ghost"}); err == nil {
+		t.Error("bind error expected")
+	}
+	out, err := client.QueryBatch(nil)
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty batch: %v %v", out, err)
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	client, _, w := testSetup(t, nil)
+	cov := client.Coverage()
+	names := make([]string, 0, len(cov))
+	for _, tc := range cov {
+		names = append(names, tc.Table)
+		if tc.StoredRows != 0 || tc.FullyCovered {
+			t.Errorf("fresh client should own nothing: %+v", tc)
+		}
+	}
+	sort.Strings(names)
+	if strings.Join(names, ",") != "Pollution,Station,Weather" {
+		t.Errorf("coverage tables: %v (local ZipMap must be excluded)", names)
+	}
+
+	// Query everything from Pollution; it becomes fully covered.
+	if _, err := client.Query("SELECT * FROM Pollution WHERE Rank >= 1 AND Rank <= 100"); err != nil {
+		t.Fatal(err)
+	}
+	_ = w
+	for _, tc := range client.Coverage() {
+		if tc.Table != "Pollution" {
+			continue
+		}
+		if !tc.FullyCovered || tc.CoveredFraction < 0.99 || tc.StoredCalls == 0 {
+			t.Errorf("Pollution should be fully covered: %+v", tc)
+		}
+	}
+}
+
+func TestCoverageRemainderForecast(t *testing.T) {
+	client, _, w := testSetup(t, nil)
+	before := coverageOf(t, client, "Weather")
+	if before.RemainderTransactions <= 0 {
+		t.Fatalf("fresh table should forecast a positive completion cost: %+v", before)
+	}
+	// Buying a slice shrinks the forecast.
+	if _, err := client.Query(fmt.Sprintf(
+		"SELECT * FROM Weather WHERE Country = 'United States' AND Date >= %d AND Date <= %d",
+		w.Dates[0], w.Dates[20])); err != nil {
+		t.Fatal(err)
+	}
+	after := coverageOf(t, client, "Weather")
+	if after.RemainderTransactions >= before.RemainderTransactions {
+		t.Errorf("forecast should shrink as coverage grows: %d then %d",
+			before.RemainderTransactions, after.RemainderTransactions)
+	}
+	// A fully covered table forecasts zero.
+	if _, err := client.Query("SELECT * FROM Pollution WHERE Rank >= 1 AND Rank <= 100"); err != nil {
+		t.Fatal(err)
+	}
+	pol := coverageOf(t, client, "Pollution")
+	if !pol.FullyCovered || pol.RemainderTransactions != 0 {
+		t.Errorf("covered table forecast: %+v", pol)
+	}
+}
+
+func coverageOf(t *testing.T, c *Client, table string) TableCoverage {
+	t.Helper()
+	for _, tc := range c.Coverage() {
+		if tc.Table == table {
+			return tc
+		}
+	}
+	t.Fatalf("table %s not in coverage", table)
+	return TableCoverage{}
+}
+
+func TestStatsAVIConfig(t *testing.T) {
+	client, _, w := testSetup(t, func(c *Config) { c.Statistics = StatsAVI })
+	sql := fmt.Sprintf("SELECT * FROM Weather WHERE Country = 'United States' AND Date >= %d AND Date <= %d",
+		w.Dates[0], w.Dates[4])
+	r1, err := client.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := client.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Report.Transactions == 0 || r2.Report.Transactions != 0 {
+		t.Errorf("AVI-backed client must behave: %d then %d", r1.Report.Transactions, r2.Report.Transactions)
+	}
+}

@@ -1,0 +1,39 @@
+package payless
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOverBudget is returned (wrapped, with details) when executing a query
+// would exceed the configured spending budget. The query is not executed
+// and nothing is billed.
+var ErrOverBudget = errors.New("payless: estimated cost exceeds budget")
+
+// Budget caps spending in data-market transactions. Zero fields are
+// unlimited. Budgets act on the optimizer's estimate *before* any call is
+// made — the whole point is that the money is never spent.
+type Budget struct {
+	// PerQuery rejects any single query whose estimated price exceeds it.
+	PerQuery int64
+	// Total rejects a query when the estimate plus everything already spent
+	// would exceed it.
+	Total int64
+}
+
+// checkBudget enforces the configured budget against a plan estimate.
+func (c *Client) checkBudget(est int64) error {
+	b := c.cfg.Budget
+	if b.PerQuery > 0 && est > b.PerQuery {
+		return fmt.Errorf("%w: estimated %d transactions, per-query budget %d",
+			ErrOverBudget, est, b.PerQuery)
+	}
+	if b.Total > 0 {
+		spent := c.TotalSpend().Transactions
+		if spent+est > b.Total {
+			return fmt.Errorf("%w: estimated %d transactions on top of %d already spent, total budget %d",
+				ErrOverBudget, est, spent, b.Total)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+// Command marketd runs a standalone data-market server — the cloud side of
+// the paper's setting (§2) — hosting the synthetic WHW/EHR weather datasets
+// and/or the TPC-H dataset behind the RESTful billing interface.
+//
+// Usage:
+//
+//	marketd -addr :8080 -datasets whw,tpch -t 100 -price 1 -keys buyer1,buyer2
+//
+// Buyers point the payless CLI (or payless.OpenHTTP) at the address with
+// one of the account keys. Every call is billed on the account's meter,
+// visible at GET /v1/meter.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+
+	"payless/internal/market"
+	"payless/internal/storage"
+	"payless/internal/workload"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		datasets = flag.String("datasets", "whw", "comma-separated datasets to host: whw, tpch, tpch-skew")
+		t        = flag.Int("t", 100, "tuples per transaction (page size)")
+		price    = flag.Float64("price", 1, "price per transaction")
+		keys     = flag.String("keys", "demo", "comma-separated buyer account keys")
+		seed     = flag.Int64("seed", 1, "data generator seed")
+		scale    = flag.Float64("scale", 1, "TPC-H scale factor / WHW size multiplier")
+	)
+	flag.Parse()
+
+	m := market.New()
+	db := storage.NewDB() // local-table side effects of Install are discarded
+
+	for _, ds := range strings.Split(*datasets, ",") {
+		switch strings.TrimSpace(ds) {
+		case "whw":
+			cfg := workload.DefaultWHWConfig()
+			cfg.Seed = *seed
+			cfg.StationsPerCountry = int(float64(cfg.StationsPerCountry) * *scale)
+			w := workload.GenerateWHW(cfg)
+			if err := w.Install(m, db, *t, *price); err != nil {
+				log.Fatalf("install whw: %v", err)
+			}
+			log.Printf("hosting WHW+EHR: %d stations, %d weather rows, %d pollution rows",
+				len(w.StationRows), len(w.WeatherRows), len(w.PollutionRows))
+		case "tpch", "tpch-skew":
+			cfg := workload.TPCHConfig{Seed: *seed, ScaleFactor: *scale}
+			if ds == "tpch-skew" {
+				cfg.Zipf = 1
+			}
+			d := workload.GenerateTPCH(cfg)
+			if err := d.Install(m, db, *t, *price); err != nil {
+				log.Fatalf("install tpch: %v", err)
+			}
+			log.Printf("hosting TPCH: %d market rows", d.MarketRowCount())
+		case "":
+		default:
+			log.Fatalf("unknown dataset %q", ds)
+		}
+	}
+
+	for _, k := range strings.Split(*keys, ",") {
+		k = strings.TrimSpace(k)
+		if k != "" {
+			m.RegisterAccount(k)
+			log.Printf("registered account key %q", k)
+		}
+	}
+
+	fmt.Printf("marketd listening on %s (t=%d, price=%.2f)\n", *addr, *t, *price)
+	log.Fatal(http.ListenAndServe(*addr, m.Handler()))
+}

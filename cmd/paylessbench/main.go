@@ -1,0 +1,95 @@
+// Command paylessbench regenerates the paper's evaluation figures
+// (Figs. 10–15, see DESIGN.md §3 for the experiment index) and prints the
+// series as text tables (or markdown with -markdown).
+//
+// Usage:
+//
+//	paylessbench                       # every figure at default scale
+//	paylessbench -fig 10 -dataset real # one figure, one dataset
+//	paylessbench -qreal 200 -qtpch 10  # closer to the paper's scale (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"payless/internal/bench"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "all", "figure to regenerate: 10, 11, 12, 13, 14, 15 or all")
+		dataset  = flag.String("dataset", "all", "dataset: real, tpch, tpch-skew or all")
+		qReal    = flag.Int("qreal", 40, "query instances per template (real data)")
+		qTPCH    = flag.Int("qtpch", 10, "query instances per template (TPC-H)")
+		t        = flag.Int("t", 100, "tuples per transaction")
+		seed     = flag.Int64("seed", 42, "workload seed")
+		sample   = flag.Int("sample", 10, "sample the cumulative series every N queries")
+		markdown = flag.Bool("markdown", false, "emit markdown tables instead of text")
+	)
+	flag.Parse()
+
+	p := bench.DefaultParams()
+	p.QReal = *qReal
+	p.QTPCH = *qTPCH
+	p.T = *t
+	p.Seed = *seed
+	p.SampleEvery = *sample
+
+	figures := []string{"10", "11", "12", "13", "14", "15"}
+	if *fig != "all" {
+		figures = []string{*fig}
+	}
+	datasets := []string{"real", "tpch", "tpch-skew"}
+	if *dataset != "all" {
+		datasets = []string{*dataset}
+	}
+
+	req := bench.Request{Params: p, Figures: figures, Datasets: datasets}
+	if !*markdown {
+		if err := bench.RenderAll(req, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	for _, f := range figures {
+		for _, ds := range datasets {
+			out, err := one(f, ds, req)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if out != nil {
+				fmt.Println(out.Markdown())
+			}
+		}
+	}
+}
+
+// one regenerates a single figure for the markdown path.
+func one(f, ds string, req bench.Request) (*bench.Figure, error) {
+	if f == "13" && ds == "real" {
+		return nil, nil
+	}
+	p := req.Params
+	switch f {
+	case "10":
+		return bench.Fig10(p, ds)
+	case "11":
+		return bench.Fig11(p, ds, []int{50, 100, 500})
+	case "12":
+		if ds == "real" {
+			return bench.Fig12(p, ds, []int{10, 20, 30})
+		}
+		return bench.Fig12(p, ds, []int{5, 10, 20})
+	case "13":
+		return bench.Fig13(p, ds, []float64{0.5, 1, 2})
+	case "14":
+		return bench.Fig14(p, ds)
+	case "15":
+		return bench.Fig15(p, ds)
+	default:
+		return nil, fmt.Errorf("unknown figure %q", f)
+	}
+}

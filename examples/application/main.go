@@ -1,0 +1,121 @@
+// Application: the paper's embedding scenario end to end (§2.2 — "SQL
+// queries to PayLess are parameterized queries embedded in certain
+// application"). A small analytics app serves its users with prepared
+// statements, keeps a spending budget, defers a report batch to multi-query
+// optimization, and persists the semantic store across a restart.
+//
+//	go run ./examples/application
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	payless "payless"
+
+	"payless/internal/market"
+	"payless/internal/storage"
+	"payless/internal/workload"
+)
+
+func main() {
+	// The market and the app's PayLess client.
+	w := workload.GenerateWHW(workload.DefaultWHWConfig())
+	m := market.New()
+	if err := w.Install(m, storage.NewDB(), 100, 1.0); err != nil {
+		log.Fatal(err)
+	}
+	m.RegisterAccount("analytics-app")
+	open := func() *payless.Client {
+		c, err := payless.Open(payless.Config{
+			Tables: append(m.ExportCatalog(), w.ZipMap),
+			Caller: market.AccountCaller{Market: m, Key: "analytics-app"},
+			Budget: payless.Budget{PerQuery: 100, Total: 500},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := c.LoadLocal("ZipMap", w.ZipMapRows); err != nil {
+			log.Fatal(err)
+		}
+		return c
+	}
+	client := open()
+
+	// 1. Prepared statement: the app's "average temperature by city" form.
+	stmt, err := client.Prepare(
+		"SELECT City, AVG(Temperature) AS avg_temp FROM Station, Weather " +
+			"WHERE Station.Country = Weather.Country = ? " +
+			"AND Weather.Date >= ? AND Weather.Date <= ? " +
+			"AND Station.StationID = Weather.StationID GROUP BY City ORDER BY City LIMIT 3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, user := range []struct {
+		country string
+		from    int
+		to      int
+	}{
+		{"United States", 0, 6},
+		{"Country01", 0, 6},
+		{"United States", 3, 9}, // overlaps the first user's window
+	} {
+		res, err := stmt.Query(user.country, w.Dates[user.from], w.Dates[user.to])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("user query %-14s %d..%d: %d cities, paid %d transactions\n",
+			user.country, user.from, user.to, len(res.Rows), res.Report.Transactions)
+	}
+
+	// 2. The budget guard: a whole-dataset scan is blocked before any call.
+	_, err = client.Query("SELECT * FROM Weather")
+	if errors.Is(err, payless.ErrOverBudget) {
+		fmt.Println("\nwhole-table scan rejected by the budget guard:", err)
+	}
+
+	// 3. A nightly report deferred into one batch: the batch optimizer runs
+	// the covering query first so the narrower ones are free.
+	batch := []string{
+		fmt.Sprintf("SELECT COUNT(*) FROM Weather WHERE Country = 'Country02' AND Date >= %d AND Date <= %d", w.Dates[0], w.Dates[3]),
+		fmt.Sprintf("SELECT COUNT(*) FROM Weather WHERE Country = 'Country02' AND Date >= %d AND Date <= %d", w.Dates[0], w.Dates[12]),
+		fmt.Sprintf("SELECT COUNT(*) FROM Weather WHERE Country = 'Country02' AND Date >= %d AND Date <= %d", w.Dates[4], w.Dates[9]),
+	}
+	results, err := client.QueryBatch(batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nnightly report batch:")
+	for _, r := range results {
+		fmt.Printf("  statement %d: %s rows matched, paid %d transactions\n",
+			r.Index, r.Rows[0][0], r.Report.Transactions)
+	}
+
+	// 4. Persist the purchases and restart the app.
+	path := filepath.Join(os.TempDir(), "payless-store.json")
+	if err := client.SaveStoreFile(path); err != nil {
+		log.Fatal(err)
+	}
+	spentBefore := client.TotalSpend().Transactions
+	restarted := open()
+	if err := restarted.LoadStoreFile(path); err != nil {
+		log.Fatal(err)
+	}
+	res, err := restarted.Query(batch[1]) // the covering report query again
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter restart + LoadStore: report re-run cost %d transactions (lifetime spend stays %d)\n",
+		res.Report.Transactions, spentBefore)
+
+	for _, tc := range restarted.Coverage() {
+		if tc.StoredRows > 0 {
+			fmt.Printf("owned: %-10s %6d rows (%.1f%% of the table)\n",
+				tc.Table, tc.StoredRows, 100*tc.CoveredFraction)
+		}
+	}
+	os.Remove(path)
+}

@@ -1,0 +1,75 @@
+// Quickstart: stand up an in-process data market selling weather data,
+// open a PayLess client, and run one SQL query twice — the second run is
+// answered from the semantic store and costs nothing.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	payless "payless"
+
+	"payless/internal/market"
+	"payless/internal/storage"
+	"payless/internal/workload"
+)
+
+func main() {
+	// The data market (normally a remote service; see examples/httpmarket
+	// for the RESTful version). It sells the Worldwide Historical Weather
+	// dataset at $1 per 100-record transaction.
+	w := workload.GenerateWHW(workload.DefaultWHWConfig())
+	m := market.New()
+	if err := w.Install(m, storage.NewDB(), 100, 1.0); err != nil {
+		log.Fatal(err)
+	}
+	m.RegisterAccount("my-org")
+
+	// The buyer side: register with the market (ExportCatalog is what the
+	// registration step of the paper's Fig. 2 returns) and open PayLess.
+	client, err := payless.Open(payless.Config{
+		Tables: append(m.ExportCatalog(), w.ZipMap),
+		Caller: market.AccountCaller{Market: m, Key: "my-org"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := client.LoadLocal("ZipMap", w.ZipMapRows); err != nil {
+		log.Fatal(err)
+	}
+
+	sql := fmt.Sprintf(
+		"SELECT City, AVG(Temperature) AS avg_temp FROM Station, Weather "+
+			"WHERE Station.Country = Weather.Country = 'United States' "+
+			"AND Weather.Date >= %d AND Weather.Date <= %d "+
+			"AND Station.StationID = Weather.StationID GROUP BY City ORDER BY City",
+		w.Dates[0], w.Dates[6])
+
+	fmt.Println("Q:", sql)
+	res, err := client.Query(sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, row := range res.Rows {
+		if i == 5 {
+			fmt.Printf("  ... (%d more cities)\n", len(res.Rows)-5)
+			break
+		}
+		fmt.Printf("  %s  %s\n", row[0], row[1])
+	}
+	fmt.Printf("first run:  %d calls, %d transactions, $%.2f (plan: %s)\n",
+		res.Report.Calls, res.Report.Transactions, res.Report.Price, res.Plan)
+
+	// Same question again: fully covered by the semantic store.
+	res2, err := client.Query(sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("second run: %d calls, %d transactions, $%.2f — answered from the semantic store\n",
+		res2.Report.Calls, res2.Report.Transactions, res2.Report.Price)
+
+	meter, _ := m.MeterOf("my-org")
+	fmt.Printf("market-side bill: %d transactions, $%.2f\n", meter.Transactions, meter.Price)
+}

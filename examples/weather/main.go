@@ -1,0 +1,95 @@
+// Weather: the paper's meteorological application end to end.
+//
+// Part 1 reproduces the worked example of Fig. 1: the daily temperature of
+// Seattle, executed by a calls-minimising optimizer (plan P1: one
+// country-wide Weather call) and by PayLess (plan P2: a bind join issuing
+// one cheap call per Seattle station).
+//
+// Part 2 replays a mixed workload from the Table 1 templates and compares
+// PayLess's cumulative bill against downloading the datasets outright.
+//
+//	go run ./examples/weather
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	payless "payless"
+
+	"payless/internal/baseline"
+	"payless/internal/market"
+	"payless/internal/storage"
+	"payless/internal/workload"
+)
+
+func main() {
+	w := workload.GenerateWHW(workload.DefaultWHWConfig())
+	m := market.New()
+	if err := w.Install(m, storage.NewDB(), 100, 1.0); err != nil {
+		log.Fatal(err)
+	}
+	tables := append(m.ExportCatalog(), w.ZipMap)
+
+	newClient := func(key string, mutate func(*payless.Config)) *payless.Client {
+		m.RegisterAccount(key)
+		cfg := payless.Config{Tables: tables, Caller: market.AccountCaller{Market: m, Key: key}}
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		c, err := payless.Open(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := c.LoadLocal("ZipMap", w.ZipMapRows); err != nil {
+			log.Fatal(err)
+		}
+		return c
+	}
+
+	// ---- Part 1: Fig. 1, plan P1 vs plan P2 -------------------------------
+	seattleSQL := fmt.Sprintf(
+		"SELECT Temperature FROM Station, Weather "+
+			"WHERE City = 'Seattle' AND Station.Country = Weather.Country = 'United States' "+
+			"AND Date >= %d AND Date <= %d AND Station.StationID = Weather.StationID",
+		w.Dates[0], w.Dates[29])
+
+	p1 := newClient("p1", func(c *payless.Config) { c.MinimizeCalls = true })
+	r1, err := p1.Query(seattleSQL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p2 := newClient("p2", nil)
+	r2, err := p2.Query(seattleSQL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Fig. 1 — daily temperature of Seattle:")
+	fmt.Printf("  plan P1 (minimize calls): %2d calls, %4d transactions   %s\n",
+		r1.Report.Calls, r1.Report.Transactions, r1.Plan)
+	fmt.Printf("  plan P2 (PayLess):        %2d calls, %4d transactions   %s\n",
+		r2.Report.Calls, r2.Report.Transactions, r2.Plan)
+	fmt.Printf("  -> PayLess pays %.0f%% of P1's bill\n\n",
+		100*float64(r2.Report.Transactions)/float64(r1.Report.Transactions))
+
+	// ---- Part 2: the Table 1 workload vs Download All ---------------------
+	queries := workload.Mix(w.Templates(), 8, 2024)
+	pl := newClient("workload", nil)
+	var cumulative int64
+	for i, sql := range queries {
+		res, err := pl.Query(sql)
+		if err != nil {
+			log.Fatalf("query %d: %v", i, err)
+		}
+		cumulative += res.Report.Transactions
+		if (i+1)%10 == 0 {
+			fmt.Printf("after %2d queries: %4d cumulative transactions\n", i+1, cumulative)
+		}
+	}
+	downloadAll := baseline.UpfrontCost(tables, 100)
+	fmt.Printf("\nworkload of %d queries: PayLess paid %d transactions; Download All costs %d upfront (%.1fx more)\n",
+		len(queries), cumulative, downloadAll, float64(downloadAll)/math.Max(float64(cumulative), 1))
+	fmt.Printf("weather rows cached locally: %d of %d\n",
+		pl.StoredRows("Weather"), len(w.WeatherRows))
+}

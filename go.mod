@@ -1,0 +1,3 @@
+module payless
+
+go 1.22

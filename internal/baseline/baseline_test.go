@@ -1,0 +1,105 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"payless/internal/market"
+	"payless/internal/storage"
+	"payless/internal/workload"
+)
+
+func setup(t *testing.T) (*DownloadAll, *workload.WHW) {
+	t.Helper()
+	w := workload.GenerateWHW(workload.WHWConfig{
+		Seed: 1, Countries: 3, StationsPerCountry: 10, CitiesPerCountry: 3,
+		Days: 10, StartDate: 20140601, Zips: 30, MaxRank: 100,
+	})
+	m := market.New()
+	if err := w.Install(m, storage.NewDB(), 100, 1); err != nil {
+		t.Fatal(err)
+	}
+	m.RegisterAccount("k")
+	tables := append(m.ExportCatalog(), w.ZipMap)
+	d, err := NewDownloadAll(tables, market.AccountCaller{Market: m, Key: "k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.LoadLocal("ZipMap", w.ZipMapRows); err != nil {
+		t.Fatal(err)
+	}
+	return d, w
+}
+
+func TestDownloadAllPaysWholeTableOnce(t *testing.T) {
+	d, w := setup(t)
+	sql := fmt.Sprintf("SELECT * FROM Weather WHERE Country = 'United States' AND Date >= %d AND Date <= %d",
+		w.Dates[0], w.Dates[2])
+	r1, err := d.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wholeTable := int64(math.Ceil(float64(len(w.WeatherRows)) / 100))
+	if r1.Transactions != wholeTable {
+		t.Errorf("first query pays whole table: %d, want %d", r1.Transactions, wholeTable)
+	}
+	// Any further weather query is free.
+	r2, err := d.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Transactions != 0 || r2.Calls != 0 {
+		t.Errorf("second query must be free: %+v", r2)
+	}
+	if got := d.TotalSpend().Transactions; got != wholeTable {
+		t.Errorf("total spend: %d", got)
+	}
+}
+
+func TestDownloadAllJoinCorrect(t *testing.T) {
+	d, w := setup(t)
+	sql := fmt.Sprintf(
+		"SELECT City, AVG(Temperature) FROM Station, Weather "+
+			"WHERE Station.Country = Weather.Country = 'United States' AND Weather.Date >= %d AND Weather.Date <= %d "+
+			"AND Station.StationID = Weather.StationID GROUP BY City",
+		w.Dates[0], w.Dates[4])
+	r, err := d.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wholeBoth := int64(math.Ceil(float64(len(w.WeatherRows))/100)) + int64(math.Ceil(float64(len(w.StationRows))/100))
+	if r.Transactions != wholeBoth {
+		t.Errorf("join pays both whole tables: %d, want %d", r.Transactions, wholeBoth)
+	}
+}
+
+func TestDownloadAllErrors(t *testing.T) {
+	d, _ := setup(t)
+	if _, err := d.Query("SELECT * FROM Ghost"); err == nil {
+		t.Error("unknown table should error")
+	}
+	if _, err := d.Query("garbage"); err == nil {
+		t.Error("parse error expected")
+	}
+	if err := d.LoadLocal("Weather", nil); err == nil {
+		t.Error("loading a market table should error")
+	}
+	if _, err := NewDownloadAll(nil, nil); err == nil {
+		t.Error("missing caller should error")
+	}
+}
+
+func TestUpfrontCost(t *testing.T) {
+	d, w := setup(t)
+	_ = d
+	m := market.New()
+	w.Install(m, storage.NewDB(), 100, 1)
+	tables := append(m.ExportCatalog(), w.ZipMap)
+	want := int64(math.Ceil(float64(len(w.WeatherRows))/100)) +
+		int64(math.Ceil(float64(len(w.StationRows))/100)) +
+		int64(math.Ceil(float64(len(w.PollutionRows))/100))
+	if got := UpfrontCost(tables, 100); got != want {
+		t.Errorf("UpfrontCost: %d, want %d (local tables excluded)", got, want)
+	}
+}

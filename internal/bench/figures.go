@@ -1,0 +1,238 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	payless "payless"
+
+	"payless/internal/workload"
+)
+
+// Params controls experiment scale. Defaults keep runs laptop-fast while
+// preserving the paper's relative shapes; the full paper scale can be
+// requested through cmd/paylessbench flags.
+type Params struct {
+	RealCfg workload.WHWConfig
+	TPCHCfg workload.TPCHConfig
+	// QReal and QTPCH are the instances per template (the paper's q).
+	QReal, QTPCH int
+	// T is the page size (tuples per transaction).
+	T           int
+	Seed        int64
+	SampleEvery int
+}
+
+// DefaultParams returns the harness's default scale.
+func DefaultParams() Params {
+	return Params{
+		RealCfg:     workload.DefaultWHWConfig(),
+		TPCHCfg:     workload.DefaultTPCHConfig(),
+		QReal:       40,
+		QTPCH:       10,
+		T:           100,
+		Seed:        42,
+		SampleEvery: 10,
+	}
+}
+
+// Figure is one regenerated evaluation artifact.
+type Figure struct {
+	ID     string
+	Title  string
+	Series []Series
+	// Efforts is used by Figs. 14 and 15 instead of Series.
+	Efforts []Effort
+}
+
+// Render prints the figure as aligned text rows (the same series the paper
+// plots).
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", f.ID, f.Title)
+	if len(f.Efforts) > 0 {
+		fmt.Fprintf(&b, "%-28s %14s %18s %14s\n", "system", "avg plans", "avg boxes enum", "avg boxes kept")
+		for _, e := range f.Efforts {
+			fmt.Fprintf(&b, "%-28s %14.1f %18.1f %14.1f\n", e.System, e.AvgPlans, e.AvgBoxes, e.AvgKeptBoxes)
+		}
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-10s", "#queries")
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " %22s", s.System)
+	}
+	b.WriteString("\n")
+	if len(f.Series) == 0 {
+		return b.String()
+	}
+	for i := range f.Series[0].X {
+		fmt.Fprintf(&b, "%-10d", f.Series[0].X[i])
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, " %22d", s.Y[i])
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// envFor builds the real or TPC-H environment for the parameters.
+func envFor(p Params, dataset string) (*Env, error) {
+	switch dataset {
+	case "real":
+		return NewRealEnv(p.RealCfg, p.QReal, p.T, p.Seed)
+	case "tpch":
+		return NewTPCHEnv(p.TPCHCfg, p.QTPCH, p.T, p.Seed)
+	case "tpch-skew":
+		cfg := p.TPCHCfg
+		cfg.Zipf = 1
+		return NewTPCHEnv(cfg, p.QTPCH, p.T, p.Seed)
+	default:
+		return nil, fmt.Errorf("unknown dataset %q", dataset)
+	}
+}
+
+// Fig10 reproduces the overall-effectiveness figure: cumulative
+// transactions for all four systems on one dataset ("real", "tpch" or
+// "tpch-skew").
+func Fig10(p Params, dataset string) (*Figure, error) {
+	env, err := envFor(p, dataset)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{ID: "Fig10-" + dataset, Title: "Overall effectiveness (cumulative transactions)"}
+	for _, kind := range []SystemKind{PayLess, PayLessNoSQR, MinimizingCalls, DownloadAll} {
+		s, err := env.Cumulative(kind, p.SampleEvery, nil)
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig11 varies the tuples-per-transaction page size t; PayLess vs Download
+// All, as in the paper.
+func Fig11(p Params, dataset string, ts []int) (*Figure, error) {
+	fig := &Figure{ID: "Fig11-" + dataset, Title: "Varying tuples per transaction t"}
+	for _, t := range ts {
+		pt := p
+		pt.T = t
+		env, err := envFor(pt, dataset)
+		if err != nil {
+			return nil, err
+		}
+		for _, kind := range []SystemKind{PayLess, DownloadAll} {
+			s, err := env.Cumulative(kind, pt.SampleEvery, nil)
+			if err != nil {
+				return nil, err
+			}
+			s.System = fmt.Sprintf("%s t=%d", kind, t)
+			fig.Series = append(fig.Series, s)
+		}
+	}
+	return fig, nil
+}
+
+// Fig12 varies q, the number of query instances per template.
+func Fig12(p Params, dataset string, qs []int) (*Figure, error) {
+	fig := &Figure{ID: "Fig12-" + dataset, Title: "Varying query instances per template q"}
+	for _, q := range qs {
+		pq := p
+		if dataset == "real" {
+			pq.QReal = q
+		} else {
+			pq.QTPCH = q
+		}
+		env, err := envFor(pq, dataset)
+		if err != nil {
+			return nil, err
+		}
+		for _, kind := range []SystemKind{PayLess, DownloadAll} {
+			s, err := env.Cumulative(kind, pq.SampleEvery, nil)
+			if err != nil {
+				return nil, err
+			}
+			s.System = fmt.Sprintf("%s q=%d", kind, q)
+			fig.Series = append(fig.Series, s)
+		}
+	}
+	return fig, nil
+}
+
+// Fig13 varies the data size D (TPC-H scale factor).
+func Fig13(p Params, dataset string, ds []float64) (*Figure, error) {
+	fig := &Figure{ID: "Fig13-" + dataset, Title: "Varying data size D"}
+	for _, d := range ds {
+		pd := p
+		pd.TPCHCfg.ScaleFactor = d
+		env, err := envFor(pd, dataset)
+		if err != nil {
+			return nil, err
+		}
+		for _, kind := range []SystemKind{PayLess, DownloadAll} {
+			s, err := env.Cumulative(kind, pd.SampleEvery, nil)
+			if err != nil {
+				return nil, err
+			}
+			s.System = fmt.Sprintf("%s D=%.1f", kind, d)
+			fig.Series = append(fig.Series, s)
+		}
+	}
+	return fig, nil
+}
+
+// Fig14 reproduces the search-space reduction ablation: average number of
+// evaluated (sub)plans for PayLess, Disable SQR and Disable All (SQR and
+// Theorems 1–3 both off).
+func Fig14(p Params, dataset string) (*Figure, error) {
+	fig := &Figure{ID: "Fig14-" + dataset, Title: "Search space reduction (avg evaluated plans)"}
+	variants := []struct {
+		name   string
+		mutate func(*payless.Config)
+	}{
+		{"PayLess", nil},
+		{"Disable SQR", func(c *payless.Config) { c.DisableSQR = true }},
+		{"Disable All", func(c *payless.Config) { c.DisableSQR = true; c.DisableTheorems = true }},
+	}
+	for _, v := range variants {
+		env, err := envFor(p, dataset)
+		if err != nil {
+			return nil, err
+		}
+		eff, err := env.SearchEffort(v.mutate)
+		if err != nil {
+			return nil, err
+		}
+		eff.System = v.name
+		fig.Efforts = append(fig.Efforts, eff)
+	}
+	return fig, nil
+}
+
+// Fig15 reproduces the bounding-box pruning ablation: average number of
+// bounding boxes generated with and without Algorithm 1's pruning rules.
+func Fig15(p Params, dataset string) (*Figure, error) {
+	fig := &Figure{ID: "Fig15-" + dataset, Title: "Bounding box pruning (avg generated boxes)"}
+	variants := []struct {
+		name   string
+		mutate func(*payless.Config)
+	}{
+		{"PayLess", nil},
+		{"No Pruning", func(c *payless.Config) { c.DisableBoxPruning = true }},
+	}
+	for _, v := range variants {
+		env, err := envFor(p, dataset)
+		if err != nil {
+			return nil, err
+		}
+		eff, err := env.SearchEffort(v.mutate)
+		if err != nil {
+			return nil, err
+		}
+		eff.System = v.name
+		fig.Efforts = append(fig.Efforts, eff)
+	}
+	return fig, nil
+}

@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Request selects which figures and datasets RenderAll regenerates.
+type Request struct {
+	// Figures lists figure numbers ("10".."15"); empty means all.
+	Figures []string
+	// Datasets lists "real", "tpch", "tpch-skew"; empty means all.
+	Datasets []string
+	Params   Params
+	// TValues, QRealValues, QTPCHValues and DValues override the swept
+	// parameter grids; nil picks the defaults used in EXPERIMENTS.md.
+	TValues     []int
+	QRealValues []int
+	QTPCHValues []int
+	DValues     []float64
+}
+
+func (r *Request) figures() []string {
+	if len(r.Figures) > 0 {
+		return r.Figures
+	}
+	return []string{"10", "11", "12", "13", "14", "15"}
+}
+
+func (r *Request) datasets() []string {
+	if len(r.Datasets) > 0 {
+		return r.Datasets
+	}
+	return []string{"real", "tpch", "tpch-skew"}
+}
+
+func (r *Request) tValues() []int {
+	if len(r.TValues) > 0 {
+		return r.TValues
+	}
+	return []int{50, 100, 500}
+}
+
+func (r *Request) qValues(dataset string) []int {
+	if dataset == "real" {
+		if len(r.QRealValues) > 0 {
+			return r.QRealValues
+		}
+		return []int{10, 20, 30}
+	}
+	if len(r.QTPCHValues) > 0 {
+		return r.QTPCHValues
+	}
+	return []int{5, 10, 20}
+}
+
+func (r *Request) dValues() []float64 {
+	if len(r.DValues) > 0 {
+		return r.DValues
+	}
+	return []float64{0.5, 1, 2}
+}
+
+// RenderAll regenerates the requested figures and writes their rendered
+// series to w — the engine behind cmd/paylessbench.
+func RenderAll(req Request, w io.Writer) error {
+	for _, f := range req.figures() {
+		for _, ds := range req.datasets() {
+			if f == "13" && ds == "real" {
+				continue // Fig. 13 varies the synthetic data size only
+			}
+			start := time.Now()
+			var fig *Figure
+			var err error
+			switch f {
+			case "10":
+				fig, err = Fig10(req.Params, ds)
+			case "11":
+				fig, err = Fig11(req.Params, ds, req.tValues())
+			case "12":
+				fig, err = Fig12(req.Params, ds, req.qValues(ds))
+			case "13":
+				fig, err = Fig13(req.Params, ds, req.dValues())
+			case "14":
+				fig, err = Fig14(req.Params, ds)
+			case "15":
+				fig, err = Fig15(req.Params, ds)
+			default:
+				return fmt.Errorf("unknown figure %q", f)
+			}
+			if err != nil {
+				return fmt.Errorf("fig %s (%s): %w", f, ds, err)
+			}
+			fmt.Fprint(w, fig.Render())
+			fmt.Fprintf(w, "   (regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		}
+	}
+	return nil
+}
+
+// Markdown renders a figure as a GitHub-flavoured markdown table.
+func (f *Figure) Markdown() string {
+	out := fmt.Sprintf("### %s — %s\n\n", f.ID, f.Title)
+	if len(f.Efforts) > 0 {
+		out += "| system | avg plans | avg boxes enumerated | avg boxes kept |\n|---|---|---|---|\n"
+		for _, e := range f.Efforts {
+			out += fmt.Sprintf("| %s | %.1f | %.1f | %.1f |\n", e.System, e.AvgPlans, e.AvgBoxes, e.AvgKeptBoxes)
+		}
+		return out
+	}
+	out += "| #queries |"
+	for _, s := range f.Series {
+		out += fmt.Sprintf(" %s |", s.System)
+	}
+	out += "\n|---|"
+	for range f.Series {
+		out += "---|"
+	}
+	out += "\n"
+	if len(f.Series) == 0 {
+		return out
+	}
+	for i := range f.Series[0].X {
+		out += fmt.Sprintf("| %d |", f.Series[0].X[i])
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				out += fmt.Sprintf(" %d |", s.Y[i])
+			}
+		}
+		out += "\n"
+	}
+	return out
+}

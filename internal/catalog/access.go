@@ -1,0 +1,216 @@
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"payless/internal/region"
+	"payless/internal/value"
+)
+
+// Pred is a conjunctive predicate over a single attribute of a call.
+// At most one of Eq or (Lo, Hi) is set. Numeric ranges are inclusive on both
+// ends, matching the paper's "Date >= ? AND Date <= ?" templates; the
+// half-open coordinate conversion happens in BoxFor.
+type Pred struct {
+	Attr string
+	// Eq binds the attribute to a single value.
+	Eq *value.Value
+	// Lo and Hi bound a numeric attribute to the inclusive range [Lo, Hi].
+	// Either may be nil for a half-bounded range.
+	Lo, Hi *int64
+}
+
+// IsPoint reports whether the predicate is an equality binding.
+func (p Pred) IsPoint() bool { return p.Eq != nil }
+
+// String renders the predicate for logs and wire encoding.
+func (p Pred) String() string {
+	if p.Eq != nil {
+		return fmt.Sprintf("%s=%s", p.Attr, p.Eq.String())
+	}
+	lo, hi := "-inf", "+inf"
+	if p.Lo != nil {
+		lo = fmt.Sprintf("%d", *p.Lo)
+	}
+	if p.Hi != nil {
+		hi = fmt.Sprintf("%d", *p.Hi)
+	}
+	return fmt.Sprintf("%s in [%s,%s]", p.Attr, lo, hi)
+}
+
+// AccessQuery is the specification of one RESTful GET call to the data
+// market: a table plus a conjunction of per-attribute predicates. Disjunction
+// is not expressible, mirroring the market's access interface (§4.2).
+type AccessQuery struct {
+	Dataset string
+	Table   string
+	Preds   []Pred
+}
+
+// Pred returns the predicate on the named attribute, if any.
+func (q AccessQuery) Pred(attr string) (Pred, bool) {
+	for _, p := range q.Preds {
+		if strings.EqualFold(p.Attr, attr) {
+			return p, true
+		}
+	}
+	return Pred{}, false
+}
+
+// String renders the call in the paper's tuple notation, e.g.
+// Weather('United States', -, [20140601,20140630]).
+func (q AccessQuery) String() string {
+	var parts []string
+	for _, p := range q.Preds {
+		parts = append(parts, p.String())
+	}
+	sort.Strings(parts)
+	return fmt.Sprintf("%s(%s)", q.Table, strings.Join(parts, ", "))
+}
+
+// ValidateBinding checks the call against the table's binding pattern:
+// every Bound attribute must carry a predicate, Output attributes must not,
+// and every predicate must name a known attribute with a compatible shape
+// (categorical attributes accept equality only).
+func ValidateBinding(t *Table, q AccessQuery) error {
+	for _, p := range q.Preds {
+		a, ok := t.Attr(p.Attr)
+		if !ok {
+			return fmt.Errorf("table %s has no attribute %s", t.Name, p.Attr)
+		}
+		if a.Binding == Output {
+			return fmt.Errorf("attribute %s of %s is output-only and cannot be constrained", p.Attr, t.Name)
+		}
+		if p.Eq == nil && p.Lo == nil && p.Hi == nil {
+			return fmt.Errorf("empty predicate on %s.%s", t.Name, p.Attr)
+		}
+		if a.Class == CategoricalAttr && p.Eq == nil {
+			return fmt.Errorf("categorical attribute %s.%s accepts a single value only", t.Name, p.Attr)
+		}
+		if p.Eq != nil && (p.Lo != nil || p.Hi != nil) {
+			return fmt.Errorf("predicate on %s.%s mixes equality and range", t.Name, p.Attr)
+		}
+	}
+	for _, a := range t.Attrs {
+		if a.Binding != Bound {
+			continue
+		}
+		if _, ok := q.Pred(a.Name); !ok {
+			return fmt.Errorf("attribute %s of %s must be bound in every call", a.Name, t.Name)
+		}
+	}
+	return nil
+}
+
+// BoxFor maps the call onto the table's queryable coordinate space.
+// Unconstrained attributes span their full domain; range bounds are clipped
+// to the domain. An error is returned for predicates whose values fall
+// outside a categorical domain.
+func BoxFor(t *Table, q AccessQuery) (region.Box, error) {
+	qa := t.QueryableAttrs()
+	dims := make([]region.Interval, len(qa))
+	for i, a := range qa {
+		full := a.FullInterval()
+		p, ok := q.Pred(a.Name)
+		if !ok {
+			dims[i] = full
+			continue
+		}
+		switch {
+		case p.Eq != nil:
+			c, err := a.Coord(*p.Eq)
+			if err != nil {
+				return region.Box{}, err
+			}
+			iv, ok := region.Point(c).Intersect(full)
+			if !ok {
+				return region.Box{}, fmt.Errorf("value %v outside domain of %s.%s", *p.Eq, t.Name, a.Name)
+			}
+			dims[i] = iv
+		default:
+			iv := full
+			if p.Lo != nil && *p.Lo > iv.Lo {
+				iv.Lo = *p.Lo
+			}
+			if p.Hi != nil && *p.Hi+1 < iv.Hi {
+				iv.Hi = *p.Hi + 1
+			}
+			if iv.Empty() {
+				return region.Box{}, fmt.Errorf("empty range on %s.%s", t.Name, a.Name)
+			}
+			dims[i] = iv
+		}
+	}
+	return region.Box{Dims: dims}, nil
+}
+
+// QueryForBox converts a box back into an AccessQuery — the inverse of
+// BoxFor, used to turn remainder bounding boxes into RESTful calls.
+// Dimensions that span the full domain produce no predicate; unit-width
+// dimensions become equality predicates; other numeric spans become ranges.
+// A multi-value, non-full span on a categorical attribute is rejected
+// because the market cannot express it (§4.2, Fig. 8).
+func QueryForBox(t *Table, b region.Box) (AccessQuery, error) {
+	qa := t.QueryableAttrs()
+	if b.D() != len(qa) {
+		return AccessQuery{}, fmt.Errorf("box dimensionality %d does not match table %s (%d)", b.D(), t.Name, len(qa))
+	}
+	q := AccessQuery{Dataset: t.Dataset, Table: t.Name}
+	for i, a := range qa {
+		iv := b.Dims[i]
+		full := a.FullInterval()
+		if iv.Equal(full) {
+			continue
+		}
+		if !full.Contains(iv) || iv.Empty() {
+			return AccessQuery{}, fmt.Errorf("box extent %v outside domain of %s.%s", iv, t.Name, a.Name)
+		}
+		if iv.Width() == 1 {
+			v, err := a.ValueAt(iv.Lo)
+			if err != nil {
+				return AccessQuery{}, err
+			}
+			q.Preds = append(q.Preds, Pred{Attr: a.Name, Eq: &v})
+			continue
+		}
+		if a.Class == CategoricalAttr {
+			return AccessQuery{}, fmt.Errorf("categorical attribute %s.%s cannot span %v", t.Name, a.Name, iv)
+		}
+		lo, hi := iv.Lo, iv.Hi-1
+		q.Preds = append(q.Preds, Pred{Attr: a.Name, Lo: &lo, Hi: &hi})
+	}
+	return q, nil
+}
+
+// MatchesRow reports whether a row of the table satisfies the call's
+// predicates. Unknown attributes never match.
+func MatchesRow(t *Table, q AccessQuery, row value.Row) bool {
+	for _, p := range q.Preds {
+		i := t.Schema.IndexOf(p.Attr)
+		if i < 0 {
+			return false
+		}
+		v := row[i]
+		if p.Eq != nil {
+			if !v.Equal(*p.Eq) {
+				return false
+			}
+			continue
+		}
+		if p.Lo != nil && v.AsInt() < *p.Lo {
+			return false
+		}
+		if p.Hi != nil && v.AsInt() > *p.Hi {
+			return false
+		}
+	}
+	return true
+}
+
+// IntPtr returns a pointer to v; a convenience for building range predicates.
+func IntPtr(v int64) *int64 { return &v }
+
+// ValPtr returns a pointer to v; a convenience for building equality predicates.
+func ValPtr(v value.Value) *value.Value { return &v }

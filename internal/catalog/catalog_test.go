@@ -1,0 +1,377 @@
+package catalog
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"payless/internal/region"
+	"payless/internal/value"
+)
+
+// weatherTable builds the paper's Weather table (Fig. 1a):
+// Weather(Country^f, StationID^f, Date^f), Temperature output-only.
+func weatherTable() *Table {
+	return &Table{
+		Dataset: "WHW",
+		Name:    "Weather",
+		Schema: value.Schema{
+			{Name: "Country", Type: value.String},
+			{Name: "StationID", Type: value.Int},
+			{Name: "Date", Type: value.Int},
+			{Name: "Temperature", Type: value.Float},
+		},
+		Attrs: []Attribute{
+			{Name: "Country", Type: value.String, Binding: Free, Class: CategoricalAttr,
+				Domain: []value.Value{value.NewString("Canada"), value.NewString("Germany"), value.NewString("United States")}},
+			{Name: "StationID", Type: value.Int, Binding: Free, Class: NumericAttr, Min: 1, Max: 4000},
+			{Name: "Date", Type: value.Int, Binding: Free, Class: NumericAttr, Min: 20140101, Max: 20141231},
+			{Name: "Temperature", Type: value.Float, Binding: Output},
+		},
+		Cardinality:         19549140,
+		PricePerTransaction: 1,
+	}
+}
+
+func TestBindingClassString(t *testing.T) {
+	if Free.String() != "f" || Bound.String() != "b" || Output.String() != "o" || BindingClass(9).String() != "?" {
+		t.Error("BindingClass.String")
+	}
+}
+
+func TestAttributeDomain(t *testing.T) {
+	w := weatherTable()
+	country, _ := w.Attr("country")
+	if country.DomainWidth() != 3 {
+		t.Errorf("categorical width: %d", country.DomainWidth())
+	}
+	if country.FullInterval() != (region.Interval{Lo: 0, Hi: 3}) {
+		t.Error("categorical full interval")
+	}
+	date, _ := w.Attr("Date")
+	if date.DomainWidth() != 20141231-20140101+1 {
+		t.Error("numeric width")
+	}
+	c, err := country.Coord(value.NewString("Germany"))
+	if err != nil || c != 1 {
+		t.Errorf("Coord: %d %v", c, err)
+	}
+	if _, err := country.Coord(value.NewString("Mars")); err == nil {
+		t.Error("Coord outside domain should error")
+	}
+	if _, err := date.Coord(value.NewString("x")); err == nil {
+		t.Error("numeric Coord with string should error")
+	}
+	v, err := country.ValueAt(2)
+	if err != nil || v.S != "United States" {
+		t.Errorf("ValueAt: %v %v", v, err)
+	}
+	if _, err := country.ValueAt(5); err == nil {
+		t.Error("ValueAt outside domain should error")
+	}
+	nv, _ := date.ValueAt(20140601)
+	if nv.I != 20140601 {
+		t.Error("numeric ValueAt")
+	}
+}
+
+func TestTableAccessors(t *testing.T) {
+	w := weatherTable()
+	if got := w.QueryableIdx(); len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Errorf("QueryableIdx: %v", got)
+	}
+	if got := w.QueryableAttrs(); len(got) != 3 || got[2].Name != "Date" {
+		t.Errorf("QueryableAttrs: %v", got)
+	}
+	if _, ok := w.Attr("Temperature"); !ok {
+		t.Error("Attr lookup")
+	}
+	if _, ok := w.Attr("nope"); ok {
+		t.Error("Attr missing")
+	}
+	fb := w.FullBox()
+	if fb.D() != 3 || fb.Dims[0] != (region.Interval{Lo: 0, Hi: 3}) {
+		t.Errorf("FullBox: %v", fb)
+	}
+	bp := w.BindingPattern()
+	if !strings.Contains(bp, "Country^f") || strings.Contains(bp, "Temperature") {
+		t.Errorf("BindingPattern: %s", bp)
+	}
+}
+
+func TestCatalogRegisterLookup(t *testing.T) {
+	c := New()
+	if err := c.Register(weatherTable()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(weatherTable()); err == nil {
+		t.Error("duplicate register should error")
+	}
+	if _, ok := c.Lookup("WEATHER"); !ok {
+		t.Error("case-insensitive lookup")
+	}
+	if got := c.Tables(); len(got) != 1 || got[0].Name != "Weather" {
+		t.Errorf("Tables: %v", got)
+	}
+}
+
+func TestCatalogRegisterValidation(t *testing.T) {
+	c := New()
+	bad := weatherTable()
+	bad.Name = "BadAttrs"
+	bad.Attrs = bad.Attrs[:2]
+	if err := c.Register(bad); err == nil {
+		t.Error("attr/schema length mismatch should error")
+	}
+	bad2 := weatherTable()
+	bad2.Name = "BadName"
+	bad2.Attrs[0].Name = "Wrong"
+	if err := c.Register(bad2); err == nil {
+		t.Error("attr name mismatch should error")
+	}
+	bad3 := weatherTable()
+	bad3.Name = "EmptyDom"
+	bad3.Attrs[0].Domain = nil
+	if err := c.Register(bad3); err == nil {
+		t.Error("empty categorical domain should error")
+	}
+	bad4 := weatherTable()
+	bad4.Name = "InvDom"
+	bad4.Attrs[1].Min, bad4.Attrs[1].Max = 10, 5
+	if err := c.Register(bad4); err == nil {
+		t.Error("inverted numeric domain should error")
+	}
+}
+
+func TestValidateBinding(t *testing.T) {
+	w := weatherTable()
+	us := value.NewString("United States")
+	ok := AccessQuery{Table: "Weather", Preds: []Pred{
+		{Attr: "Country", Eq: &us},
+		{Attr: "Date", Lo: IntPtr(20140601), Hi: IntPtr(20140630)},
+	}}
+	if err := ValidateBinding(w, ok); err != nil {
+		t.Errorf("valid call rejected: %v", err)
+	}
+	// Whole-table download: no predicates on all-free pattern.
+	if err := ValidateBinding(w, AccessQuery{Table: "Weather"}); err != nil {
+		t.Errorf("whole-table call rejected: %v", err)
+	}
+	cases := []AccessQuery{
+		{Table: "Weather", Preds: []Pred{{Attr: "Nope", Eq: &us}}},
+		{Table: "Weather", Preds: []Pred{{Attr: "Temperature", Lo: IntPtr(0)}}},
+		{Table: "Weather", Preds: []Pred{{Attr: "Country"}}},
+		{Table: "Weather", Preds: []Pred{{Attr: "Country", Lo: IntPtr(1)}}},
+		{Table: "Weather", Preds: []Pred{{Attr: "Date", Eq: ValPtr(value.NewInt(20140601)), Lo: IntPtr(1)}}},
+	}
+	for i, q := range cases {
+		if err := ValidateBinding(w, q); err == nil {
+			t.Errorf("case %d: invalid call accepted: %v", i, q)
+		}
+	}
+	// A Bound attribute must be specified.
+	b := weatherTable()
+	b.Name = "BoundW"
+	b.Attrs[1].Binding = Bound
+	if err := ValidateBinding(b, AccessQuery{Table: "BoundW"}); err == nil {
+		t.Error("missing bound attribute should be rejected")
+	}
+	sid := value.NewInt(3817)
+	if err := ValidateBinding(b, AccessQuery{Table: "BoundW", Preds: []Pred{{Attr: "StationID", Eq: &sid}}}); err != nil {
+		t.Errorf("bound attribute given should pass: %v", err)
+	}
+}
+
+func TestBoxForAndBack(t *testing.T) {
+	w := weatherTable()
+	us := value.NewString("United States")
+	q := AccessQuery{Dataset: "WHW", Table: "Weather", Preds: []Pred{
+		{Attr: "Country", Eq: &us},
+		{Attr: "Date", Lo: IntPtr(20140601), Hi: IntPtr(20140630)},
+	}}
+	b, err := BoxFor(w, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := region.NewBox(
+		region.Point(2),                             // United States
+		region.Interval{Lo: 1, Hi: 4001},            // StationID full
+		region.Interval{Lo: 20140601, Hi: 20140631}, // Date inclusive -> half-open
+	)
+	if !b.Equal(want) {
+		t.Fatalf("BoxFor = %v, want %v", b, want)
+	}
+	back, err := QueryForBox(w, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Preds) != 2 {
+		t.Fatalf("QueryForBox preds: %v", back.Preds)
+	}
+	cp, _ := back.Pred("Country")
+	if cp.Eq == nil || cp.Eq.S != "United States" {
+		t.Errorf("country pred: %v", cp)
+	}
+	dp, _ := back.Pred("Date")
+	if dp.Lo == nil || *dp.Lo != 20140601 || dp.Hi == nil || *dp.Hi != 20140630 {
+		t.Errorf("date pred: %v", dp)
+	}
+}
+
+func TestBoxForErrors(t *testing.T) {
+	w := weatherTable()
+	mars := value.NewString("Mars")
+	if _, err := BoxFor(w, AccessQuery{Table: "Weather", Preds: []Pred{{Attr: "Country", Eq: &mars}}}); err == nil {
+		t.Error("out-of-domain equality should error")
+	}
+	if _, err := BoxFor(w, AccessQuery{Table: "Weather", Preds: []Pred{{Attr: "Date", Lo: IntPtr(20150101)}}}); err == nil {
+		t.Error("empty clipped range should error")
+	}
+	// Clipping: range wider than domain narrows to the domain.
+	b, err := BoxFor(w, AccessQuery{Table: "Weather", Preds: []Pred{{Attr: "Date", Lo: IntPtr(0), Hi: IntPtr(99999999)}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Dims[2] != (region.Interval{Lo: 20140101, Hi: 20141232}) {
+		t.Errorf("clipped range: %v", b.Dims[2])
+	}
+}
+
+func TestQueryForBoxErrors(t *testing.T) {
+	w := weatherTable()
+	if _, err := QueryForBox(w, region.NewBox(region.Point(0))); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+	// Categorical span of 2 of 3 values is inexpressible.
+	bad := w.FullBox()
+	bad.Dims[0] = region.Interval{Lo: 0, Hi: 2}
+	if _, err := QueryForBox(w, bad); err == nil {
+		t.Error("partial categorical span should error")
+	}
+	// Extent outside the domain.
+	out := w.FullBox()
+	out.Dims[1] = region.Interval{Lo: 0, Hi: 9999}
+	if _, err := QueryForBox(w, out); err == nil {
+		t.Error("out-of-domain extent should error")
+	}
+	// Full box has no predicates at all.
+	q, err := QueryForBox(w, w.FullBox())
+	if err != nil || len(q.Preds) != 0 {
+		t.Errorf("full box should be predicate-free: %v %v", q, err)
+	}
+}
+
+func TestMatchesRow(t *testing.T) {
+	w := weatherTable()
+	row := value.Row{value.NewString("United States"), value.NewInt(3817), value.NewInt(20140615), value.NewFloat(21.5)}
+	us := value.NewString("United States")
+	q := AccessQuery{Table: "Weather", Preds: []Pred{
+		{Attr: "Country", Eq: &us},
+		{Attr: "Date", Lo: IntPtr(20140601), Hi: IntPtr(20140630)},
+	}}
+	if !MatchesRow(w, q, row) {
+		t.Error("matching row rejected")
+	}
+	q2 := AccessQuery{Table: "Weather", Preds: []Pred{{Attr: "Date", Hi: IntPtr(20140610)}}}
+	if MatchesRow(w, q2, row) {
+		t.Error("row above Hi matched")
+	}
+	q3 := AccessQuery{Table: "Weather", Preds: []Pred{{Attr: "Date", Lo: IntPtr(20140620)}}}
+	if MatchesRow(w, q3, row) {
+		t.Error("row below Lo matched")
+	}
+	q4 := AccessQuery{Table: "Weather", Preds: []Pred{{Attr: "Ghost", Eq: &us}}}
+	if MatchesRow(w, q4, row) {
+		t.Error("unknown attribute matched")
+	}
+}
+
+func TestPredAndQueryString(t *testing.T) {
+	us := value.NewString("US")
+	p := Pred{Attr: "Country", Eq: &us}
+	if p.String() != "Country=US" || !p.IsPoint() {
+		t.Errorf("pred string: %s", p.String())
+	}
+	r := Pred{Attr: "Date", Lo: IntPtr(1), Hi: IntPtr(2)}
+	if r.String() != "Date in [1,2]" || r.IsPoint() {
+		t.Errorf("range pred string: %s", r.String())
+	}
+	h := Pred{Attr: "Date", Lo: IntPtr(1)}
+	if h.String() != "Date in [1,+inf]" {
+		t.Errorf("half range pred string: %s", h.String())
+	}
+	q := AccessQuery{Table: "Weather", Preds: []Pred{r, p}}
+	if got := q.String(); got != "Weather(Country=US, Date in [1,2])" {
+		t.Errorf("query string: %s", got)
+	}
+}
+
+// TestBoxQueryRoundTripProperty: BoxFor and QueryForBox are inverses on
+// random valid access queries.
+func TestBoxQueryRoundTripProperty(t *testing.T) {
+	w := weatherTable()
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 200; trial++ {
+		q := AccessQuery{Dataset: "WHW", Table: "Weather"}
+		if rng.Intn(2) == 0 {
+			c := w.Attrs[0].Domain[rng.Intn(len(w.Attrs[0].Domain))]
+			q.Preds = append(q.Preds, Pred{Attr: "Country", Eq: &c})
+		}
+		if rng.Intn(2) == 0 {
+			lo := int64(1 + rng.Intn(3000))
+			hi := lo + int64(rng.Intn(int(4000-lo)))
+			q.Preds = append(q.Preds, Pred{Attr: "StationID", Lo: &lo, Hi: &hi})
+		}
+		if rng.Intn(2) == 0 {
+			d := int64(20140101 + rng.Intn(300))
+			q.Preds = append(q.Preds, Pred{Attr: "Date", Eq: ValPtr(value.NewInt(d))})
+		}
+		box, err := BoxFor(w, q)
+		if err != nil {
+			t.Fatalf("trial %d: BoxFor: %v", trial, err)
+		}
+		back, err := QueryForBox(w, box)
+		if err != nil {
+			t.Fatalf("trial %d: QueryForBox: %v", trial, err)
+		}
+		box2, err := BoxFor(w, back)
+		if err != nil {
+			t.Fatalf("trial %d: BoxFor(back): %v", trial, err)
+		}
+		if !box.Equal(box2) {
+			t.Fatalf("trial %d: round trip %v -> %v", trial, box, box2)
+		}
+	}
+}
+
+// TestMatchesRowAgreesWithBox: a row matches an access query iff its
+// coordinate point lies inside the query's box.
+func TestMatchesRowAgreesWithBox(t *testing.T) {
+	w := weatherTable()
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		country := w.Attrs[0].Domain[rng.Intn(3)]
+		sid := int64(1 + rng.Intn(4000))
+		date := int64(20140101 + rng.Intn(365))
+		row := value.Row{country, value.NewInt(sid), value.NewInt(date), value.NewFloat(1)}
+
+		lo := int64(1 + rng.Intn(3000))
+		hi := lo + int64(rng.Intn(900))
+		q := AccessQuery{Table: "Weather", Preds: []Pred{
+			{Attr: "Country", Eq: &w.Attrs[0].Domain[rng.Intn(3)]},
+			{Attr: "StationID", Lo: &lo, Hi: &hi},
+		}}
+		box, err := BoxFor(w, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Row point box.
+		cCoord, _ := w.Attrs[0].Coord(country)
+		pt := region.NewBox(region.Point(cCoord), region.Point(sid), region.Point(date))
+		inBox := box.Contains(pt)
+		matches := MatchesRow(w, q, row)
+		if inBox != matches {
+			t.Fatalf("trial %d: box says %v, MatchesRow says %v (q=%v row=%v)", trial, inBox, matches, q, row)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Package connector is PayLess's data-market connector (paper §3, step 5):
+// an HTTP client that registers with a market server, exports its public
+// catalog, and issues RESTful data calls carrying the buyer's authentication
+// key. It implements market.Caller, so the execution engine is oblivious to
+// whether the market is remote (this client) or in-process.
+package connector
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"payless/internal/catalog"
+	"payless/internal/market"
+)
+
+// Client talks to one market server on behalf of one account.
+type Client struct {
+	baseURL string
+	key     string
+	http    *http.Client
+	// retries is the number of extra attempts on transport errors.
+	retries int
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying http.Client.
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) { c.http = h }
+}
+
+// WithRetries sets the number of extra attempts on transport errors.
+func WithRetries(n int) Option {
+	return func(c *Client) { c.retries = n }
+}
+
+// New returns a client for the market at baseURL authenticating with key.
+func New(baseURL, key string, opts ...Option) *Client {
+	c := &Client{
+		baseURL: baseURL,
+		key:     key,
+		http:    &http.Client{Timeout: 30 * time.Second},
+		retries: 2,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+func (c *Client) get(path string, out any) error {
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		req, err := http.NewRequest(http.MethodGet, c.baseURL+path, nil)
+		if err != nil {
+			return err
+		}
+		req.Header.Set(market.AuthHeader, c.key)
+		resp, err := c.http.Do(req)
+		if err != nil {
+			lastErr = err
+			continue // transport error: retry
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			var we market.WireError
+			if json.Unmarshal(body, &we) == nil && we.Error != "" {
+				return fmt.Errorf("market: %s (HTTP %d)", we.Error, resp.StatusCode)
+			}
+			return fmt.Errorf("market: HTTP %d", resp.StatusCode)
+		}
+		return json.Unmarshal(body, out)
+	}
+	return fmt.Errorf("market unreachable after %d attempts: %w", c.retries+1, lastErr)
+}
+
+// Catalog fetches the market's public table metadata — the registration
+// step of paper Fig. 2.
+func (c *Client) Catalog() ([]*catalog.Table, error) {
+	var wire []market.WireTable
+	if err := c.get("/v1/catalog", &wire); err != nil {
+		return nil, err
+	}
+	out := make([]*catalog.Table, 0, len(wire))
+	for _, wt := range wire {
+		t, err := market.TableOfWire(wt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// TuplesPerTransaction fetches the page size t of the named dataset.
+func (c *Client) TuplesPerTransaction(dataset string) (int, error) {
+	var wire []market.WireTable
+	if err := c.get("/v1/catalog", &wire); err != nil {
+		return 0, err
+	}
+	for _, wt := range wire {
+		if wt.Dataset == dataset {
+			return wt.TuplesPerTransaction, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown dataset %s", dataset)
+}
+
+// Meter fetches the account's current spending.
+func (c *Client) Meter() (market.Meter, error) {
+	var m market.Meter
+	err := c.get("/v1/meter", &m)
+	return m, err
+}
+
+// Call executes one RESTful data call. It implements market.Caller.
+func (c *Client) Call(q catalog.AccessQuery) (market.Result, error) {
+	params := url.Values{}
+	for _, p := range q.Preds {
+		switch {
+		case p.Eq != nil:
+			params.Set(p.Attr, p.Eq.String())
+		default:
+			if p.Lo != nil {
+				params.Set(p.Attr+".gte", strconv.FormatInt(*p.Lo, 10))
+			}
+			if p.Hi != nil {
+				params.Set(p.Attr+".lte", strconv.FormatInt(*p.Hi, 10))
+			}
+		}
+	}
+	ds := q.Dataset
+	if ds == "" {
+		ds = "-" // the server resolves "-" by unique table name
+	}
+	base := "/v1/data/" + url.PathEscape(ds) + "/" + url.PathEscape(q.Table)
+	var combined market.WireResult
+	page := 0
+	for {
+		params.Set("page", strconv.Itoa(page))
+		path := base + "?" + params.Encode()
+		var wr market.WireResult
+		if err := c.get(path, &wr); err != nil {
+			return market.Result{}, err
+		}
+		if page == 0 {
+			combined = wr
+		} else {
+			combined.Rows = append(combined.Rows, wr.Rows...)
+		}
+		if wr.NextPage == 0 {
+			break
+		}
+		page = wr.NextPage
+	}
+	combined.NextPage = 0
+	return market.ResultOfWire(combined)
+}

@@ -1,0 +1,387 @@
+// Package core implements PayLess's query optimizer — the paper's primary
+// contribution (§4). It binds a parsed SQL query against the catalog,
+// then runs a bottom-up, cost-based dynamic program over left-deep plans
+// (Algorithm 2) with bind joins as an access path, pricing every candidate
+// in data-market transactions. The search space is trimmed by the paper's
+// three theorems — left-deep only (Thm 1), zero-price relations first
+// (Thm 2), disconnected partitions (Thm 3) — and plain accesses are
+// rewritten through the semantic store (§4.2) before costing.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"payless/internal/catalog"
+	"payless/internal/region"
+	"payless/internal/sqlparse"
+	"payless/internal/value"
+)
+
+// Rel is one FROM-clause relation resolved against the catalog.
+type Rel struct {
+	// Ref is the original table reference (name + alias).
+	Ref sqlparse.TableRef
+	// Table is the catalog metadata.
+	Table *catalog.Table
+	// Query carries the constant predicates pushable to the data market.
+	Query catalog.AccessQuery
+	// Box is the bounding box of the relation's access region.
+	Box region.Box
+	// Boxes are the disjoint access boxes the relation decomposes into —
+	// one per combination of pushable IN values (the market cannot express
+	// disjunction, §1/§4.2); length 1 without IN predicates, and possibly 0
+	// when every IN value falls outside the attribute's domain.
+	Boxes []region.Box
+	// In holds the pushable membership predicates behind Boxes.
+	In []InPred
+	// Residual holds constant predicates that cannot be pushed (output
+	// attributes, <>, float comparisons, oversized IN lists); they are
+	// applied locally.
+	Residual []sqlparse.Condition
+}
+
+// AccessBoxes returns the disjoint boxes the relation's access decomposes
+// into. Relations without IN predicates (including hand-built ones whose
+// Boxes field was never set) access their single Box.
+func (r *Rel) AccessBoxes() []region.Box {
+	if r.Boxes != nil {
+		return r.Boxes
+	}
+	return []region.Box{r.Box}
+}
+
+// InPred is a pushable membership predicate on one attribute.
+type InPred struct {
+	Attr   string
+	Values []value.Value
+}
+
+// maxDisjuncts caps the per-relation box expansion of IN predicates;
+// beyond it the predicate is applied locally instead.
+const maxDisjuncts = 64
+
+// Alias returns the name the relation goes by in the query.
+func (r *Rel) Alias() string {
+	if r.Ref.Alias != "" {
+		return r.Ref.Alias
+	}
+	return r.Ref.Name
+}
+
+// Join is one equi-join edge between two relations.
+type Join struct {
+	// L and R index BoundQuery.Rels; L < R by construction.
+	L, R int
+	// LAttr and RAttr are the joined column names on each side.
+	LAttr, RAttr string
+}
+
+// BoundQuery is the binder's output: the query with every name resolved.
+type BoundQuery struct {
+	Query *sqlparse.Query
+	Rels  []*Rel
+	Joins []Join
+	// CrossResidual holds column-to-column conditions that are not simple
+	// equi-joins; they are applied after joining.
+	CrossResidual []sqlparse.Condition
+}
+
+// RelIndex returns the index of the relation the (possibly unqualified)
+// column reference resolves to, and the attribute name.
+func (b *BoundQuery) RelIndex(ref sqlparse.ColRef) (int, string, error) {
+	if ref.Table != "" {
+		for i, r := range b.Rels {
+			if strings.EqualFold(r.Alias(), ref.Table) {
+				if r.Table.Schema.IndexOf(ref.Column) < 0 {
+					return 0, "", fmt.Errorf("table %s has no column %s", r.Alias(), ref.Column)
+				}
+				return i, ref.Column, nil
+			}
+		}
+		return 0, "", fmt.Errorf("unknown table %s", ref.Table)
+	}
+	found := -1
+	for i, r := range b.Rels {
+		if r.Table.Schema.IndexOf(ref.Column) >= 0 {
+			if found >= 0 {
+				return 0, "", fmt.Errorf("ambiguous column %s", ref.Column)
+			}
+			found = i
+		}
+	}
+	if found < 0 {
+		return 0, "", fmt.Errorf("unknown column %s", ref.Column)
+	}
+	return found, ref.Column, nil
+}
+
+// Bind resolves a parsed query against the catalog: tables, join edges,
+// pushable constant predicates and residual conditions.
+func Bind(q *sqlparse.Query, cat *catalog.Catalog) (*BoundQuery, error) {
+	if len(q.From) == 0 {
+		return nil, fmt.Errorf("query has no FROM clause")
+	}
+	b := &BoundQuery{Query: q}
+	seen := make(map[string]bool)
+	for _, ref := range q.From {
+		t, ok := cat.Lookup(ref.Name)
+		if !ok {
+			return nil, fmt.Errorf("unknown table %s", ref.Name)
+		}
+		r := &Rel{Ref: ref, Table: t, Query: catalog.AccessQuery{Dataset: t.Dataset, Table: t.Name}}
+		alias := strings.ToLower(r.Alias())
+		if seen[alias] {
+			return nil, fmt.Errorf("duplicate table alias %s", r.Alias())
+		}
+		seen[alias] = true
+		b.Rels = append(b.Rels, r)
+	}
+	// Range accumulation per (relation, attribute).
+	type rangeKey struct {
+		rel  int
+		attr string
+	}
+	ranges := make(map[rangeKey]*catalog.Pred)
+
+	for _, cond := range q.Where {
+		if cond.IsJoin() {
+			li, lattr, err := b.RelIndex(cond.Left)
+			if err != nil {
+				return nil, err
+			}
+			ri, rattr, err := b.RelIndex(*cond.RightCol)
+			if err != nil {
+				return nil, err
+			}
+			if cond.Op != sqlparse.OpEq || li == ri {
+				b.CrossResidual = append(b.CrossResidual, cond)
+				continue
+			}
+			if li > ri {
+				li, ri = ri, li
+				lattr, rattr = rattr, lattr
+			}
+			b.Joins = append(b.Joins, Join{L: li, R: ri, LAttr: lattr, RAttr: rattr})
+			continue
+		}
+		ri, attr, err := b.RelIndex(cond.Left)
+		if err != nil {
+			return nil, err
+		}
+		rel := b.Rels[ri]
+		a, _ := rel.Table.Attr(attr)
+		if cond.IsIn() {
+			if pushableIn(a, cond) {
+				rel.In = append(rel.In, InPred{Attr: a.Name, Values: dedupValues(cond.InVals)})
+			} else {
+				rel.Residual = append(rel.Residual, cond)
+			}
+			continue
+		}
+		if !pushable(a, cond) {
+			rel.Residual = append(rel.Residual, cond)
+			continue
+		}
+		if cond.Op == sqlparse.OpEq {
+			v := *cond.RightVal
+			rel.Query.Preds = append(rel.Query.Preds, catalog.Pred{Attr: a.Name, Eq: &v})
+			continue
+		}
+		key := rangeKey{ri, strings.ToLower(a.Name)}
+		p := ranges[key]
+		if p == nil {
+			p = &catalog.Pred{Attr: a.Name}
+			ranges[key] = p
+		}
+		v := cond.RightVal.AsInt()
+		switch cond.Op {
+		case sqlparse.OpGe:
+			setLo(p, v)
+		case sqlparse.OpGt:
+			setLo(p, v+1)
+		case sqlparse.OpLe:
+			setHi(p, v)
+		case sqlparse.OpLt:
+			setHi(p, v-1)
+		}
+	}
+	// Attach accumulated ranges in deterministic order (by WHERE appearance
+	// via re-walk of conditions).
+	attached := make(map[rangeKey]bool)
+	for _, cond := range q.Where {
+		if cond.IsJoin() || cond.RightVal == nil || cond.IsIn() {
+			continue
+		}
+		ri, attr, err := b.RelIndex(cond.Left)
+		if err != nil {
+			return nil, err
+		}
+		key := rangeKey{ri, strings.ToLower(attr)}
+		p, ok := ranges[key]
+		if !ok || attached[key] {
+			continue
+		}
+		attached[key] = true
+		b.Rels[ri].Query.Preds = append(b.Rels[ri].Query.Preds, *p)
+	}
+	// Validate and compute boxes.
+	for _, r := range b.Rels {
+		if err := catalog.ValidateBinding(r.Table, r.Query); err != nil {
+			// Bound attributes may be satisfiable only through a bind join;
+			// box computation still needs a best-effort box over the free
+			// predicates, so drop the validation error here — the market
+			// itself re-validates every real call.
+			_ = err
+		}
+		// Equality predicates on values outside the attribute's domain can
+		// never match; the relation contributes no rows and no calls.
+		emptyMatch := false
+		kept := r.Query.Preds[:0]
+		for _, p := range r.Query.Preds {
+			if p.Eq != nil {
+				if a, ok := r.Table.Attr(p.Attr); ok && a.Binding != catalog.Output {
+					coord, err := a.Coord(*p.Eq)
+					if err != nil || !a.FullInterval().ContainsCoord(coord) {
+						emptyMatch = true
+						continue
+					}
+				}
+			}
+			kept = append(kept, p)
+		}
+		r.Query.Preds = kept
+		box, err := catalog.BoxFor(r.Table, r.Query)
+		if err != nil {
+			return nil, fmt.Errorf("table %s: %w", r.Alias(), err)
+		}
+		r.Box = box
+		if emptyMatch {
+			r.Boxes = []region.Box{}
+			continue
+		}
+		if err := expandInBoxes(r); err != nil {
+			return nil, fmt.Errorf("table %s: %w", r.Alias(), err)
+		}
+	}
+	return b, nil
+}
+
+// expandInBoxes decomposes the relation's base box along its IN predicates
+// into one box per value combination. Oversized expansions fall back to
+// residual evaluation; values outside the attribute's domain contribute no
+// box (they can match nothing).
+func expandInBoxes(r *Rel) error {
+	boxes := []region.Box{r.Box}
+	var kept []InPred
+	qa := r.Table.QueryableAttrs()
+	for _, p := range r.In {
+		dim := -1
+		var attr catalog.Attribute
+		for i, a := range qa {
+			if strings.EqualFold(a.Name, p.Attr) {
+				dim, attr = i, a
+				break
+			}
+		}
+		if dim < 0 {
+			return fmt.Errorf("IN attribute %s is not queryable", p.Attr)
+		}
+		if len(boxes)*len(p.Values) > maxDisjuncts {
+			// Too many disjuncts: evaluate this membership locally.
+			cond := sqlparse.Condition{Left: sqlparse.ColRef{Column: p.Attr}, Op: sqlparse.OpEq, InVals: p.Values}
+			r.Residual = append(r.Residual, cond)
+			continue
+		}
+		var next []region.Box
+		for _, b := range boxes {
+			for _, v := range p.Values {
+				coord, err := attr.Coord(v)
+				if err != nil {
+					continue // outside the domain: matches nothing
+				}
+				iv, ok := region.Point(coord).Intersect(b.Dims[dim])
+				if !ok {
+					continue // excluded by another predicate on the attribute
+				}
+				nb := b.Clone()
+				nb.Dims[dim] = iv
+				next = append(next, nb)
+			}
+		}
+		boxes = next
+		kept = append(kept, p)
+	}
+	r.In = kept
+	r.Boxes = boxes
+	if bb, ok := region.BoundingBox(boxes); ok {
+		r.Box = bb
+	} else {
+		// Nothing can match; keep the base box for width arithmetic but
+		// remember the empty access set.
+		r.Boxes = []region.Box{}
+	}
+	return nil
+}
+
+// dedupValues removes duplicate IN values, preserving order.
+func dedupValues(vals []value.Value) []value.Value {
+	seen := make(map[string]bool, len(vals))
+	var out []value.Value
+	for _, v := range vals {
+		k := fmt.Sprintf("%d|%s", v.K, v.String())
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, v)
+	}
+	return out
+}
+
+// pushableIn reports whether a membership predicate can decompose into
+// market calls: the attribute must be queryable and the values must be
+// point-bindable (strings for categorical, ints for numeric).
+func pushableIn(a catalog.Attribute, cond sqlparse.Condition) bool {
+	if a.Name == "" || a.Binding == catalog.Output {
+		return false
+	}
+	for _, v := range cond.InVals {
+		if a.Class == catalog.NumericAttr && v.K != value.Int {
+			return false
+		}
+	}
+	return true
+}
+
+// pushable reports whether a constant condition can travel to the market as
+// part of an access query: the attribute must be queryable, the operator
+// must map onto point/range access, and range bounds must be integers.
+func pushable(a catalog.Attribute, cond sqlparse.Condition) bool {
+	if a.Name == "" || a.Binding == catalog.Output {
+		return false
+	}
+	switch cond.Op {
+	case sqlparse.OpEq:
+		if a.Class == catalog.CategoricalAttr {
+			return true
+		}
+		return cond.RightVal.K == value.Int
+	case sqlparse.OpGe, sqlparse.OpGt, sqlparse.OpLe, sqlparse.OpLt:
+		return a.Class == catalog.NumericAttr && cond.RightVal.K == value.Int
+	default:
+		return false
+	}
+}
+
+func setLo(p *catalog.Pred, v int64) {
+	if p.Lo == nil || *p.Lo < v {
+		p.Lo = &v
+	}
+}
+
+func setHi(p *catalog.Pred, v int64) {
+	if p.Hi == nil || *p.Hi > v {
+		p.Hi = &v
+	}
+}

@@ -1,0 +1,654 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"time"
+
+	"payless/internal/catalog"
+	"payless/internal/region"
+	"payless/internal/rewrite"
+	"payless/internal/semstore"
+	"payless/internal/stats"
+)
+
+// invalidCost marks an access path that cannot be used (e.g. a plain scan of
+// a table whose bound attribute has no value).
+const invalidCost = math.MaxInt64 / 4
+
+// Optimizer derives minimum-price left-deep plans (Algorithm 2).
+type Optimizer struct {
+	Catalog *catalog.Catalog
+	// Store is the semantic store; nil behaves like an empty store.
+	Store *semstore.Store
+	// Stats estimates row counts per (table, box).
+	Stats   stats.Estimator
+	Options Options
+}
+
+// relInfo caches per-relation facts the DP consults repeatedly.
+type relInfo struct {
+	estRows    float64
+	remainder  rewrite.Plan
+	plainCost  int64
+	plainValid bool
+	zeroPrice  bool
+	// boundAttrs lists bound attributes that still lack a value; a plain
+	// scan is invalid while this is non-empty.
+	boundAttrs []string
+}
+
+type optRun struct {
+	o        *Optimizer
+	b        *BoundQuery
+	info     []relInfo
+	counters Counters
+}
+
+// Optimize derives the best plan for the bound query.
+func (o *Optimizer) Optimize(b *BoundQuery) (*Plan, error) {
+	start := time.Now()
+	run := &optRun{o: o, b: b, info: make([]relInfo, len(b.Rels))}
+	for i := range b.Rels {
+		run.prepRel(i)
+	}
+	var plan *Plan
+	var err error
+	if o.Options.DisableTheorems {
+		plan, err = run.searchBushy()
+	} else {
+		plan, err = run.searchLeftDeep()
+	}
+	if err != nil {
+		return nil, err
+	}
+	plan.Bound = b
+	plan.Counters = run.counters
+	plan.Optimized = time.Since(start)
+	return plan, nil
+}
+
+// prepRel computes the per-relation access facts: row estimate, semantic
+// remainder plan, plain-scan cost and zero-price status.
+func (r *optRun) prepRel(i int) {
+	rel := r.b.Rels[i]
+	info := &r.info[i]
+	opts := &r.o.Options
+
+	// Unsatisfied bound attributes.
+	for _, a := range rel.Table.Attrs {
+		if a.Binding != catalog.Bound {
+			continue
+		}
+		if _, ok := rel.Query.Pred(a.Name); !ok {
+			info.boundAttrs = append(info.boundAttrs, a.Name)
+		}
+	}
+
+	if rel.Table.Local {
+		info.zeroPrice = true
+		info.plainValid = true
+		info.plainCost = 0
+		info.estRows = r.localRows(rel)
+		return
+	}
+
+	boxes := rel.AccessBoxes()
+	for _, ab := range boxes {
+		info.estRows += r.o.Stats.Estimate(rel.Table.Name, ab)
+	}
+	t := opts.tptOf(rel.Table.Dataset)
+
+	if opts.DisableSQR || r.o.Store == nil {
+		info.plainValid = len(info.boundAttrs) == 0
+		if info.plainValid {
+			// One call per access box; transactions are billed per call, so
+			// the ceil applies per box.
+			var cost int64
+			for _, ab := range boxes {
+				cost += r.price(r.o.Stats.Estimate(rel.Table.Name, ab), t, 1)
+			}
+			info.plainCost = cost
+			if opts.CostModel == CostCalls {
+				info.plainCost = int64(len(boxes))
+			}
+			info.zeroPrice = len(boxes) == 0
+		} else {
+			info.plainCost = invalidCost
+		}
+		return
+	}
+
+	// SemanticRewrite(Ci, V, M) — Algorithm 2, line 4 — applied to each
+	// access box; IN predicates decompose a relation into several boxes.
+	covered := r.o.Store.Boxes(rel.Table.Name, opts.Since)
+	cfg := RewriteConfig(rel.Table, opts)
+	table := rel.Table.Name
+	for _, ab := range boxes {
+		pl := rewrite.Remainders(ab, covered, cfg, func(b region.Box) float64 {
+			return r.o.Stats.Estimate(table, b)
+		})
+		info.remainder.Boxes = append(info.remainder.Boxes, pl.Boxes...)
+		info.remainder.Transactions += pl.Transactions
+		info.remainder.EstRows += pl.EstRows
+		info.remainder.Stats.Elementary += pl.Stats.Elementary
+		info.remainder.Stats.Enumerated += pl.Stats.Enumerated
+		info.remainder.Stats.Kept += pl.Stats.Kept
+	}
+	r.counters.BoxesEnumerated += info.remainder.Stats.Enumerated
+	r.counters.BoxesKept += info.remainder.Stats.Kept
+
+	fullyCovered := len(info.remainder.Boxes) == 0
+	info.plainValid = len(info.boundAttrs) == 0 || fullyCovered
+	if !info.plainValid {
+		info.plainCost = invalidCost
+	} else if opts.CostModel == CostCalls {
+		info.plainCost = int64(len(info.remainder.Boxes))
+	} else {
+		info.plainCost = info.remainder.Transactions
+	}
+	// Theorem 2 / Algorithm 2 line 5: relations whose required tuples are
+	// already in the semantic store become zero-price and join first.
+	info.zeroPrice = fullyCovered
+}
+
+// localRows returns the actual cardinality of a local table when available.
+func (r *optRun) localRows(rel *Rel) float64 {
+	if r.o.Store != nil {
+		if tbl, ok := r.o.Store.DB().Lookup(rel.Table.Name); ok {
+			return float64(tbl.Len())
+		}
+	}
+	if rel.Table.Cardinality > 0 {
+		return float64(rel.Table.Cardinality)
+	}
+	return 1
+}
+
+// price converts a row estimate into the configured cost unit. calls is the
+// number of RESTful calls the access makes (used by the CostCalls model).
+func (r *optRun) price(rows float64, t int, calls int64) int64 {
+	if r.o.Options.CostModel == CostCalls {
+		return calls
+	}
+	if rows <= 0 {
+		return 0
+	}
+	return int64(math.Ceil(rows / float64(t)))
+}
+
+// RewriteConfig builds the Algorithm 1 configuration for a table under the
+// given options; the optimizer and the execution engine share it so costed
+// and executed remainders agree.
+func RewriteConfig(t *catalog.Table, opts *Options) rewrite.Config {
+	return rewrite.Config{
+		TuplesPerTransaction: opts.tptOf(t.Dataset),
+		Full:                 t.FullBox(),
+		DimKinds:             dimKinds(t),
+		DisablePruning:       opts.DisableBoxPruning,
+		MaxEnumeration:       opts.MaxEnumeration,
+	}
+}
+
+// dimKinds maps a table's queryable attributes to rewrite dimension kinds.
+func dimKinds(t *catalog.Table) []rewrite.DimKind {
+	qa := t.QueryableAttrs()
+	out := make([]rewrite.DimKind, len(qa))
+	for i, a := range qa {
+		if a.Class == catalog.CategoricalAttr {
+			out[i] = rewrite.Categorical
+		}
+	}
+	return out
+}
+
+// distinctBase estimates the number of distinct values of rel's attribute
+// within its predicate box.
+func (r *optRun) distinctBase(relIdx int, attr string) float64 {
+	rel := r.b.Rels[relIdx]
+	w := r.attrWidth(rel, attr)
+	rows := r.info[relIdx].estRows
+	if rows < 1 {
+		rows = 1
+	}
+	return math.Min(w, rows)
+}
+
+// attrWidth returns the width of the attribute's extent within the
+// relation's box (its domain width when unconstrained), or 0 when the
+// attribute is not queryable.
+func (r *optRun) attrWidth(rel *Rel, attr string) float64 {
+	qa := rel.Table.QueryableAttrs()
+	for i, a := range qa {
+		if equalFold(a.Name, attr) {
+			if i < rel.Box.D() {
+				return float64(rel.Box.Dims[i].Width())
+			}
+			return float64(a.DomainWidth())
+		}
+	}
+	return 0
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// joinSelectivity estimates the selectivity of applying the given join
+// edges between a prefix and a relation: Π 1/max(dL, dR).
+func (r *optRun) joinSelectivity(edges []int) float64 {
+	sel := 1.0
+	for _, e := range edges {
+		j := r.b.Joins[e]
+		dl := r.distinctBase(j.L, j.LAttr)
+		dr := r.distinctBase(j.R, j.RAttr)
+		d := math.Max(dl, dr)
+		if d < 1 {
+			d = 1
+		}
+		sel /= d
+	}
+	return sel
+}
+
+// edgesBetween returns the join edges connecting rel i to any relation in
+// the set (a bitmask over all relations plus the implicit zero-price set).
+func (r *optRun) edgesBetween(i int, inSet func(int) bool) []int {
+	var out []int
+	for e, j := range r.b.Joins {
+		if j.L == i && inSet(j.R) {
+			out = append(out, e)
+		}
+		if j.R == i && inSet(j.L) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// bindCost estimates accessing rel i by binding attribute attr with nb
+// distinct values. Returns the cost and the per-access validity.
+func (r *optRun) bindCost(i int, attr string, nb float64) (int64, bool) {
+	rel := r.b.Rels[i]
+	info := &r.info[i]
+	a, ok := rel.Table.Attr(attr)
+	if !ok || a.Binding == catalog.Output {
+		return invalidCost, false
+	}
+	// Every bound attribute must be satisfied by a predicate or by being
+	// the bind attribute itself.
+	for _, ba := range info.boundAttrs {
+		if !equalFold(ba, attr) {
+			return invalidCost, false
+		}
+	}
+	w := r.attrWidth(rel, attr)
+	if w <= 0 {
+		return invalidCost, false
+	}
+	if nb < 1 {
+		nb = 1
+	}
+	if nb > w {
+		nb = w
+	}
+	// Rows still missing from the semantic store.
+	remRows := info.estRows
+	if !r.o.Options.DisableSQR && r.o.Store != nil {
+		remRows = info.remainder.EstRows
+	}
+	perBind := remRows / w
+	t := r.o.Options.tptOf(rel.Table.Dataset)
+	var per int64
+	if r.o.Options.CostModel == CostCalls {
+		per = 1
+	} else if perBind > 0 {
+		per = int64(math.Ceil(perBind / float64(t)))
+	}
+	return int64(nb) * per, true
+}
+
+// dpEntry is the best plan found for one relation subset.
+type dpEntry struct {
+	valid bool
+	cost  int64
+	rows  float64
+	steps []Step
+}
+
+// searchLeftDeep runs Algorithm 2: zero-price relations first (Thm 2),
+// left-deep DP over the priced relations (Thm 1), disconnected partitions
+// combined by cartesian product (Thm 3).
+func (r *optRun) searchLeftDeep() (*Plan, error) {
+	var local, market []int
+	for i := range r.b.Rels {
+		if r.info[i].zeroPrice {
+			local = append(local, i)
+		} else {
+			market = append(market, i)
+		}
+	}
+	localSteps, localRows := r.localPrefix(local)
+
+	n := len(market)
+	if n > 20 {
+		return nil, fmt.Errorf("too many priced relations (%d)", n)
+	}
+	if n == 0 {
+		return &Plan{Steps: localSteps, EstRows: localRows}, nil
+	}
+	pos := make(map[int]int, n)
+	for p, relIdx := range market {
+		pos[relIdx] = p
+	}
+	isLocal := make(map[int]bool, len(local))
+	for _, l := range local {
+		isLocal[l] = true
+	}
+
+	dp := make([]dpEntry, 1<<n)
+	dp[0] = dpEntry{valid: true, rows: localRows}
+
+	inPrefix := func(mask int) func(int) bool {
+		return func(rel int) bool {
+			if isLocal[rel] {
+				return true
+			}
+			p, ok := pos[rel]
+			return ok && mask&(1<<p) != 0
+		}
+	}
+
+	for mask := 1; mask < 1<<n; mask++ {
+		// Theorem 3: disconnected partitions.
+		if groups := r.components(mask, market, pos, local); len(groups) > 1 {
+			r.counters.PlansEvaluated++
+			entry := dpEntry{valid: true, rows: 1, cost: 0}
+			entry.rows = localRows
+			if localRows <= 0 {
+				entry.rows = 1
+			}
+			ok := true
+			for _, g := range groups {
+				sub := dp[g]
+				if !sub.valid {
+					ok = false
+					break
+				}
+				entry.cost += sub.cost
+				// Cartesian combination of component cardinalities; avoid
+				// double-counting the shared local prefix.
+				if localRows > 0 {
+					entry.rows *= sub.rows / localRows
+				} else {
+					entry.rows *= sub.rows
+				}
+				entry.steps = append(entry.steps, sub.steps...)
+			}
+			if ok {
+				dp[mask] = entry
+				continue
+			}
+		}
+		best := dpEntry{}
+		for p := 0; p < n; p++ {
+			if mask&(1<<p) == 0 {
+				continue
+			}
+			prev := dp[mask&^(1<<p)]
+			if !prev.valid {
+				continue
+			}
+			i := market[p]
+			edges := r.edgesBetween(i, inPrefix(mask&^(1<<p)))
+			cands := r.accessCandidates(i, prev.rows, edges)
+			for _, c := range cands {
+				r.counters.PlansEvaluated++
+				total := prev.cost + c.cost
+				if best.valid && total >= best.cost {
+					continue
+				}
+				rows := prev.rows * r.info[i].estRows * r.joinSelectivity(edges)
+				if rows < 0 {
+					rows = 0
+				}
+				step := Step{Rel: i, Kind: c.kind, BindJoin: c.bindJoin, Joins: edges, Remainder: r.info[i].remainder, EstTrans: c.cost, EstRows: r.info[i].estRows}
+				steps := make([]Step, len(prev.steps), len(prev.steps)+1)
+				copy(steps, prev.steps)
+				best = dpEntry{valid: true, cost: total, rows: rows, steps: append(steps, step)}
+			}
+		}
+		dp[mask] = best
+	}
+	final := dp[1<<n-1]
+	if !final.valid {
+		return nil, fmt.Errorf("no valid plan: a bound attribute cannot be satisfied")
+	}
+	return &Plan{
+		Steps:    append(localSteps, final.steps...),
+		EstTrans: final.cost,
+		EstRows:  final.rows,
+	}, nil
+}
+
+// accessCandidate is one way to fetch relation i given a prefix.
+type accessCandidate struct {
+	kind     AccessKind
+	bindJoin int
+	cost     int64
+}
+
+// accessCandidates enumerates the access paths for relation i: a plain
+// remainder scan and one bind join per connecting edge.
+func (r *optRun) accessCandidates(i int, prefixRows float64, edges []int) []accessCandidate {
+	var out []accessCandidate
+	info := &r.info[i]
+	if info.plainValid {
+		out = append(out, accessCandidate{kind: MarketScan, bindJoin: -1, cost: info.plainCost})
+	}
+	for _, e := range edges {
+		j := r.b.Joins[e]
+		var myAttr, otherAttr string
+		var other int
+		if j.L == i {
+			myAttr, otherAttr, other = j.LAttr, j.RAttr, j.R
+		} else {
+			myAttr, otherAttr, other = j.RAttr, j.LAttr, j.L
+		}
+		nb := math.Min(r.distinctBase(other, otherAttr), math.Max(prefixRows, 1))
+		cost, ok := r.bindCost(i, myAttr, nb)
+		if !ok {
+			continue
+		}
+		out = append(out, accessCandidate{kind: MarketBind, bindJoin: e, cost: cost})
+	}
+	return out
+}
+
+// localPrefix builds the steps for the zero-price relations (Theorem 2) and
+// estimates their joined cardinality.
+func (r *optRun) localPrefix(local []int) ([]Step, float64) {
+	var steps []Step
+	rows := 1.0
+	placed := make(map[int]bool)
+	for _, i := range local {
+		edges := r.edgesBetween(i, func(rel int) bool { return placed[rel] })
+		steps = append(steps, Step{Rel: i, Kind: LocalScan, BindJoin: -1, Joins: edges, EstRows: r.info[i].estRows})
+		rows *= r.info[i].estRows * r.joinSelectivity(edges)
+		placed[i] = true
+	}
+	if len(local) == 0 {
+		return nil, 1
+	}
+	if rows < 0 {
+		rows = 0
+	}
+	return steps, rows
+}
+
+// components partitions the priced relations of mask into join-connected
+// groups (connections may pass through zero-price relations). It returns
+// the group masks, or a single-element slice when connected.
+func (r *optRun) components(mask int, market []int, pos map[int]int, local []int) []int {
+	// Union-find over all relations.
+	parent := make([]int, len(r.b.Rels))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	active := make([]bool, len(r.b.Rels))
+	for _, l := range local {
+		active[l] = true
+	}
+	for p, relIdx := range market {
+		if mask&(1<<p) != 0 {
+			active[relIdx] = true
+		}
+	}
+	for _, j := range r.b.Joins {
+		if active[j.L] && active[j.R] {
+			union(j.L, j.R)
+		}
+	}
+	groups := make(map[int]int) // root -> group mask
+	for p, relIdx := range market {
+		if mask&(1<<p) == 0 {
+			continue
+		}
+		groups[find(relIdx)] |= 1 << p
+	}
+	out := make([]int, 0, len(groups))
+	for _, g := range groups {
+		out = append(out, g)
+	}
+	return out
+}
+
+// searchBushy is the "Disable All" search of Fig. 14: no zero-price-first,
+// no partition shortcut, and bushy trees — every subset split is a
+// candidate. Plans remain executable because the engine joins each new
+// relation against the whole prefix.
+func (r *optRun) searchBushy() (*Plan, error) {
+	n := len(r.b.Rels)
+	if n > 14 {
+		return nil, fmt.Errorf("too many relations for bushy enumeration (%d)", n)
+	}
+	dp := make([]dpEntry, 1<<n)
+	inMask := func(mask int) func(int) bool {
+		return func(rel int) bool { return mask&(1<<rel) != 0 }
+	}
+	// Base: single relations by plain scan.
+	for i := 0; i < n; i++ {
+		r.counters.PlansEvaluated++
+		info := &r.info[i]
+		var cost int64 = invalidCost
+		valid := false
+		kind := MarketScan
+		if r.b.Rels[i].Table.Local {
+			cost, valid, kind = 0, true, LocalScan
+		} else if info.plainValid {
+			cost, valid = info.plainCost, true
+		}
+		dp[1<<i] = dpEntry{
+			valid: valid,
+			cost:  cost,
+			rows:  info.estRows,
+			steps: []Step{{Rel: i, Kind: kind, BindJoin: -1, Remainder: info.remainder, EstTrans: cost, EstRows: info.estRows}},
+		}
+	}
+	for mask := 1; mask < 1<<n; mask++ {
+		if bits.OnesCount(uint(mask)) < 2 {
+			continue
+		}
+		best := dpEntry{}
+		for l := (mask - 1) & mask; l > 0; l = (l - 1) & mask {
+			rest := mask &^ l
+			left, right := dp[l], dp[rest]
+			if !left.valid || !right.valid {
+				continue
+			}
+			// Candidate 1: local join of the two subtrees.
+			r.counters.PlansEvaluated++
+			crossEdges := 0
+			sel := 1.0
+			for e, j := range r.b.Joins {
+				if (l&(1<<j.L) != 0 && rest&(1<<j.R) != 0) || (l&(1<<j.R) != 0 && rest&(1<<j.L) != 0) {
+					crossEdges++
+					sel *= r.joinSelectivity([]int{e})
+				}
+			}
+			rows := left.rows * right.rows * sel
+			cost := left.cost + right.cost
+			if !best.valid || cost < best.cost {
+				steps := make([]Step, 0, len(left.steps)+len(right.steps))
+				steps = append(steps, left.steps...)
+				steps = append(steps, right.steps...)
+				r.attachJoins(steps, len(left.steps))
+				best = dpEntry{valid: true, cost: cost, rows: rows, steps: steps}
+			}
+			// Candidate 2: bind join when the right side is one relation.
+			if bits.OnesCount(uint(rest)) == 1 {
+				i := bits.TrailingZeros(uint(rest))
+				edges := r.edgesBetween(i, inMask(l))
+				for _, c := range r.accessCandidates(i, left.rows, edges) {
+					if c.kind != MarketBind {
+						continue
+					}
+					r.counters.PlansEvaluated++
+					total := left.cost + c.cost
+					if best.valid && total >= best.cost {
+						continue
+					}
+					rows := left.rows * r.info[i].estRows * r.joinSelectivity(edges)
+					steps := make([]Step, len(left.steps), len(left.steps)+1)
+					copy(steps, left.steps)
+					steps = append(steps, Step{Rel: i, Kind: MarketBind, BindJoin: c.bindJoin, Joins: edges, Remainder: r.info[i].remainder, EstTrans: c.cost, EstRows: r.info[i].estRows})
+					best = dpEntry{valid: true, cost: total, rows: rows, steps: steps}
+				}
+			}
+		}
+		dp[mask] = best
+	}
+	final := dp[1<<n-1]
+	if !final.valid {
+		return nil, fmt.Errorf("no valid plan: a bound attribute cannot be satisfied")
+	}
+	return &Plan{Steps: final.steps, EstTrans: final.cost, EstRows: final.rows}, nil
+}
+
+// attachJoins recomputes, for a linearised step list, the join edges each
+// step applies against its prefix (used after concatenating subtrees).
+func (r *optRun) attachJoins(steps []Step, from int) {
+	placed := make(map[int]bool)
+	for k := range steps {
+		if k >= from {
+			steps[k].Joins = r.edgesBetween(steps[k].Rel, func(rel int) bool { return placed[rel] })
+		}
+		placed[steps[k].Rel] = true
+	}
+}

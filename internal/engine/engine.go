@@ -1,0 +1,738 @@
+// Package engine executes PayLess plans (paper §3, steps 4–9): it issues
+// the plan's RESTful calls through a market.Caller, records every call and
+// its result in the semantic store, feeds row counts back to the statistics,
+// materialises bind joins one call per distinct binding value, and offloads
+// joins, residual predicates, grouping and ordering to the local DBMS.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"payless/internal/catalog"
+	"payless/internal/core"
+	"payless/internal/market"
+	"payless/internal/region"
+	"payless/internal/rewrite"
+	"payless/internal/semstore"
+	"payless/internal/sqlparse"
+	"payless/internal/stats"
+	"payless/internal/storage"
+	"payless/internal/value"
+)
+
+// Report accumulates what one query execution actually cost.
+type Report struct {
+	Calls        int64
+	Records      int64
+	Transactions int64
+	Price        float64
+}
+
+// Add folds another report into r.
+func (r *Report) Add(o Report) {
+	r.Calls += o.Calls
+	r.Records += o.Records
+	r.Transactions += o.Transactions
+	r.Price += o.Price
+}
+
+// Engine executes optimized plans.
+type Engine struct {
+	Catalog *catalog.Catalog
+	// Store is the semantic store; nil disables storing (and SQR fetching).
+	Store *semstore.Store
+	// Stats receives execution feedback; may be nil.
+	Stats stats.Estimator
+	// Caller issues the RESTful calls.
+	Caller market.Caller
+	// Options mirrors the optimizer's toggles (SQR, consistency window).
+	Options core.Options
+	// Now stamps semantic-store entries; nil means time.Now.
+	Now func() time.Time
+}
+
+func (e *Engine) now() time.Time {
+	if e.Now != nil {
+		return e.Now()
+	}
+	return time.Now()
+}
+
+// Execute runs the plan and returns the final result relation plus the
+// market cost actually incurred.
+func (e *Engine) Execute(plan *core.Plan) (storage.Relation, Report, error) {
+	var report Report
+	b := plan.Bound
+	var cur storage.Relation
+	started := false
+	for _, step := range plan.Steps {
+		rel := b.Rels[step.Rel]
+		fetched, err := e.fetch(rel, step, cur, b, &report)
+		if err != nil {
+			return storage.Relation{}, report, err
+		}
+		fetched = applyResidual(fetched, rel)
+		fetched.Schema = qualify(rel.Alias(), fetched.Schema)
+		if !started {
+			cur = fetched
+			started = true
+			continue
+		}
+		lc, rc, err := joinColumns(b, step, cur.Schema, fetched.Schema)
+		if err != nil {
+			return storage.Relation{}, report, err
+		}
+		cur = storage.HashJoin(cur, fetched, lc, rc)
+	}
+	if !started {
+		return storage.Relation{}, report, fmt.Errorf("plan has no steps")
+	}
+	cur, err := applyCrossResidual(cur, b)
+	if err != nil {
+		return storage.Relation{}, report, err
+	}
+	out, err := project(cur, b)
+	if err != nil {
+		return storage.Relation{}, report, err
+	}
+	return out, report, nil
+}
+
+// fetch obtains the rows of one relation according to its access path.
+func (e *Engine) fetch(rel *core.Rel, step core.Step, prefix storage.Relation, b *core.BoundQuery, report *Report) (storage.Relation, error) {
+	switch step.Kind {
+	case core.LocalScan:
+		if rel.Table.Local {
+			return e.localScan(rel)
+		}
+		return e.storedScan(rel)
+	case core.MarketScan:
+		return e.marketScan(rel, report)
+	case core.MarketBind:
+		return e.bindScan(rel, step, prefix, b, report)
+	default:
+		return storage.Relation{}, fmt.Errorf("unknown access kind %v", step.Kind)
+	}
+}
+
+// localScan reads a local DBMS table and applies the pushable predicates.
+func (e *Engine) localScan(rel *core.Rel) (storage.Relation, error) {
+	if e.Store == nil {
+		return storage.Relation{}, fmt.Errorf("no local DBMS for table %s", rel.Table.Name)
+	}
+	tbl, ok := e.Store.DB().Lookup(rel.Table.Name)
+	if !ok {
+		return storage.Relation{}, fmt.Errorf("local table %s not loaded", rel.Table.Name)
+	}
+	relData := tbl.Relation()
+	meta := rel.Table
+	q := rel.Query
+	return relData.Select(func(row value.Row) bool {
+		return catalog.MatchesRow(meta, q, row)
+	}), nil
+}
+
+// storedScan serves a fully covered market relation from the semantic store.
+func (e *Engine) storedScan(rel *core.Rel) (storage.Relation, error) {
+	if e.Store == nil {
+		return storage.Relation{}, fmt.Errorf("no semantic store for covered table %s", rel.Table.Name)
+	}
+	out := storage.Relation{Schema: rel.Table.Schema.Clone()}
+	for _, ab := range rel.AccessBoxes() {
+		got, err := e.Store.RowsIn(rel.Table, ab)
+		if err != nil {
+			return storage.Relation{}, err
+		}
+		out.Rows = append(out.Rows, got.Rows...)
+	}
+	return out, nil
+}
+
+// marketScan fetches a relation's remainder from the market. With SQR the
+// remainder boxes are recomputed against the current store state; without
+// SQR the full access query is sent as-is.
+func (e *Engine) marketScan(rel *core.Rel, report *Report) (storage.Relation, error) {
+	out := storage.Relation{Schema: rel.Table.Schema.Clone()}
+	for _, ab := range rel.AccessBoxes() {
+		if e.Options.DisableSQR || e.Store == nil {
+			q, err := catalog.QueryForBox(rel.Table, ab)
+			if err != nil {
+				return storage.Relation{}, err
+			}
+			res, err := e.Caller.Call(q)
+			if err != nil {
+				return storage.Relation{}, err
+			}
+			e.account(report, res)
+			e.feedback(rel.Table, ab, int64(res.Records))
+			out.Rows = append(out.Rows, res.Rows...)
+			continue
+		}
+		if err := e.fetchRemainder(rel.Table, ab, report); err != nil {
+			return storage.Relation{}, err
+		}
+		got, err := e.Store.RowsIn(rel.Table, ab)
+		if err != nil {
+			return storage.Relation{}, err
+		}
+		out.Rows = append(out.Rows, got.Rows...)
+	}
+	return out, nil
+}
+
+// fetchRemainder issues the remainder queries needed to make box fully
+// covered, recording every result.
+func (e *Engine) fetchRemainder(meta *catalog.Table, box region.Box, report *Report) error {
+	covered := e.Store.Boxes(meta.Name, e.Options.Since)
+	cfg := core.RewriteConfig(meta, &e.Options)
+	plan := rewrite.Remainders(box, covered, cfg, e.estimator(meta.Name))
+	for _, rb := range plan.Boxes {
+		q, err := catalog.QueryForBox(meta, rb)
+		if err != nil {
+			return err
+		}
+		res, err := e.Caller.Call(q)
+		if err != nil {
+			return err
+		}
+		e.account(report, res)
+		e.feedback(meta, rb, int64(res.Records))
+		if err := e.Store.Record(meta, rb, res.Rows, e.now()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bindScan accesses a relation one call per distinct binding value flowing
+// from the prefix (the paper's bind join, Fig. 1c).
+func (e *Engine) bindScan(rel *core.Rel, step core.Step, prefix storage.Relation, b *core.BoundQuery, report *Report) (storage.Relation, error) {
+	if step.BindJoin < 0 || step.BindJoin >= len(b.Joins) {
+		return storage.Relation{}, fmt.Errorf("bind join index out of range")
+	}
+	j := b.Joins[step.BindJoin]
+	var myAttr, otherAttr string
+	var other int
+	if j.L == step.Rel {
+		myAttr, otherAttr, other = j.LAttr, j.RAttr, j.R
+	} else {
+		myAttr, otherAttr, other = j.RAttr, j.LAttr, j.L
+	}
+	srcCol := prefixColumn(prefix.Schema, b.Rels[other].Alias(), otherAttr)
+	if srcCol < 0 {
+		return storage.Relation{}, fmt.Errorf("binding column %s.%s not in prefix", b.Rels[other].Alias(), otherAttr)
+	}
+	bindings := prefix.DistinctValues(srcCol)
+
+	attr, ok := rel.Table.Attr(myAttr)
+	if !ok {
+		return storage.Relation{}, fmt.Errorf("table %s has no attribute %s", rel.Table.Name, myAttr)
+	}
+	dim := bindDim(rel.Table, myAttr)
+	if dim < 0 {
+		return storage.Relation{}, fmt.Errorf("attribute %s.%s is not queryable", rel.Table.Name, myAttr)
+	}
+
+	// Map binding values onto valid coordinates inside the relation's box.
+	// Values outside the attribute's domain or the relation's own predicate
+	// range are skipped: the join would reject their rows anyway.
+	var coords []int64
+	valueOf := make(map[int64]value.Value)
+	for _, v := range bindings {
+		nv := normalizeBinding(attr, v)
+		coord, err := attr.Coord(nv)
+		if err != nil {
+			continue
+		}
+		if _, ok := region.Point(coord).Intersect(rel.Box.Dims[dim]); !ok {
+			continue
+		}
+		if _, dup := valueOf[coord]; dup {
+			continue
+		}
+		valueOf[coord] = nv
+		coords = append(coords, coord)
+	}
+	sort.Slice(coords, func(i, j int) bool { return coords[i] < coords[j] })
+
+	out := storage.Relation{Schema: rel.Table.Schema.Clone()}
+	// pointBoxesOf intersects the binding coordinate with every access box
+	// (IN predicates may split the relation's access region).
+	pointBoxesOf := func(coord int64) []region.Box {
+		var boxes []region.Box
+		for _, ab := range rel.AccessBoxes() {
+			iv, ok := region.Point(coord).Intersect(ab.Dims[dim])
+			if !ok {
+				continue
+			}
+			b := ab.Clone()
+			b.Dims[dim] = iv
+			boxes = append(boxes, b)
+		}
+		return boxes
+	}
+
+	if e.Options.DisableSQR || e.Store == nil {
+		for _, coord := range coords {
+			for _, pb := range pointBoxesOf(coord) {
+				q, err := catalog.QueryForBox(rel.Table, pb)
+				if err != nil {
+					return storage.Relation{}, err
+				}
+				res, err := e.Caller.Call(q)
+				if err != nil {
+					return storage.Relation{}, err
+				}
+				e.account(report, res)
+				e.feedback(rel.Table, pb, int64(res.Records))
+				out.Rows = append(out.Rows, res.Rows...)
+			}
+		}
+		return out, nil
+	}
+
+	// With SQR, adjacent binding values may be coalesced into a single
+	// range call when the merged box is estimated cheaper than per-value
+	// calls — the paper's Fig. 9 bounding box B2 spanning known values.
+	// Categorical bind attributes cannot express ranges (Fig. 8).
+	groups := e.coalesceBindings(rel, attr, dim, coords)
+	for _, g := range groups {
+		if err := e.fetchRemainder(rel.Table, g, report); err != nil {
+			return storage.Relation{}, err
+		}
+	}
+	for _, coord := range coords {
+		for _, pb := range pointBoxesOf(coord) {
+			got, err := e.Store.RowsIn(rel.Table, pb)
+			if err != nil {
+				return storage.Relation{}, err
+			}
+			out.Rows = append(out.Rows, got.Rows...)
+		}
+	}
+	return out, nil
+}
+
+// coalesceBindings groups sorted binding coordinates into call boxes.
+// Only runs of consecutive coordinates may merge (the paper's Fig. 9 box B2
+// spans known values): merging across gaps would bet the bill on estimates
+// for unknown in-between values. Within a consecutive run the merge still
+// has to be estimated no more expensive than the per-value calls.
+func (e *Engine) coalesceBindings(rel *core.Rel, attr catalog.Attribute, dim int, coords []int64) []region.Box {
+	boxFor := func(lo, hi int64) region.Box {
+		b := rel.Box.Clone()
+		b.Dims[dim] = region.Interval{Lo: lo, Hi: hi + 1}
+		return b
+	}
+	if attr.Class == catalog.CategoricalAttr || e.Stats == nil {
+		out := make([]region.Box, 0, len(coords))
+		for _, c := range coords {
+			out = append(out, boxFor(c, c))
+		}
+		return out
+	}
+	t := e.Options.TuplesPerTransaction[rel.Table.Dataset]
+	if t <= 0 {
+		t = e.Options.DefaultTuplesPerTransaction
+	}
+	if t <= 0 {
+		t = 100
+	}
+	price := func(b region.Box) int64 {
+		rows := e.Stats.Estimate(rel.Table.Name, b)
+		if rows <= 0 {
+			return 0
+		}
+		return int64((rows + float64(t) - 1) / float64(t))
+	}
+	var out []region.Box
+	i := 0
+	for i < len(coords) {
+		lo, hi := coords[i], coords[i]
+		cost := price(boxFor(lo, hi))
+		j := i + 1
+		for j < len(coords) {
+			if coords[j] != hi+1 {
+				break // non-consecutive: unknown values in the gap
+			}
+			mergedCost := price(boxFor(lo, coords[j]))
+			nextCost := price(boxFor(coords[j], coords[j]))
+			if mergedCost > cost+nextCost {
+				break
+			}
+			hi = coords[j]
+			cost = mergedCost
+			j++
+		}
+		out = append(out, boxFor(lo, hi))
+		i = j
+	}
+	return out
+}
+
+// normalizeBinding coerces a binding value to the attribute's kind (e.g. an
+// Int flowing into an Int attribute stays put; a Float joining an Int
+// attribute truncates — join keys are normalised the same way).
+func normalizeBinding(a catalog.Attribute, v value.Value) value.Value {
+	if a.Type == value.Int && v.K == value.Float {
+		return value.NewInt(int64(v.F))
+	}
+	return v
+}
+
+// bindDim returns the box-dimension index of the named attribute.
+func bindDim(t *catalog.Table, attr string) int {
+	for i, a := range t.QueryableAttrs() {
+		if strings.EqualFold(a.Name, attr) {
+			return i
+		}
+	}
+	return -1
+}
+
+func (e *Engine) account(report *Report, res market.Result) {
+	report.Calls++
+	report.Records += int64(res.Records)
+	report.Transactions += res.Transactions
+	report.Price += res.Price
+}
+
+func (e *Engine) feedback(meta *catalog.Table, box region.Box, n int64) {
+	if e.Stats != nil {
+		e.Stats.Feedback(meta.Name, box, n)
+	}
+}
+
+func (e *Engine) estimator(table string) func(region.Box) float64 {
+	if e.Stats == nil {
+		return func(region.Box) float64 { return 0 }
+	}
+	return func(b region.Box) float64 { return e.Stats.Estimate(table, b) }
+}
+
+// applyResidual filters fetched rows by the relation's non-pushable
+// constant predicates.
+func applyResidual(rel storage.Relation, r *core.Rel) storage.Relation {
+	if len(r.Residual) == 0 {
+		return rel
+	}
+	return rel.Select(func(row value.Row) bool {
+		for _, cond := range r.Residual {
+			idx := rel.Schema.IndexOf(cond.Left.Column)
+			if idx < 0 {
+				return false
+			}
+			if cond.IsIn() {
+				hit := false
+				for _, v := range cond.InVals {
+					if row[idx].Equal(v) {
+						hit = true
+						break
+					}
+				}
+				if !hit {
+					return false
+				}
+				continue
+			}
+			if !evalCompare(row[idx], cond.Op, *cond.RightVal) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func evalCompare(v value.Value, op sqlparse.CompareOp, rhs value.Value) bool {
+	cmp := v.Compare(rhs)
+	switch op {
+	case sqlparse.OpEq:
+		return cmp == 0
+	case sqlparse.OpNe:
+		return cmp != 0
+	case sqlparse.OpLt:
+		return cmp < 0
+	case sqlparse.OpLe:
+		return cmp <= 0
+	case sqlparse.OpGt:
+		return cmp > 0
+	case sqlparse.OpGe:
+		return cmp >= 0
+	default:
+		return false
+	}
+}
+
+// qualify prefixes every column with "alias." for unambiguous joins.
+func qualify(alias string, schema value.Schema) value.Schema {
+	out := make(value.Schema, len(schema))
+	for i, c := range schema {
+		out[i] = value.Column{Name: alias + "." + c.Name, Type: c.Type}
+	}
+	return out
+}
+
+// prefixColumn finds "alias.attr" in a qualified schema.
+func prefixColumn(schema value.Schema, alias, attr string) int {
+	return schema.IndexOf(alias + "." + attr)
+}
+
+// joinColumns maps the step's join edges onto column index pairs between
+// the prefix schema and the newly fetched relation's schema.
+func joinColumns(b *core.BoundQuery, step core.Step, prefixSchema, newSchema value.Schema) (lc, rc []int, err error) {
+	for _, eIdx := range step.Joins {
+		j := b.Joins[eIdx]
+		var prefixRel, newRel int
+		var prefixAttr, newAttr string
+		if j.L == step.Rel {
+			newRel, newAttr = j.L, j.LAttr
+			prefixRel, prefixAttr = j.R, j.RAttr
+		} else {
+			newRel, newAttr = j.R, j.RAttr
+			prefixRel, prefixAttr = j.L, j.LAttr
+		}
+		pc := prefixColumn(prefixSchema, b.Rels[prefixRel].Alias(), prefixAttr)
+		nc := prefixColumn(newSchema, b.Rels[newRel].Alias(), newAttr)
+		if pc < 0 || nc < 0 {
+			return nil, nil, fmt.Errorf("join columns not found for edge %d", eIdx)
+		}
+		lc = append(lc, pc)
+		rc = append(rc, nc)
+	}
+	return lc, rc, nil
+}
+
+// applyCrossResidual evaluates non-equi column-to-column conditions on the
+// joined relation.
+func applyCrossResidual(rel storage.Relation, b *core.BoundQuery) (storage.Relation, error) {
+	if len(b.CrossResidual) == 0 {
+		return rel, nil
+	}
+	type pair struct {
+		l, r int
+		op   sqlparse.CompareOp
+	}
+	var pairs []pair
+	for _, cond := range b.CrossResidual {
+		li, err := resolveQualified(rel.Schema, b, cond.Left)
+		if err != nil {
+			return storage.Relation{}, err
+		}
+		ri, err := resolveQualified(rel.Schema, b, *cond.RightCol)
+		if err != nil {
+			return storage.Relation{}, err
+		}
+		pairs = append(pairs, pair{l: li, r: ri, op: cond.Op})
+	}
+	return rel.Select(func(row value.Row) bool {
+		for _, p := range pairs {
+			if !evalCompare(row[p.l], p.op, row[p.r]) {
+				return false
+			}
+		}
+		return true
+	}), nil
+}
+
+// resolveQualified finds a column reference in a qualified joined schema.
+func resolveQualified(schema value.Schema, b *core.BoundQuery, ref sqlparse.ColRef) (int, error) {
+	if ref.Table != "" {
+		idx := schema.IndexOf(ref.Table + "." + ref.Column)
+		if idx < 0 {
+			return 0, fmt.Errorf("column %s not found", ref)
+		}
+		return idx, nil
+	}
+	found := -1
+	suffix := "." + strings.ToLower(ref.Column)
+	for i, c := range schema {
+		if strings.HasSuffix(strings.ToLower(c.Name), suffix) {
+			if found >= 0 {
+				return 0, fmt.Errorf("ambiguous column %s", ref)
+			}
+			found = i
+		}
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("column %s not found", ref)
+	}
+	return found, nil
+}
+
+// project applies the SELECT list: aggregation with GROUP BY, or plain
+// projection, then ORDER BY and LIMIT.
+func project(rel storage.Relation, b *core.BoundQuery) (storage.Relation, error) {
+	q := b.Query
+	var out storage.Relation
+	var err error
+	if q.HasAggregates() {
+		var groupIdx []int
+		for _, g := range q.GroupBy {
+			idx, err := resolveQualified(rel.Schema, b, g)
+			if err != nil {
+				return storage.Relation{}, err
+			}
+			groupIdx = append(groupIdx, idx)
+		}
+		var aggs []storage.AggSpec
+		for _, item := range q.Select {
+			if item.Agg == sqlparse.AggNone {
+				continue
+			}
+			// Name the output column by its alias or its SELECT-list text,
+			// so HAVING and ORDER BY can address it.
+			spec := storage.AggSpec{Col: -1, As: item.Alias}
+			if spec.As == "" {
+				spec.As = item.String()
+			}
+			switch item.Agg {
+			case sqlparse.AggCount:
+				spec.Func = storage.Count
+			case sqlparse.AggSum:
+				spec.Func = storage.Sum
+			case sqlparse.AggAvg:
+				spec.Func = storage.Avg
+			case sqlparse.AggMin:
+				spec.Func = storage.Min
+			case sqlparse.AggMax:
+				spec.Func = storage.Max
+			}
+			if !item.AggStar {
+				idx, err := resolveQualified(rel.Schema, b, item.Col)
+				if err != nil {
+					return storage.Relation{}, err
+				}
+				spec.Col = idx
+			}
+			aggs = append(aggs, spec)
+		}
+		// Non-aggregate select items must be group-by columns; the grouped
+		// output carries them first, in GROUP BY order.
+		out = storage.Aggregate(rel, groupIdx, aggs)
+		// Rename group columns to their query-text form (e.g. "City"
+		// instead of the internal qualified "Station.City").
+		for i, g := range q.GroupBy {
+			out.Schema[i].Name = g.String()
+		}
+		if len(q.Having) > 0 {
+			out, err = applyHaving(out, q.Having)
+			if err != nil {
+				return storage.Relation{}, err
+			}
+		}
+	} else {
+		if len(q.Having) > 0 {
+			return storage.Relation{}, fmt.Errorf("HAVING requires aggregation")
+		}
+		var idx []int
+		star := false
+		for _, item := range q.Select {
+			if item.Star {
+				star = true
+				break
+			}
+		}
+		if star {
+			// SELECT * output order follows the FROM clause, not the join
+			// order the optimizer happened to choose.
+			var starIdx []int
+			for _, r := range b.Rels {
+				prefix := strings.ToLower(r.Alias()) + "."
+				for i, c := range rel.Schema {
+					if strings.HasPrefix(strings.ToLower(c.Name), prefix) {
+						starIdx = append(starIdx, i)
+					}
+				}
+			}
+			out = rel.Project(starIdx)
+		} else {
+			for _, item := range q.Select {
+				i, err := resolveQualified(rel.Schema, b, item.Col)
+				if err != nil {
+					return storage.Relation{}, err
+				}
+				idx = append(idx, i)
+			}
+			out = rel.Project(idx)
+			for i, item := range q.Select {
+				if item.Alias != "" {
+					out.Schema[i].Name = item.Alias
+				}
+			}
+		}
+		if q.Distinct {
+			out = out.Distinct()
+		}
+	}
+	if len(q.OrderBy) > 0 {
+		var cols []int
+		var desc []bool
+		for _, o := range q.OrderBy {
+			idx := out.Schema.IndexOf(o.Col.Column)
+			if idx < 0 {
+				if i, err := resolveQualified(out.Schema, b, o.Col); err == nil {
+					idx = i
+				} else {
+					return storage.Relation{}, fmt.Errorf("ORDER BY column %s not in output", o.Col)
+				}
+			}
+			cols = append(cols, idx)
+			desc = append(desc, o.Desc)
+		}
+		out = out.OrderBy(cols, desc)
+	}
+	if q.Limit >= 0 {
+		out = out.Limit(q.Limit)
+	}
+	return out, nil
+}
+
+// applyHaving filters aggregated groups by the HAVING conjuncts, matching
+// each condition to an output column by alias, SELECT-list text, or plain
+// column name.
+func applyHaving(rel storage.Relation, conds []sqlparse.HavingCond) (storage.Relation, error) {
+	type check struct {
+		col int
+		op  sqlparse.CompareOp
+		val value.Value
+	}
+	var checks []check
+	for _, h := range conds {
+		idx := havingColumn(rel.Schema, h.Item)
+		if idx < 0 {
+			return storage.Relation{}, fmt.Errorf("HAVING column %s not in output", h.Item)
+		}
+		checks = append(checks, check{col: idx, op: h.Op, val: h.Val})
+	}
+	return rel.Select(func(row value.Row) bool {
+		for _, c := range checks {
+			if !evalCompare(row[c.col], c.op, c.val) {
+				return false
+			}
+		}
+		return true
+	}), nil
+}
+
+// havingColumn locates the output column a HAVING item refers to.
+func havingColumn(schema value.Schema, item sqlparse.SelectItem) int {
+	if idx := schema.IndexOf(item.String()); idx >= 0 {
+		return idx
+	}
+	if item.Agg == sqlparse.AggNone {
+		// A plain column may appear qualified in the output.
+		if idx := schema.IndexOf(item.Col.Column); idx >= 0 {
+			return idx
+		}
+		suffix := "." + strings.ToLower(item.Col.Column)
+		for i, c := range schema {
+			if strings.HasSuffix(strings.ToLower(c.Name), suffix) {
+				return i
+			}
+		}
+	}
+	return -1
+}

@@ -1,0 +1,406 @@
+package market
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"payless/internal/catalog"
+	"payless/internal/value"
+)
+
+// Wire types shared by the HTTP server and the connector client. Rows travel
+// as arrays of strings; the schema's kind tags recover typed values.
+
+// WireColumn is the JSON form of one column with its access metadata.
+type WireColumn struct {
+	Name    string   `json:"name"`
+	Type    string   `json:"type"`
+	Binding string   `json:"binding"`
+	Class   string   `json:"class"`
+	Min     int64    `json:"min,omitempty"`
+	Max     int64    `json:"max,omitempty"`
+	Domain  []string `json:"domain,omitempty"`
+}
+
+// WireTable is the JSON form of a table's public metadata.
+type WireTable struct {
+	Dataset              string       `json:"dataset"`
+	Name                 string       `json:"name"`
+	Cardinality          int64        `json:"cardinality"`
+	PricePerTransaction  float64      `json:"pricePerTransaction"`
+	TuplesPerTransaction int          `json:"tuplesPerTransaction"`
+	Columns              []WireColumn `json:"columns"`
+}
+
+// WireResult is the JSON form of a call result. Large results are paged:
+// NextPage carries the (0-based) index of the next page when more rows
+// remain; the client re-issues the call with page=N to continue. Billing
+// happens once, on the first page.
+type WireResult struct {
+	Schema       []WireColumn `json:"schema"`
+	Rows         [][]string   `json:"rows"`
+	Records      int          `json:"records"`
+	Transactions int64        `json:"transactions"`
+	Price        float64      `json:"price"`
+	NextPage     int          `json:"nextPage,omitempty"`
+}
+
+// PageRows is the HTTP transport's page size in rows. It is a transport
+// detail independent of the billing page size t.
+const PageRows = 5000
+
+// WireError is the JSON error envelope.
+type WireError struct {
+	Error string `json:"error"`
+}
+
+func kindName(k value.Kind) string { return k.String() }
+
+// KindOf parses a wire type name back into a value kind.
+func KindOf(s string) (value.Kind, error) {
+	switch s {
+	case "null":
+		return value.Null, nil
+	case "int":
+		return value.Int, nil
+	case "float":
+		return value.Float, nil
+	case "string":
+		return value.String, nil
+	default:
+		return 0, fmt.Errorf("unknown type %q", s)
+	}
+}
+
+func bindingName(b catalog.BindingClass) string { return b.String() }
+
+// BindingOf parses a wire binding tag.
+func BindingOf(s string) (catalog.BindingClass, error) {
+	switch s {
+	case "f":
+		return catalog.Free, nil
+	case "b":
+		return catalog.Bound, nil
+	case "o":
+		return catalog.Output, nil
+	default:
+		return 0, fmt.Errorf("unknown binding %q", s)
+	}
+}
+
+func className(c catalog.AttrClass) string {
+	if c == catalog.CategoricalAttr {
+		return "categorical"
+	}
+	return "numeric"
+}
+
+// ClassOf parses a wire attribute class.
+func ClassOf(s string) (catalog.AttrClass, error) {
+	switch s {
+	case "numeric":
+		return catalog.NumericAttr, nil
+	case "categorical":
+		return catalog.CategoricalAttr, nil
+	default:
+		return 0, fmt.Errorf("unknown class %q", s)
+	}
+}
+
+// WireTableOf converts catalog metadata plus dataset pricing to wire form.
+func WireTableOf(t *catalog.Table, tuplesPerTransaction int) WireTable {
+	wt := WireTable{
+		Dataset:              t.Dataset,
+		Name:                 t.Name,
+		Cardinality:          t.Cardinality,
+		PricePerTransaction:  t.PricePerTransaction,
+		TuplesPerTransaction: tuplesPerTransaction,
+	}
+	for i, c := range t.Schema {
+		a := t.Attrs[i]
+		wc := WireColumn{
+			Name:    c.Name,
+			Type:    kindName(c.Type),
+			Binding: bindingName(a.Binding),
+			Class:   className(a.Class),
+			Min:     a.Min,
+			Max:     a.Max,
+		}
+		for _, d := range a.Domain {
+			wc.Domain = append(wc.Domain, d.String())
+		}
+		wt.Columns = append(wt.Columns, wc)
+	}
+	return wt
+}
+
+// TableOfWire converts wire metadata back into a catalog table.
+func TableOfWire(wt WireTable) (*catalog.Table, error) {
+	t := &catalog.Table{
+		Dataset:             wt.Dataset,
+		Name:                wt.Name,
+		Cardinality:         wt.Cardinality,
+		PricePerTransaction: wt.PricePerTransaction,
+	}
+	for _, wc := range wt.Columns {
+		k, err := KindOf(wc.Type)
+		if err != nil {
+			return nil, err
+		}
+		b, err := BindingOf(wc.Binding)
+		if err != nil {
+			return nil, err
+		}
+		cl, err := ClassOf(wc.Class)
+		if err != nil {
+			return nil, err
+		}
+		a := catalog.Attribute{Name: wc.Name, Type: k, Binding: b, Class: cl, Min: wc.Min, Max: wc.Max}
+		for _, d := range wc.Domain {
+			v, err := value.Parse(k, d)
+			if err != nil {
+				return nil, err
+			}
+			a.Domain = append(a.Domain, v)
+		}
+		t.Schema = append(t.Schema, value.Column{Name: wc.Name, Type: k})
+		t.Attrs = append(t.Attrs, a)
+	}
+	return t, nil
+}
+
+// WireResultOf encodes a Result.
+func WireResultOf(r Result) WireResult {
+	wr := WireResult{Records: r.Records, Transactions: r.Transactions, Price: r.Price, Rows: make([][]string, 0, len(r.Rows))}
+	for _, c := range r.Schema {
+		wr.Schema = append(wr.Schema, WireColumn{Name: c.Name, Type: kindName(c.Type)})
+	}
+	for _, row := range r.Rows {
+		enc := make([]string, len(row))
+		for i, v := range row {
+			enc[i] = v.String()
+		}
+		wr.Rows = append(wr.Rows, enc)
+	}
+	return wr
+}
+
+// ResultOfWire decodes a WireResult.
+func ResultOfWire(wr WireResult) (Result, error) {
+	r := Result{Records: wr.Records, Transactions: wr.Transactions, Price: wr.Price}
+	kinds := make([]value.Kind, len(wr.Schema))
+	for i, wc := range wr.Schema {
+		k, err := KindOf(wc.Type)
+		if err != nil {
+			return Result{}, err
+		}
+		kinds[i] = k
+		r.Schema = append(r.Schema, value.Column{Name: wc.Name, Type: k})
+	}
+	for _, enc := range wr.Rows {
+		if len(enc) != len(kinds) {
+			return Result{}, fmt.Errorf("row width %d, want %d", len(enc), len(kinds))
+		}
+		row := make(value.Row, len(enc))
+		for i, s := range enc {
+			v, err := value.Parse(kinds[i], s)
+			if err != nil {
+				return Result{}, err
+			}
+			row[i] = v
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	return r, nil
+}
+
+// AuthHeader carries the buyer's account key on every HTTP request.
+const AuthHeader = "X-Account-Key"
+
+// Handler returns the market's RESTful HTTP interface:
+//
+//	GET /v1/catalog                      — public table metadata
+//	GET /v1/meter                        — the calling account's meter
+//	GET /v1/data/{dataset}/{table}?...   — one RESTful data call
+//
+// Data-call predicates travel as query parameters: attr=value for equality,
+// attr.gte= / attr.lte= for inclusive numeric range ends.
+func (m *Market) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/catalog", func(w http.ResponseWriter, r *http.Request) {
+		if !m.authed(r) {
+			httpError(w, http.StatusUnauthorized, "unknown account key")
+			return
+		}
+		var out []WireTable
+		m.mu.RLock()
+		for _, ds := range m.datasets {
+			for _, t := range ds.tables {
+				t.mu.Lock()
+				wt := WireTableOf(t.meta, ds.TuplesPerTransaction)
+				t.mu.Unlock()
+				out = append(out, wt)
+			}
+		}
+		m.mu.RUnlock()
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("GET /v1/meter", func(w http.ResponseWriter, r *http.Request) {
+		key := r.Header.Get(AuthHeader)
+		mt, ok := m.MeterOf(key)
+		if !ok {
+			httpError(w, http.StatusUnauthorized, "unknown account key")
+			return
+		}
+		writeJSON(w, mt)
+	})
+	mux.HandleFunc("GET /v1/data/{dataset}/{table}", func(w http.ResponseWriter, r *http.Request) {
+		key := r.Header.Get(AuthHeader)
+		if _, ok := m.MeterOf(key); !ok {
+			httpError(w, http.StatusUnauthorized, "unknown account key")
+			return
+		}
+		dataset := r.PathValue("dataset")
+		if dataset == "-" {
+			// "-" lets clients address a table unique across datasets.
+			dataset = ""
+		}
+		table := r.PathValue("table")
+		_, mt, err := m.lookup(dataset, table)
+		if err != nil {
+			httpError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		q, err := decodeQuery(mt.meta, dataset, table, r)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		page := 0
+		if p := r.URL.Query().Get("page"); p != "" {
+			page, err = strconv.Atoi(p)
+			if err != nil || page < 0 {
+				httpError(w, http.StatusBadRequest, "invalid page")
+				return
+			}
+		}
+		var res Result
+		if page == 0 {
+			res, err = m.Execute(key, q)
+		} else {
+			// Follow-up pages re-run the scan without re-billing.
+			res, err = m.executeUnbilled(key, q)
+		}
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		wr := WireResultOf(res)
+		if page > 0 {
+			// The bill was charged on page 0.
+			wr.Transactions, wr.Price = 0, 0
+		}
+		start := page * PageRows
+		end := start + PageRows
+		if start > len(wr.Rows) {
+			start = len(wr.Rows)
+		}
+		if end > len(wr.Rows) {
+			end = len(wr.Rows)
+		}
+		paged := wr
+		paged.Rows = wr.Rows[start:end]
+		if end < len(wr.Rows) {
+			paged.NextPage = page + 1
+		}
+		writeJSON(w, paged)
+	})
+	return mux
+}
+
+// decodeQuery parses URL query parameters into an AccessQuery using the
+// table's schema to type equality values.
+func decodeQuery(meta *catalog.Table, dataset, table string, r *http.Request) (catalog.AccessQuery, error) {
+	q := catalog.AccessQuery{Dataset: dataset, Table: table}
+	type rangeAcc struct {
+		lo, hi *int64
+	}
+	ranges := make(map[string]*rangeAcc)
+	for key, vals := range r.URL.Query() {
+		if len(vals) == 0 || key == "page" {
+			// "page" is the transport's paging cursor, not a predicate.
+			continue
+		}
+		raw := vals[0]
+		if attr, found := cutSuffix(key, ".gte"); found {
+			n, err := strconv.ParseInt(raw, 10, 64)
+			if err != nil {
+				return q, fmt.Errorf("invalid %s: %v", key, err)
+			}
+			acc := ranges[attr]
+			if acc == nil {
+				acc = &rangeAcc{}
+				ranges[attr] = acc
+			}
+			acc.lo = &n
+			continue
+		}
+		if attr, found := cutSuffix(key, ".lte"); found {
+			n, err := strconv.ParseInt(raw, 10, 64)
+			if err != nil {
+				return q, fmt.Errorf("invalid %s: %v", key, err)
+			}
+			acc := ranges[attr]
+			if acc == nil {
+				acc = &rangeAcc{}
+				ranges[attr] = acc
+			}
+			acc.hi = &n
+			continue
+		}
+		a, ok := meta.Attr(key)
+		if !ok {
+			return q, fmt.Errorf("unknown attribute %q", key)
+		}
+		v, err := value.Parse(a.Type, raw)
+		if err != nil {
+			return q, fmt.Errorf("invalid value for %s: %v", key, err)
+		}
+		q.Preds = append(q.Preds, catalog.Pred{Attr: key, Eq: &v})
+	}
+	for attr, acc := range ranges {
+		if _, ok := meta.Attr(attr); !ok {
+			return q, fmt.Errorf("unknown attribute %q", attr)
+		}
+		q.Preds = append(q.Preds, catalog.Pred{Attr: attr, Lo: acc.lo, Hi: acc.hi})
+	}
+	return q, nil
+}
+
+func cutSuffix(s, suffix string) (string, bool) {
+	if len(s) > len(suffix) && s[len(s)-len(suffix):] == suffix {
+		return s[:len(s)-len(suffix)], true
+	}
+	return s, false
+}
+
+func (m *Market) authed(r *http.Request) bool {
+	_, ok := m.MeterOf(r.Header.Get(AuthHeader))
+	return ok
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers already sent; nothing more to do.
+		return
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(WireError{Error: msg})
+}

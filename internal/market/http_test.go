@@ -1,0 +1,206 @@
+package market
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+
+	"payless/internal/catalog"
+	"payless/internal/value"
+)
+
+func newTestServer(t *testing.T, n int) (*httptest.Server, *Market) {
+	t.Helper()
+	m := newTestMarket(t, n)
+	srv := httptest.NewServer(m.Handler())
+	t.Cleanup(srv.Close)
+	return srv, m
+}
+
+func get(t *testing.T, srv *httptest.Server, path, key string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, srv.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != "" {
+		req.Header.Set(AuthHeader, key)
+	}
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf [1 << 20]byte
+	nr, _ := resp.Body.Read(buf[:])
+	return resp, buf[:nr]
+}
+
+func TestHTTPDataCall(t *testing.T) {
+	srv, _ := newTestServer(t, 250)
+	resp, body := get(t, srv, "/v1/data/EHR/Pollution?Rank.gte=1&Rank.lte=1000", "key1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var wr WireResult
+	if err := json.Unmarshal(body, &wr); err != nil {
+		t.Fatal(err)
+	}
+	if wr.Records != 250 || wr.Transactions != 3 {
+		t.Errorf("records=%d trans=%d", wr.Records, wr.Transactions)
+	}
+	res, err := ResultOfWire(wr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 250 || res.Rows[0][1].K != value.Int {
+		t.Errorf("decoded rows: %d, kind %v", len(res.Rows), res.Rows[0][1].K)
+	}
+}
+
+func TestHTTPEqualityParam(t *testing.T) {
+	srv, _ := newTestServer(t, 40)
+	resp, body := get(t, srv, "/v1/data/EHR/Pollution?ZipCode="+url.QueryEscape("10001"), "key1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var wr WireResult
+	json.Unmarshal(body, &wr)
+	if wr.Records != 10 {
+		t.Errorf("records=%d, want 10", wr.Records)
+	}
+}
+
+func TestHTTPAuth(t *testing.T) {
+	srv, _ := newTestServer(t, 5)
+	for _, path := range []string{"/v1/catalog", "/v1/meter", "/v1/data/EHR/Pollution"} {
+		resp, _ := get(t, srv, path, "wrong")
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Errorf("%s with bad key: status %d", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	srv, _ := newTestServer(t, 5)
+	resp, _ := get(t, srv, "/v1/data/EHR/Ghost", "key1")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown table: status %d", resp.StatusCode)
+	}
+	resp, _ = get(t, srv, "/v1/data/EHR/Pollution?Ghost=1", "key1")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown attribute: status %d", resp.StatusCode)
+	}
+	resp, _ = get(t, srv, "/v1/data/EHR/Pollution?Rank.gte=abc", "key1")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad range value: status %d", resp.StatusCode)
+	}
+	resp, _ = get(t, srv, "/v1/data/EHR/Pollution?Ghost.lte=5", "key1")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown range attribute: status %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPCatalogAndMeter(t *testing.T) {
+	srv, m := newTestServer(t, 30)
+	resp, body := get(t, srv, "/v1/catalog", "key1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("catalog status %d", resp.StatusCode)
+	}
+	var tables []WireTable
+	if err := json.Unmarshal(body, &tables); err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || tables[0].Name != "Pollution" || tables[0].TuplesPerTransaction != 100 {
+		t.Errorf("catalog: %+v", tables)
+	}
+	ct, err := TableOfWire(tables[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.Cardinality != 30 || len(ct.Attrs) != 3 || ct.Attrs[0].Class != catalog.CategoricalAttr {
+		t.Errorf("decoded table: %+v", ct)
+	}
+
+	// Spend something, then read the meter.
+	m.Execute("key1", catalog.AccessQuery{Table: "Pollution"})
+	resp, body = get(t, srv, "/v1/meter", "key1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("meter status %d", resp.StatusCode)
+	}
+	var meter Meter
+	if err := json.Unmarshal(body, &meter); err != nil {
+		t.Fatal(err)
+	}
+	if meter.Calls != 1 || meter.Records != 30 {
+		t.Errorf("meter: %+v", meter)
+	}
+}
+
+func TestWireRoundTrips(t *testing.T) {
+	meta, rows := testTable(7)
+	wt := WireTableOf(meta, 100)
+	back, err := TableOfWire(wt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != meta.Name || len(back.Attrs) != len(meta.Attrs) {
+		t.Errorf("table round trip: %+v", back)
+	}
+	if back.Attrs[0].Domain[0].S != "10001" {
+		t.Errorf("domain round trip: %v", back.Attrs[0].Domain)
+	}
+
+	res := Result{Schema: meta.Schema, Rows: rows, Records: len(rows), Transactions: 1, Price: 1}
+	wr := WireResultOf(res)
+	res2, err := ResultOfWire(wr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Records != res.Records || len(res2.Rows) != len(res.Rows) {
+		t.Errorf("result round trip: %+v", res2)
+	}
+	for i := range res.Rows {
+		if !res.Rows[i].Equal(res2.Rows[i]) {
+			t.Errorf("row %d: %v vs %v", i, res.Rows[i], res2.Rows[i])
+		}
+	}
+}
+
+func TestWireDecodeErrors(t *testing.T) {
+	if _, err := KindOf("banana"); err == nil {
+		t.Error("KindOf invalid")
+	}
+	if _, err := BindingOf("z"); err == nil {
+		t.Error("BindingOf invalid")
+	}
+	if _, err := ClassOf("z"); err == nil {
+		t.Error("ClassOf invalid")
+	}
+	if _, err := ResultOfWire(WireResult{Schema: []WireColumn{{Name: "a", Type: "nope"}}}); err == nil {
+		t.Error("bad schema type")
+	}
+	if _, err := ResultOfWire(WireResult{
+		Schema: []WireColumn{{Name: "a", Type: "int"}},
+		Rows:   [][]string{{"1", "2"}},
+	}); err == nil {
+		t.Error("row width mismatch")
+	}
+	if _, err := ResultOfWire(WireResult{
+		Schema: []WireColumn{{Name: "a", Type: "int"}},
+		Rows:   [][]string{{"xyz"}},
+	}); err == nil {
+		t.Error("bad cell value")
+	}
+	if _, err := TableOfWire(WireTable{Columns: []WireColumn{{Name: "a", Type: "zzz"}}}); err == nil {
+		t.Error("bad column type")
+	}
+	if _, err := TableOfWire(WireTable{Columns: []WireColumn{{Name: "a", Type: "int", Binding: "x"}}}); err == nil {
+		t.Error("bad binding")
+	}
+	if _, err := TableOfWire(WireTable{Columns: []WireColumn{{Name: "a", Type: "int", Binding: "f", Class: "x"}}}); err == nil {
+		t.Error("bad class")
+	}
+}

@@ -1,0 +1,408 @@
+// Package market implements the cloud data market PayLess buys from
+// (paper §2): datasets of tables with owner-defined binding patterns,
+// a conjunctive point/range access interface (no disjunction), and
+// transaction-based pricing — a call returning r records costs
+// p * ceil(r / t) where t is the dataset's tuples-per-transaction page size
+// (§2.1, Eq. 1; Windows Azure Marketplace used t = 100).
+//
+// The market is the authoritative data owner. Buyers register an account
+// key, export the public catalog (schemas, binding patterns, domains,
+// cardinalities — the "basic statistics" of §2.1) and are billed per call on
+// a per-account meter. The package offers both an in-process Caller and, in
+// http.go, a RESTful net/http server speaking the same protocol as the
+// connector package's HTTP client.
+package market
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"payless/internal/catalog"
+	"payless/internal/value"
+)
+
+// Result is the outcome of one RESTful call.
+type Result struct {
+	Schema value.Schema
+	Rows   []value.Row
+	// Records is len(Rows); kept explicit because it is the billed quantity.
+	Records int
+	// Transactions billed for this call: ceil(Records / t), minimum 1 for a
+	// non-empty result, 0 for an empty one.
+	Transactions int64
+	// Price charged: Transactions * the dataset's price per transaction.
+	Price float64
+}
+
+// Caller abstracts "something that executes RESTful calls": the in-process
+// market, the HTTP connector, or PayLess's own semantic-store shortcut.
+type Caller interface {
+	Call(q catalog.AccessQuery) (Result, error)
+}
+
+// Meter accumulates a buyer account's spending.
+type Meter struct {
+	Calls        int64
+	Records      int64
+	Transactions int64
+	Price        float64
+}
+
+// Dataset groups tables sold under one price plan.
+type Dataset struct {
+	Name string
+	// TuplesPerTransaction is the page size t of Eq. 1.
+	TuplesPerTransaction int
+	// PricePerTransaction is the price p of Eq. 1.
+	PricePerTransaction float64
+	tables              map[string]*marketTable
+}
+
+type marketTable struct {
+	meta *catalog.Table
+	rows []value.Row
+	// eqIndex[attrName][valueKey] lists row indexes; built lazily for
+	// attributes used in equality predicates (bind joins hit these hard).
+	mu      sync.Mutex
+	eqIndex map[string]map[string][]int
+}
+
+// Market hosts datasets and bills registered accounts.
+type Market struct {
+	mu       sync.RWMutex
+	datasets map[string]*Dataset
+	accounts map[string]*Meter
+}
+
+// New returns an empty market.
+func New() *Market {
+	return &Market{datasets: make(map[string]*Dataset), accounts: make(map[string]*Meter)}
+}
+
+// AddDataset creates a dataset with the given pricing. t must be positive.
+func (m *Market) AddDataset(name string, tuplesPerTransaction int, pricePerTransaction float64) (*Dataset, error) {
+	if tuplesPerTransaction <= 0 {
+		return nil, fmt.Errorf("dataset %s: tuples per transaction must be positive", name)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.datasets[name]; dup {
+		return nil, fmt.Errorf("dataset %s already exists", name)
+	}
+	ds := &Dataset{
+		Name:                 name,
+		TuplesPerTransaction: tuplesPerTransaction,
+		PricePerTransaction:  pricePerTransaction,
+		tables:               make(map[string]*marketTable),
+	}
+	m.datasets[name] = ds
+	return ds, nil
+}
+
+// AddTable publishes a table in the dataset. The catalog metadata is cloned
+// with the authoritative cardinality and dataset name filled in.
+func (ds *Dataset) AddTable(meta *catalog.Table, rows []value.Row) error {
+	if _, dup := ds.tables[keyOf(meta.Name)]; dup {
+		return fmt.Errorf("table %s already exists in dataset %s", meta.Name, ds.Name)
+	}
+	for i, r := range rows {
+		if len(r) != len(meta.Schema) {
+			return fmt.Errorf("table %s row %d: width %d, want %d", meta.Name, i, len(r), len(meta.Schema))
+		}
+	}
+	mcopy := *meta
+	mcopy.Dataset = ds.Name
+	mcopy.Cardinality = int64(len(rows))
+	mcopy.Local = false
+	mcopy.PricePerTransaction = ds.PricePerTransaction
+	ds.tables[keyOf(meta.Name)] = &marketTable{meta: &mcopy, rows: rows, eqIndex: make(map[string]map[string][]int)}
+	return nil
+}
+
+// Append adds rows to a published table. Datasets in a data market are
+// append-only (§2.1: "New data could be added periodically, e.g. every
+// month"); the table's advertised cardinality grows and numeric attribute
+// domains widen to cover the new rows. Buyers holding an older catalog
+// snapshot keep working — the freshness of their answers is governed by
+// their consistency level (§4.3).
+func (ds *Dataset) Append(table string, rows []value.Row) error {
+	mt, ok := ds.tables[keyOf(table)]
+	if !ok {
+		return fmt.Errorf("unknown table %s in dataset %s", table, ds.Name)
+	}
+	for i, r := range rows {
+		if len(r) != len(mt.meta.Schema) {
+			return fmt.Errorf("table %s append row %d: width %d, want %d", table, i, len(r), len(mt.meta.Schema))
+		}
+	}
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	for _, r := range rows {
+		for i := range mt.meta.Attrs {
+			a := &mt.meta.Attrs[i]
+			if a.Binding == catalog.Output || a.Class != catalog.NumericAttr {
+				continue
+			}
+			v := r[i].AsInt()
+			if v < a.Min {
+				a.Min = v
+			}
+			if v > a.Max {
+				a.Max = v
+			}
+		}
+	}
+	mt.rows = append(mt.rows, rows...)
+	mt.meta.Cardinality = int64(len(mt.rows))
+	// Equality indexes are rebuilt lazily on next use.
+	mt.eqIndex = make(map[string]map[string][]int)
+	return nil
+}
+
+func keyOf(s string) string {
+	out := make([]byte, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		out[i] = c
+	}
+	return string(out)
+}
+
+// Dataset returns the named dataset for owner-side operations (appends).
+func (m *Market) Dataset(name string) (*Dataset, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	ds, ok := m.datasets[name]
+	return ds, ok
+}
+
+// RegisterAccount creates (or resets) a buyer account identified by key.
+func (m *Market) RegisterAccount(key string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.accounts[key] = &Meter{}
+}
+
+// MeterOf returns a snapshot of the account's spending.
+func (m *Market) MeterOf(key string) (Meter, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	mt, ok := m.accounts[key]
+	if !ok {
+		return Meter{}, false
+	}
+	return *mt, true
+}
+
+// lookup finds a table across datasets. Dataset may be empty, in which case
+// the table name must be unique across the market.
+func (m *Market) lookup(dataset, table string) (*Dataset, *marketTable, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if dataset != "" {
+		ds, ok := m.datasets[dataset]
+		if !ok {
+			return nil, nil, fmt.Errorf("unknown dataset %s", dataset)
+		}
+		t, ok := ds.tables[keyOf(table)]
+		if !ok {
+			return nil, nil, fmt.Errorf("unknown table %s in dataset %s", table, dataset)
+		}
+		return ds, t, nil
+	}
+	var foundDS *Dataset
+	var foundT *marketTable
+	for _, ds := range m.datasets {
+		if t, ok := ds.tables[keyOf(table)]; ok {
+			if foundT != nil {
+				return nil, nil, fmt.Errorf("table %s is ambiguous across datasets", table)
+			}
+			foundDS, foundT = ds, t
+		}
+	}
+	if foundT == nil {
+		return nil, nil, fmt.Errorf("unknown table %s", table)
+	}
+	return foundDS, foundT, nil
+}
+
+// ExportCatalog returns the public metadata of every table in the market —
+// what a buyer learns when registering (paper Fig. 2). Tables are sorted by
+// dataset then name for determinism.
+func (m *Market) ExportCatalog() []*catalog.Table {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []*catalog.Table
+	for _, ds := range m.datasets {
+		for _, t := range ds.tables {
+			t.mu.Lock()
+			c := *t.meta
+			t.mu.Unlock()
+			out = append(out, &c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dataset != out[j].Dataset {
+			return out[i].Dataset < out[j].Dataset
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Execute runs one RESTful call on behalf of the account, enforcing the
+// table's binding pattern and billing the meter. This is the market-side
+// entry point shared by the in-process caller and the HTTP server.
+func (m *Market) Execute(accountKey string, q catalog.AccessQuery) (Result, error) {
+	m.mu.RLock()
+	meter, authed := m.accounts[accountKey]
+	m.mu.RUnlock()
+	if !authed {
+		return Result{}, fmt.Errorf("unknown account key %q", accountKey)
+	}
+	ds, mt, err := m.lookup(q.Dataset, q.Table)
+	if err != nil {
+		return Result{}, err
+	}
+	// The per-table lock serialises scans against owner-side appends.
+	mt.mu.Lock()
+	if err := catalog.ValidateBinding(mt.meta, q); err != nil {
+		mt.mu.Unlock()
+		return Result{}, err
+	}
+	rows := mt.scan(q)
+	schema := mt.meta.Schema.Clone()
+	mt.mu.Unlock()
+	records := len(rows)
+	trans := int64(0)
+	if records > 0 {
+		trans = int64((records + ds.TuplesPerTransaction - 1) / ds.TuplesPerTransaction)
+	}
+	price := float64(trans) * ds.PricePerTransaction
+
+	m.mu.Lock()
+	meter.Calls++
+	meter.Records += int64(records)
+	meter.Transactions += trans
+	meter.Price += price
+	m.mu.Unlock()
+
+	return Result{
+		Schema:       schema,
+		Rows:         rows,
+		Records:      records,
+		Transactions: trans,
+		Price:        price,
+	}, nil
+}
+
+// scan returns the rows matching the call, using a lazily built equality
+// index when the call has an equality predicate. The caller holds the
+// table lock.
+func (mt *marketTable) scan(q catalog.AccessQuery) []value.Row {
+	// Pick the first equality predicate as the index key.
+	var idxAttr string
+	var idxVal value.Value
+	for _, p := range q.Preds {
+		if p.Eq != nil {
+			idxAttr = p.Attr
+			idxVal = *p.Eq
+			break
+		}
+	}
+	var candidates []int
+	if idxAttr != "" {
+		candidates = mt.indexLookup(idxAttr, idxVal)
+	}
+	var out []value.Row
+	if candidates != nil {
+		for _, i := range candidates {
+			if catalog.MatchesRow(mt.meta, q, mt.rows[i]) {
+				out = append(out, mt.rows[i])
+			}
+		}
+		return out
+	}
+	for _, r := range mt.rows {
+		if catalog.MatchesRow(mt.meta, q, r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// indexLookup returns candidate row indexes for attr == v, building the
+// index on first use. It returns nil (not empty) when the attribute cannot
+// be indexed, which signals "fall back to a full scan". The caller holds
+// the table lock.
+func (mt *marketTable) indexLookup(attr string, v value.Value) []int {
+	col := mt.meta.Schema.IndexOf(attr)
+	if col < 0 {
+		return nil
+	}
+	key := keyOf(attr)
+	idx, ok := mt.eqIndex[key]
+	if !ok {
+		idx = make(map[string][]int)
+		for i, r := range mt.rows {
+			k := r[col].String()
+			idx[k] = append(idx[k], i)
+		}
+		mt.eqIndex[key] = idx
+	}
+	hits := idx[v.String()]
+	if hits == nil {
+		hits = []int{}
+	}
+	return hits
+}
+
+// executeUnbilled re-runs a call's scan without touching the meter; the
+// HTTP transport uses it to serve follow-up pages of an already-billed
+// result.
+func (m *Market) executeUnbilled(accountKey string, q catalog.AccessQuery) (Result, error) {
+	m.mu.RLock()
+	_, authed := m.accounts[accountKey]
+	m.mu.RUnlock()
+	if !authed {
+		return Result{}, fmt.Errorf("unknown account key %q", accountKey)
+	}
+	ds, mt, err := m.lookup(q.Dataset, q.Table)
+	if err != nil {
+		return Result{}, err
+	}
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	if err := catalog.ValidateBinding(mt.meta, q); err != nil {
+		return Result{}, err
+	}
+	rows := mt.scan(q)
+	records := len(rows)
+	trans := int64(0)
+	if records > 0 {
+		trans = int64((records + ds.TuplesPerTransaction - 1) / ds.TuplesPerTransaction)
+	}
+	return Result{
+		Schema:       mt.meta.Schema.Clone(),
+		Rows:         rows,
+		Records:      records,
+		Transactions: trans,
+		Price:        float64(trans) * ds.PricePerTransaction,
+	}, nil
+}
+
+// AccountCaller binds a Market and an account key into a Caller — the
+// in-process transport used by tests and benchmarks.
+type AccountCaller struct {
+	Market *Market
+	Key    string
+}
+
+// Call implements Caller.
+func (a AccountCaller) Call(q catalog.AccessQuery) (Result, error) {
+	return a.Market.Execute(a.Key, q)
+}

@@ -1,0 +1,181 @@
+package semstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"payless/internal/catalog"
+	"payless/internal/region"
+	"payless/internal/value"
+)
+
+// The semantic store is the buyer's asset ledger: everything in it has been
+// paid for. Save/Load serialise it so an organisation keeps its purchases
+// across restarts instead of re-buying them (the paper §3: storage is cheap
+// precisely to "eschew retrieving redundant data from the data market").
+
+// persistFile is the on-disk JSON envelope.
+type persistFile struct {
+	Version int            `json:"version"`
+	Tables  []persistTable `json:"tables"`
+}
+
+type persistTable struct {
+	// Table is the market table name (without the local-DB prefix).
+	Table   string         `json:"table"`
+	Kinds   []string       `json:"kinds"`
+	Entries []persistEntry `json:"entries"`
+	Rows    [][]string     `json:"rows"`
+}
+
+type persistEntry struct {
+	Dims [][2]int64 `json:"dims"`
+	At   time.Time  `json:"at"`
+	Rows int64      `json:"rows"`
+}
+
+const persistVersion = 1
+
+// Save writes the store's full contents (stored calls and materialised
+// rows) as JSON.
+func (s *Store) Save(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := persistFile{Version: persistVersion}
+	for key, ts := range s.tables {
+		pt := persistTable{Table: strings.TrimPrefix(key, tablePrefix)}
+		for _, c := range ts.meta.Schema {
+			pt.Kinds = append(pt.Kinds, c.Type.String())
+		}
+		for _, e := range ts.entries {
+			pe := persistEntry{At: e.at, Rows: e.rows}
+			for _, iv := range e.box.Dims {
+				pe.Dims = append(pe.Dims, [2]int64{iv.Lo, iv.Hi})
+			}
+			pt.Entries = append(pt.Entries, pe)
+		}
+		for _, row := range ts.rows {
+			enc := make([]string, len(row))
+			for i, v := range row {
+				enc[i] = v.String()
+			}
+			pt.Rows = append(pt.Rows, enc)
+		}
+		out.Tables = append(out.Tables, pt)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// Load restores a saved store. lookup resolves table names to their catalog
+// metadata (needed to recompute row coordinates); tables unknown to the
+// catalog are skipped with an error. Load merges into the current store —
+// loading into a fresh store is the common case.
+func (s *Store) Load(r io.Reader, lookup func(table string) (*catalog.Table, bool)) error {
+	var in persistFile
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return fmt.Errorf("semstore: decode: %w", err)
+	}
+	if in.Version != persistVersion {
+		return fmt.Errorf("semstore: unsupported version %d", in.Version)
+	}
+	for _, pt := range in.Tables {
+		meta, ok := lookup(pt.Table)
+		if !ok {
+			return fmt.Errorf("semstore: table %s not in catalog", pt.Table)
+		}
+		if len(pt.Kinds) != len(meta.Schema) {
+			return fmt.Errorf("semstore: table %s: %d columns saved, catalog has %d",
+				pt.Table, len(pt.Kinds), len(meta.Schema))
+		}
+		kinds := make([]value.Kind, len(pt.Kinds))
+		for i, k := range pt.Kinds {
+			kind, err := kindOf(k)
+			if err != nil {
+				return fmt.Errorf("semstore: table %s: %w", pt.Table, err)
+			}
+			if meta.Schema[i].Type != kind {
+				return fmt.Errorf("semstore: table %s column %d: saved %s, catalog %s",
+					pt.Table, i, k, meta.Schema[i].Type)
+			}
+			kinds[i] = kind
+		}
+		rows := make([]value.Row, 0, len(pt.Rows))
+		for _, enc := range pt.Rows {
+			if len(enc) != len(kinds) {
+				return fmt.Errorf("semstore: table %s: row width %d, want %d", pt.Table, len(enc), len(kinds))
+			}
+			row := make(value.Row, len(enc))
+			for i, cell := range enc {
+				v, err := value.Parse(kinds[i], cell)
+				if err != nil {
+					return fmt.Errorf("semstore: table %s: %w", pt.Table, err)
+				}
+				row[i] = v
+			}
+			rows = append(rows, row)
+		}
+		if err := s.loadTable(meta, pt.Entries, rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadTable installs saved entries and rows for one table, bypassing the
+// per-call Record bookkeeping.
+func (s *Store) loadTable(meta *catalog.Table, entries []persistEntry, rows []value.Row) error {
+	tbl, err := s.db.Ensure(LocalTableName(meta.Name), meta.Schema)
+	if err != nil {
+		return err
+	}
+	if _, err := tbl.Insert(rows); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ts := s.tableFor(meta)
+	for _, pe := range entries {
+		dims := make([]region.Interval, len(pe.Dims))
+		for i, d := range pe.Dims {
+			dims[i] = region.Interval{Lo: d[0], Hi: d[1]}
+		}
+		ts.entries = append(ts.entries, entry{box: region.Box{Dims: dims}, at: pe.At, rows: pe.Rows})
+	}
+	for _, row := range rows {
+		k := row.Key()
+		if _, dup := ts.seen[k]; dup {
+			continue
+		}
+		rb, err := RowBox(meta, row)
+		if err != nil {
+			return err
+		}
+		cs := make([]int64, rb.D())
+		for i, iv := range rb.Dims {
+			cs[i] = iv.Lo
+		}
+		ts.seen[k] = struct{}{}
+		ts.rows = append(ts.rows, row.Clone())
+		ts.coords = append(ts.coords, cs)
+	}
+	return nil
+}
+
+func kindOf(s string) (value.Kind, error) {
+	switch s {
+	case "null":
+		return value.Null, nil
+	case "int":
+		return value.Int, nil
+	case "float":
+		return value.Float, nil
+	case "string":
+		return value.String, nil
+	default:
+		return 0, fmt.Errorf("unknown kind %q", s)
+	}
+}

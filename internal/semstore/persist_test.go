@@ -1,0 +1,114 @@
+package semstore
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"payless/internal/catalog"
+	"payless/internal/region"
+	"payless/internal/storage"
+	"payless/internal/value"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	meta := pollutionMeta()
+	s1 := New(storage.NewDB())
+	b1 := region.NewBox(region.Point(0), region.Interval{Lo: 1, Hi: 51})
+	b2 := region.NewBox(region.Point(1), region.Interval{Lo: 1, Hi: 101})
+	at := time.Date(2026, 7, 1, 12, 0, 0, 0, time.UTC)
+	if err := s1.Record(meta, b1, []value.Row{row("A", 10, 1.5)}, at); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Record(meta, b2, []value.Row{row("B", 99, 2.5)}, at.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := s1.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := New(storage.NewDB())
+	lookup := func(table string) (*catalog.Table, bool) {
+		if table == "Pollution" {
+			return meta, true
+		}
+		return nil, false
+	}
+	if err := s2.Load(bytes.NewReader(buf.Bytes()), lookup); err != nil {
+		t.Fatal(err)
+	}
+	if s2.EntryCount("Pollution") != 2 {
+		t.Errorf("entries after load: %d", s2.EntryCount("Pollution"))
+	}
+	if s2.StoredRowCount("Pollution") != 2 {
+		t.Errorf("rows after load: %d", s2.StoredRowCount("Pollution"))
+	}
+	// Coverage and timestamps survive: the old entry falls outside a window
+	// cut between the two timestamps.
+	if !s2.Covered("Pollution", b1, time.Time{}) {
+		t.Error("coverage lost in round trip")
+	}
+	if s2.Covered("Pollution", b1, at.Add(30*time.Minute)) {
+		t.Error("entry timestamp lost: windowed coverage should exclude b1")
+	}
+	if !s2.Covered("Pollution", b2, at.Add(30*time.Minute)) {
+		t.Error("fresh entry should satisfy the window after reload")
+	}
+	// Rows are queryable with correct coordinates.
+	got, err := s2.RowsIn(meta, b1)
+	if err != nil || got.Len() != 1 {
+		t.Errorf("RowsIn after load: %v %v", got.Len(), err)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	meta := pollutionMeta()
+	s := New(storage.NewDB())
+	lookup := func(table string) (*catalog.Table, bool) {
+		if table == "Pollution" {
+			return meta, true
+		}
+		return nil, false
+	}
+	cases := []string{
+		"not json",
+		`{"version":2}`,
+		`{"version":1,"tables":[{"table":"Ghost"}]}`,
+		`{"version":1,"tables":[{"table":"Pollution","kinds":["int"]}]}`,
+		`{"version":1,"tables":[{"table":"Pollution","kinds":["int","int","float"]}]}`,
+		`{"version":1,"tables":[{"table":"Pollution","kinds":["string","int","banana"]}]}`,
+		`{"version":1,"tables":[{"table":"Pollution","kinds":["string","int","float"],"rows":[["A"]]}]}`,
+		`{"version":1,"tables":[{"table":"Pollution","kinds":["string","int","float"],"rows":[["A","x","1"]]}]}`,
+		`{"version":1,"tables":[{"table":"Pollution","kinds":["string","int","float"],"rows":[["Z","1","1"]]}]}`,
+	}
+	for i, c := range cases {
+		if err := s.Load(strings.NewReader(c), lookup); err == nil {
+			t.Errorf("case %d should fail: %s", i, c)
+		}
+	}
+}
+
+func TestLoadMergesIntoExistingStore(t *testing.T) {
+	meta := pollutionMeta()
+	s1 := New(storage.NewDB())
+	b := region.NewBox(region.Point(0), region.Interval{Lo: 1, Hi: 11})
+	s1.Record(meta, b, []value.Row{row("A", 5, 0)}, time.Now())
+	var buf bytes.Buffer
+	if err := s1.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Load into a store that already holds a different region.
+	s2 := New(storage.NewDB())
+	other := region.NewBox(region.Point(2), region.Interval{Lo: 1, Hi: 11})
+	s2.Record(meta, other, []value.Row{row("C", 7, 0)}, time.Now())
+	lookup := func(string) (*catalog.Table, bool) { return meta, true }
+	if err := s2.Load(bytes.NewReader(buf.Bytes()), lookup); err != nil {
+		t.Fatal(err)
+	}
+	if s2.EntryCount("Pollution") != 2 || s2.StoredRowCount("Pollution") != 2 {
+		t.Errorf("merge: entries=%d rows=%d", s2.EntryCount("Pollution"), s2.StoredRowCount("Pollution"))
+	}
+}

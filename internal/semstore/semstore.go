@@ -1,0 +1,215 @@
+// Package semstore implements PayLess's semantic store (paper §3 step 5.3,
+// §4.2): every RESTful query issued to the data market is remembered as a
+// box over the table's queryable space, and its result rows are materialised
+// (deduplicated, never evicted — "we deliberately use cheap storage space to
+// store all intermediate results") in the buyer's local DBMS.
+//
+// The store answers the two questions semantic query rewriting needs:
+// which part of a prospective call's box is already covered (the remainder
+// region V of §4.2), and what rows does the store hold inside a box. Entries
+// are timestamped so the client's consistency level (§4.3) can restrict
+// reuse to results younger than a window.
+package semstore
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"payless/internal/catalog"
+	"payless/internal/region"
+	"payless/internal/storage"
+	"payless/internal/value"
+)
+
+// tablePrefix namespaces materialised market tables inside the local DBMS.
+const tablePrefix = "market_"
+
+// LocalTableName returns the DBMS table name holding the materialised rows
+// of the given market table.
+func LocalTableName(table string) string { return tablePrefix + table }
+
+type entry struct {
+	box region.Box
+	at  time.Time
+	// rows is the exact number of market rows inside box at fetch time;
+	// it gives the optimizer exact (not estimated) prices for covered space.
+	rows int64
+}
+
+type tableStore struct {
+	meta    *catalog.Table
+	entries []entry
+	// rows mirrors the deduplicated materialised rows with their queryable
+	// coordinates precomputed, so RowsIn is a cheap integer scan instead of
+	// re-deriving coordinates per call.
+	rows   []value.Row
+	coords [][]int64
+	seen   map[string]struct{}
+}
+
+// Store is the semantic store. It is safe for concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	db     *storage.DB
+	tables map[string]*tableStore
+}
+
+// New returns a semantic store materialising rows into db.
+func New(db *storage.DB) *Store {
+	return &Store{db: db, tables: make(map[string]*tableStore)}
+}
+
+// DB exposes the underlying local DBMS (PayLess offloads final query
+// processing to it).
+func (s *Store) DB() *storage.DB { return s.db }
+
+func (s *Store) tableFor(meta *catalog.Table) *tableStore {
+	key := LocalTableName(meta.Name)
+	ts, ok := s.tables[key]
+	if !ok {
+		ts = &tableStore{meta: meta, seen: make(map[string]struct{})}
+		s.tables[key] = ts
+	}
+	return ts
+}
+
+// Record stores the outcome of an executed call: its box, its exact row
+// count, and the rows themselves (deduplicated into the local DBMS).
+func (s *Store) Record(meta *catalog.Table, b region.Box, rows []value.Row, at time.Time) error {
+	if b.Empty() && len(rows) > 0 {
+		return fmt.Errorf("semstore: non-empty result for empty box on %s", meta.Name)
+	}
+	tbl, err := s.db.Ensure(LocalTableName(meta.Name), meta.Schema)
+	if err != nil {
+		return err
+	}
+	if _, err := tbl.Insert(rows); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ts := s.tableFor(meta)
+	ts.entries = append(ts.entries, entry{box: b.Clone(), at: at, rows: int64(len(rows))})
+	for _, row := range rows {
+		k := row.Key()
+		if _, dup := ts.seen[k]; dup {
+			continue
+		}
+		rb, err := RowBox(meta, row)
+		if err != nil {
+			return err
+		}
+		cs := make([]int64, rb.D())
+		for i, iv := range rb.Dims {
+			cs[i] = iv.Lo
+		}
+		ts.seen[k] = struct{}{}
+		ts.rows = append(ts.rows, row.Clone())
+		ts.coords = append(ts.coords, cs)
+	}
+	return nil
+}
+
+// Boxes returns the stored boxes of the table fetched at or after since.
+// A zero since returns everything.
+func (s *Store) Boxes(table string, since time.Time) []region.Box {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ts, ok := s.tables[LocalTableName(table)]
+	if !ok {
+		return nil
+	}
+	var out []region.Box
+	for _, e := range ts.entries {
+		if !since.IsZero() && e.at.Before(since) {
+			continue
+		}
+		out = append(out, e.box)
+	}
+	return out
+}
+
+// EntryCount returns how many calls have been recorded for the table.
+func (s *Store) EntryCount(table string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ts, ok := s.tables[LocalTableName(table)]
+	if !ok {
+		return 0
+	}
+	return len(ts.entries)
+}
+
+// Remainder returns the part of box q not covered by the table's stored
+// boxes fetched at or after since — the region V of §4.2, decomposed into
+// disjoint elementary boxes.
+func (s *Store) Remainder(table string, q region.Box, since time.Time) []region.Box {
+	return region.Subtract(q, s.Boxes(table, since))
+}
+
+// Covered reports whether box q is fully covered by stored results —
+// a zero-price relation in the sense of Theorem 2.
+func (s *Store) Covered(table string, q region.Box, since time.Time) bool {
+	return len(s.Remainder(table, q, since)) == 0
+}
+
+// RowBox maps a row of the table onto its point box in queryable space.
+func RowBox(meta *catalog.Table, row value.Row) (region.Box, error) {
+	qidx := meta.QueryableIdx()
+	qa := meta.QueryableAttrs()
+	dims := make([]region.Interval, len(qa))
+	for i, a := range qa {
+		c, err := a.Coord(row[qidx[i]])
+		if err != nil {
+			return region.Box{}, err
+		}
+		dims[i] = region.Point(c)
+	}
+	return region.Box{Dims: dims}, nil
+}
+
+// RowsIn returns the materialised rows of the table whose queryable
+// coordinates fall inside box q.
+func (s *Store) RowsIn(meta *catalog.Table, q region.Box) (storage.Relation, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := storage.Relation{Schema: meta.Schema.Clone()}
+	ts, ok := s.tables[LocalTableName(meta.Name)]
+	if !ok {
+		return out, nil
+	}
+	d := q.D()
+scan:
+	for i, cs := range ts.coords {
+		if len(cs) != d {
+			continue
+		}
+		for k := 0; k < d; k++ {
+			if !q.Dims[k].ContainsCoord(cs[k]) {
+				continue scan
+			}
+		}
+		out.Rows = append(out.Rows, ts.rows[i])
+	}
+	return out, nil
+}
+
+// CountIn returns the number of materialised rows inside box q. When q is
+// fully covered by stored boxes this is the exact market-side count.
+func (s *Store) CountIn(meta *catalog.Table, q region.Box) (int64, error) {
+	rel, err := s.RowsIn(meta, q)
+	if err != nil {
+		return 0, err
+	}
+	return int64(rel.Len()), nil
+}
+
+// StoredRowCount returns the total number of materialised rows for a table.
+func (s *Store) StoredRowCount(table string) int {
+	tbl, ok := s.db.Lookup(LocalTableName(table))
+	if !ok {
+		return 0
+	}
+	return tbl.Len()
+}

@@ -1,0 +1,168 @@
+package semstore
+
+import (
+	"testing"
+	"time"
+
+	"payless/internal/catalog"
+	"payless/internal/region"
+	"payless/internal/storage"
+	"payless/internal/value"
+)
+
+func pollutionMeta() *catalog.Table {
+	return &catalog.Table{
+		Dataset: "EHR",
+		Name:    "Pollution",
+		Schema: value.Schema{
+			{Name: "ZipCode", Type: value.String},
+			{Name: "Rank", Type: value.Int},
+			{Name: "Latitude", Type: value.Float},
+		},
+		Attrs: []catalog.Attribute{
+			{Name: "ZipCode", Type: value.String, Binding: catalog.Free, Class: catalog.CategoricalAttr,
+				Domain: []value.Value{value.NewString("A"), value.NewString("B"), value.NewString("C")}},
+			{Name: "Rank", Type: value.Int, Binding: catalog.Free, Class: catalog.NumericAttr, Min: 1, Max: 100},
+			{Name: "Latitude", Type: value.Float, Binding: catalog.Output},
+		},
+	}
+}
+
+func row(zip string, rank int64, lat float64) value.Row {
+	return value.Row{value.NewString(zip), value.NewInt(rank), value.NewFloat(lat)}
+}
+
+func TestRecordAndBoxes(t *testing.T) {
+	s := New(storage.NewDB())
+	meta := pollutionMeta()
+	b1 := region.NewBox(region.Point(0), region.Interval{Lo: 1, Hi: 51})
+	now := time.Now()
+	if err := s.Record(meta, b1, []value.Row{row("A", 10, 1), row("A", 20, 2)}, now); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Boxes("Pollution", time.Time{}); len(got) != 1 || !got[0].Equal(b1) {
+		t.Errorf("Boxes: %v", got)
+	}
+	if s.EntryCount("Pollution") != 1 || s.EntryCount("Ghost") != 0 {
+		t.Error("EntryCount")
+	}
+	if s.StoredRowCount("Pollution") != 2 || s.StoredRowCount("Ghost") != 0 {
+		t.Error("StoredRowCount")
+	}
+	if s.DB() == nil {
+		t.Error("DB accessor")
+	}
+}
+
+func TestRecordDedup(t *testing.T) {
+	s := New(storage.NewDB())
+	meta := pollutionMeta()
+	b := region.NewBox(region.Interval{Lo: 0, Hi: 3}, region.Interval{Lo: 1, Hi: 101})
+	rows := []value.Row{row("A", 10, 1), row("B", 20, 2)}
+	s.Record(meta, b, rows, time.Now())
+	s.Record(meta, b, rows, time.Now())
+	if got := s.StoredRowCount("Pollution"); got != 2 {
+		t.Errorf("dedup: %d rows", got)
+	}
+	if s.EntryCount("Pollution") != 2 {
+		t.Error("each call is remembered even when rows dedup away")
+	}
+}
+
+func TestRecordErrors(t *testing.T) {
+	s := New(storage.NewDB())
+	meta := pollutionMeta()
+	empty := region.NewBox(region.Interval{Lo: 5, Hi: 5}, region.Interval{Lo: 1, Hi: 2})
+	if err := s.Record(meta, empty, []value.Row{row("A", 1, 0)}, time.Now()); err == nil {
+		t.Error("rows in empty box should error")
+	}
+	if err := s.Record(meta, meta.FullBox(), []value.Row{{value.NewInt(1)}}, time.Now()); err == nil {
+		t.Error("bad row width should error")
+	}
+}
+
+func TestRemainderAndCovered(t *testing.T) {
+	s := New(storage.NewDB())
+	meta := pollutionMeta()
+	full := meta.FullBox()
+	left := region.NewBox(region.Interval{Lo: 0, Hi: 3}, region.Interval{Lo: 1, Hi: 51})
+	s.Record(meta, left, nil, time.Now())
+	rem := s.Remainder("Pollution", full, time.Time{})
+	if len(rem) != 1 || !rem[0].Equal(region.NewBox(region.Interval{Lo: 0, Hi: 3}, region.Interval{Lo: 51, Hi: 101})) {
+		t.Errorf("Remainder: %v", rem)
+	}
+	if s.Covered("Pollution", full, time.Time{}) {
+		t.Error("full box should not be covered")
+	}
+	right := region.NewBox(region.Interval{Lo: 0, Hi: 3}, region.Interval{Lo: 51, Hi: 101})
+	s.Record(meta, right, nil, time.Now())
+	if !s.Covered("Pollution", full, time.Time{}) {
+		t.Error("full box should now be covered")
+	}
+	// Unknown table: nothing covered.
+	if s.Covered("Ghost", full, time.Time{}) {
+		t.Error("unknown table covered")
+	}
+}
+
+func TestConsistencyWindow(t *testing.T) {
+	s := New(storage.NewDB())
+	meta := pollutionMeta()
+	old := time.Now().Add(-48 * time.Hour)
+	recent := time.Now()
+	b := meta.FullBox()
+	s.Record(meta, b, nil, old)
+	if !s.Covered("Pollution", b, time.Time{}) {
+		t.Error("weak consistency should see the old entry")
+	}
+	cutoff := time.Now().Add(-time.Hour)
+	if s.Covered("Pollution", b, cutoff) {
+		t.Error("windowed consistency must ignore stale entries")
+	}
+	s.Record(meta, b, nil, recent)
+	if !s.Covered("Pollution", b, cutoff) {
+		t.Error("fresh entry should satisfy the window")
+	}
+}
+
+func TestRowBox(t *testing.T) {
+	meta := pollutionMeta()
+	rb, err := RowBox(meta, row("B", 42, 9.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := region.NewBox(region.Point(1), region.Point(42))
+	if !rb.Equal(want) {
+		t.Errorf("RowBox: %v, want %v", rb, want)
+	}
+	if _, err := RowBox(meta, row("Z", 42, 9.5)); err == nil {
+		t.Error("out-of-domain row should error")
+	}
+}
+
+func TestRowsInAndCountIn(t *testing.T) {
+	s := New(storage.NewDB())
+	meta := pollutionMeta()
+	rows := []value.Row{row("A", 10, 1), row("A", 60, 2), row("B", 10, 3), row("C", 99, 4)}
+	s.Record(meta, meta.FullBox(), rows, time.Now())
+
+	q := region.NewBox(region.Point(0), region.Interval{Lo: 1, Hi: 51}) // Zip=A, Rank 1..50
+	got, err := s.RowsIn(meta, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 || got.Rows[0][1].I != 10 {
+		t.Errorf("RowsIn: %v", got.Rows)
+	}
+	n, err := s.CountIn(meta, q)
+	if err != nil || n != 1 {
+		t.Errorf("CountIn: %d %v", n, err)
+	}
+	// Unknown table yields an empty relation, not an error.
+	other := pollutionMeta()
+	other.Name = "Other"
+	rel, err := s.RowsIn(other, other.FullBox())
+	if err != nil || rel.Len() != 0 {
+		t.Errorf("RowsIn unknown: %v %v", rel, err)
+	}
+}

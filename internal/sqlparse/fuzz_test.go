@@ -1,0 +1,40 @@
+package sqlparse
+
+import "testing"
+
+// FuzzParse drives the lexer/parser with arbitrary input: it must never
+// panic, and any statement it accepts must render to SQL that re-parses to
+// the same canonical form (String is a fixed point).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT * FROM T",
+		"SELECT a, COUNT(*) FROM T WHERE a >= 1 AND b = 'x' GROUP BY a HAVING COUNT(*) > 2 ORDER BY a DESC LIMIT 5",
+		"SELECT DISTINCT a FROM T WHERE a IN (1, 2, 3)",
+		"SELECT * FROM T WHERE (Country = 'CA' OR Country = 'DE')",
+		"SELECT Temperature FROM Station, Weather WHERE Station.Country = Weather.Country = 'US' AND Station.StationID = Weather.StationID",
+		"SELECT * FROM T WHERE a = 'it''s' -- comment",
+		"SELECT AVG(x) AS m FROM T",
+		"select * from t where 5 < a",
+		"SELECT * FROM T WHERE a <> 1 AND b != 2.5",
+		"\x00\x01garbage",
+		"SELECT",
+		"(((((",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		canonical := q.String()
+		q2, err := Parse(canonical)
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %q -> %q: %v", src, canonical, err)
+		}
+		if got := q2.String(); got != canonical {
+			t.Fatalf("String not a fixed point: %q -> %q -> %q", src, canonical, got)
+		}
+	})
+}

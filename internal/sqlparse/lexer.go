@@ -1,0 +1,189 @@
+// Package sqlparse provides the SQL front end of PayLess (paper §3, step 1):
+// a lexer and recursive-descent parser for the query class the paper
+// evaluates — SELECT with columns, * and aggregates; multi-table FROM;
+// WHERE as a conjunction of comparisons between columns and constants
+// (including the paper's chained equalities such as
+// "Station.Country = Weather.Country = ?"); GROUP BY; ORDER BY; LIMIT.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokComma
+	tokDot
+	tokLParen
+	tokRParen
+	tokStar
+	tokOp // = <> != < <= > >=
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+type lexer struct {
+	src    string
+	pos    int
+	tokens []token
+}
+
+// lex tokenises the input. Errors carry the byte offset of the offence.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == ',':
+			l.emit(tokComma, ",")
+		case c == '.':
+			l.emit(tokDot, ".")
+		case c == '(':
+			l.emit(tokLParen, "(")
+		case c == ')':
+			l.emit(tokRParen, ")")
+		case c == '*':
+			l.emit(tokStar, "*")
+		case c == '=':
+			l.emit(tokOp, "=")
+		case c == '<':
+			if l.peek(1) == '=' {
+				l.emit2(tokOp, "<=")
+			} else if l.peek(1) == '>' {
+				l.emit2(tokOp, "<>")
+			} else {
+				l.emit(tokOp, "<")
+			}
+		case c == '>':
+			if l.peek(1) == '=' {
+				l.emit2(tokOp, ">=")
+			} else {
+				l.emit(tokOp, ">")
+			}
+		case c == '!':
+			if l.peek(1) == '=' {
+				l.emit2(tokOp, "!=")
+			} else {
+				return nil, fmt.Errorf("pos %d: unexpected '!'", l.pos)
+			}
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case c == '-' && l.peek(1) == '-':
+			// SQL line comment: skip to end of line.
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '-' || (c >= '0' && c <= '9'):
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			l.lexIdent()
+		default:
+			return nil, fmt.Errorf("pos %d: unexpected character %q", l.pos, c)
+		}
+	}
+	l.tokens = append(l.tokens, token{kind: tokEOF, pos: l.pos})
+	return l.tokens, nil
+}
+
+func (l *lexer) peek(ahead int) byte {
+	if l.pos+ahead >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+ahead]
+}
+
+func (l *lexer) emit(k tokenKind, s string) {
+	l.tokens = append(l.tokens, token{kind: k, text: s, pos: l.pos})
+	l.pos++
+}
+
+func (l *lexer) emit2(k tokenKind, s string) {
+	l.tokens = append(l.tokens, token{kind: k, text: s, pos: l.pos})
+	l.pos += 2
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			// '' escapes a quote.
+			if l.peek(1) == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.tokens = append(l.tokens, token{kind: tokString, text: b.String(), pos: start})
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("pos %d: unterminated string literal", start)
+}
+
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+		if l.pos >= len(l.src) || l.src[l.pos] < '0' || l.src[l.pos] > '9' {
+			return fmt.Errorf("pos %d: '-' not followed by a digit", start)
+		}
+	}
+	dots := 0
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c >= '0' && c <= '9' {
+			l.pos++
+			continue
+		}
+		if c == '.' && dots == 0 && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+			dots++
+			l.pos++
+			continue
+		}
+		break
+	}
+	l.tokens = append(l.tokens, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+	return nil
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := rune(l.src[l.pos])
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' {
+			l.pos++
+			continue
+		}
+		break
+	}
+	l.tokens = append(l.tokens, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+}

@@ -1,0 +1,190 @@
+package stats
+
+import (
+	"math"
+	"sync"
+
+	"payless/internal/region"
+)
+
+// AVI is an alternative updatable statistic (the paper notes PayLess "is
+// indeed amenable for any updatable statistic", §3): one feedback-refined
+// one-dimensional partition per queryable attribute, combined under the
+// attribute-value-independence assumption. Compared with the Store's
+// consistent multidimensional partition, AVI is cheaper to maintain but
+// mis-estimates correlated attributes — which is exactly the contrast the
+// statistics ablation benchmark measures.
+type AVI struct {
+	mu     sync.RWMutex
+	tables map[string]*aviTable
+}
+
+type aviTable struct {
+	full region.Box
+	card float64
+	// dims[d] partitions the d-th axis; bucket fractions sum to 1 per axis.
+	dims [][]bucket1
+}
+
+type bucket1 struct {
+	iv   region.Interval
+	frac float64
+}
+
+// NewAVI returns an empty AVI estimator.
+func NewAVI() *AVI {
+	return &AVI{tables: make(map[string]*aviTable)}
+}
+
+// Register declares a table's queryable space and published cardinality.
+func (a *AVI) Register(table string, full region.Box, card int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	t := &aviTable{full: full.Clone(), card: float64(card)}
+	for _, iv := range full.Dims {
+		t.dims = append(t.dims, []bucket1{{iv: iv, frac: 1}})
+	}
+	a.tables[table] = t
+}
+
+// fracIn returns the estimated fraction of rows whose d-th coordinate lies
+// in iv, assuming uniformity within buckets.
+func (t *aviTable) fracIn(d int, iv region.Interval) float64 {
+	var frac float64
+	for _, b := range t.dims[d] {
+		x, ok := b.iv.Intersect(iv)
+		if !ok {
+			continue
+		}
+		w := b.iv.Width()
+		if w <= 0 {
+			continue
+		}
+		frac += b.frac * float64(x.Width()) / float64(w)
+	}
+	return frac
+}
+
+// Estimate combines per-dimension selectivities under independence.
+func (a *AVI) Estimate(table string, b region.Box) float64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	t, ok := a.tables[table]
+	if !ok || b.Empty() || b.D() != len(t.dims) {
+		return 0
+	}
+	est := t.card
+	for d, iv := range b.Dims {
+		est *= t.fracIn(d, iv)
+	}
+	return est
+}
+
+// split ensures bucket boundaries exist at iv's edges on dimension d.
+func (t *aviTable) split(d int, iv region.Interval) {
+	var out []bucket1
+	for _, b := range t.dims[d] {
+		x, ok := b.iv.Intersect(iv)
+		if !ok || x.Equal(b.iv) {
+			out = append(out, b)
+			continue
+		}
+		w := float64(b.iv.Width())
+		pieces := []region.Interval{
+			{Lo: b.iv.Lo, Hi: x.Lo},
+			x,
+			{Lo: x.Hi, Hi: b.iv.Hi},
+		}
+		for _, p := range pieces {
+			if p.Empty() {
+				continue
+			}
+			out = append(out, bucket1{iv: p, frac: b.frac * float64(p.Width()) / w})
+		}
+	}
+	t.dims[d] = out
+}
+
+// Feedback refines the per-dimension partitions. The observed-to-estimated
+// ratio is apportioned evenly (in the geometric sense) across the
+// constrained dimensions; each dimension's partition is renormalised so
+// fractions keep summing to 1. Whole-space feedback updates the
+// cardinality exactly.
+func (a *AVI) Feedback(table string, b region.Box, n int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	t, ok := a.tables[table]
+	if !ok || b.Empty() || b.D() != len(t.dims) {
+		return
+	}
+	var constrained []int
+	for d, iv := range b.Dims {
+		if !iv.Equal(t.full.Dims[d]) {
+			constrained = append(constrained, d)
+		}
+	}
+	if len(constrained) == 0 {
+		t.card = float64(n)
+		return
+	}
+	est := t.card
+	for d, iv := range b.Dims {
+		est *= t.fracIn(d, iv)
+	}
+	if t.card <= 0 {
+		return
+	}
+	var ratio float64
+	if est > 0 {
+		ratio = float64(n) / est
+	} else if n > 0 {
+		// Re-learning a zeroed region: seed it uniformly.
+		ratio = 0
+	}
+	perDim := 1.0
+	if est > 0 {
+		perDim = math.Pow(ratio, 1/float64(len(constrained)))
+	}
+	for _, d := range constrained {
+		iv := b.Dims[d]
+		t.split(d, iv)
+		inFrac := t.fracIn(d, iv)
+		var target float64
+		if est > 0 {
+			target = inFrac * perDim
+		} else {
+			// Seed: assume the observation is uniform over the range.
+			target = float64(n) / math.Max(t.card, 1)
+		}
+		if target > 0.9999 {
+			target = 0.9999
+		}
+		if target < 0 {
+			target = 0
+		}
+		outFrac := 1 - inFrac
+		for i := range t.dims[d] {
+			bk := &t.dims[d][i]
+			if iv.Contains(bk.iv) {
+				if inFrac > 0 {
+					bk.frac *= target / inFrac
+				} else {
+					bk.frac = target * float64(bk.iv.Width()) / float64(iv.Width())
+				}
+			} else if outFrac > 0 {
+				bk.frac *= (1 - target) / outFrac
+			}
+		}
+	}
+}
+
+// BucketCount reports the partition size of one dimension (for tests).
+func (a *AVI) BucketCount(table string, dim int) int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	t, ok := a.tables[table]
+	if !ok || dim < 0 || dim >= len(t.dims) {
+		return 0
+	}
+	return len(t.dims[dim])
+}

@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"payless/internal/region"
+)
+
+func box2d(a, b, c, d int64) region.Box {
+	return region.NewBox(region.Interval{Lo: a, Hi: b}, region.Interval{Lo: c, Hi: d})
+}
+
+func TestAVIUniformColdStart(t *testing.T) {
+	a := NewAVI()
+	a.Register("R", box2d(0, 100, 0, 10), 1000)
+	if got := a.Estimate("R", box2d(0, 100, 0, 10)); got != 1000 {
+		t.Errorf("full: %v", got)
+	}
+	if got := a.Estimate("R", box2d(0, 50, 0, 10)); got != 500 {
+		t.Errorf("half on one dim: %v", got)
+	}
+	if got := a.Estimate("R", box2d(0, 50, 0, 5)); got != 250 {
+		t.Errorf("half x half: %v", got)
+	}
+	if a.Estimate("X", box2d(0, 1, 0, 1)) != 0 {
+		t.Error("unknown table")
+	}
+	if a.Estimate("R", region.NewBox(region.Interval{Lo: 0, Hi: 1})) != 0 {
+		t.Error("dim mismatch")
+	}
+}
+
+func TestAVISingleDimFeedbackExact(t *testing.T) {
+	a := NewAVI()
+	a.Register("R", box2d(0, 100, 0, 10), 1000)
+	// Observe that [0,50) on dim 0 holds 900 of the 1000 rows.
+	a.Feedback("R", box2d(0, 50, 0, 10), 900)
+	if got := a.Estimate("R", box2d(0, 50, 0, 10)); math.Abs(got-900) > 1e-6 {
+		t.Errorf("observed range: %v", got)
+	}
+	if got := a.Estimate("R", box2d(50, 100, 0, 10)); math.Abs(got-100) > 1e-6 {
+		t.Errorf("complement: %v", got)
+	}
+	if a.BucketCount("R", 0) < 2 {
+		t.Error("dimension should have split")
+	}
+	if a.BucketCount("R", 1) != 1 {
+		t.Error("unconstrained dimension must stay whole")
+	}
+	if a.BucketCount("X", 0) != 0 || a.BucketCount("R", 9) != 0 {
+		t.Error("BucketCount bounds")
+	}
+}
+
+func TestAVIWholeSpaceFeedbackSetsCardinality(t *testing.T) {
+	a := NewAVI()
+	a.Register("R", box2d(0, 100, 0, 10), 1000)
+	a.Feedback("R", box2d(0, 100, 0, 10), 2500)
+	if got := a.Estimate("R", box2d(0, 100, 0, 10)); got != 2500 {
+		t.Errorf("card update: %v", got)
+	}
+}
+
+func TestAVIMultiDimFeedbackApportions(t *testing.T) {
+	a := NewAVI()
+	a.Register("R", box2d(0, 100, 0, 10), 1000)
+	// The corner [0,50)x[0,5) uniformly estimates 250; observe 640.
+	a.Feedback("R", box2d(0, 50, 0, 5), 640)
+	got := a.Estimate("R", box2d(0, 50, 0, 5))
+	if math.Abs(got-640) > 1 {
+		t.Errorf("corner after feedback: %v, want ≈640", got)
+	}
+	// Independence apportions √ratio to each axis (p0 = p1 = 0.8), so the
+	// flank [0,50)x[5,10) estimates 1000·0.8·0.2 = 160 — the structured
+	// smear that distinguishes AVI from the consistent store.
+	flank := a.Estimate("R", box2d(0, 50, 5, 10))
+	if math.Abs(flank-160) > 1 {
+		t.Errorf("flank: %v, want ≈160", flank)
+	}
+	// Total mass is conserved.
+	if total := a.Estimate("R", box2d(0, 100, 0, 10)); math.Abs(total-1000) > 1 {
+		t.Errorf("total: %v, want ≈1000", total)
+	}
+}
+
+func TestAVIFeedbackIgnoresUnknownAndEmpty(t *testing.T) {
+	a := NewAVI()
+	a.Register("R", box2d(0, 10, 0, 10), 100)
+	a.Feedback("X", box2d(0, 1, 0, 1), 5)
+	a.Feedback("R", region.NewBox(region.Interval{Lo: 3, Hi: 3}, region.Interval{Lo: 0, Hi: 10}), 5)
+	if got := a.Estimate("R", box2d(0, 10, 0, 10)); got != 100 {
+		t.Errorf("no-op feedback changed state: %v", got)
+	}
+}
+
+func TestAVIZeroThenRelearn(t *testing.T) {
+	a := NewAVI()
+	a.Register("R", box2d(0, 100, 0, 10), 1000)
+	a.Feedback("R", box2d(0, 50, 0, 10), 0)
+	if got := a.Estimate("R", box2d(0, 50, 0, 10)); got != 0 {
+		t.Errorf("zeroed region: %v", got)
+	}
+	a.Feedback("R", box2d(0, 25, 0, 10), 100)
+	if got := a.Estimate("R", box2d(0, 25, 0, 10)); got <= 0 {
+		t.Errorf("re-learned region must be positive: %v", got)
+	}
+}
+
+// TestAVIVsStoreOnCorrelatedData shows why the paper reaches for a
+// consistent multidimensional statistic: on perfectly correlated
+// dimensions the Store pins the observed region exactly while AVI smears
+// probability mass onto empty corners.
+func TestAVIVsStoreOnCorrelatedData(t *testing.T) {
+	full := box2d(0, 100, 0, 100)
+	// All 1000 rows live on the diagonal block [0,50)x[0,50).
+	obs := box2d(0, 50, 0, 50)
+	empty := box2d(0, 50, 50, 100)
+
+	st := New()
+	st.Register("R", full, 1000)
+	st.Feedback("R", obs, 1000)
+	st.Feedback("R", empty, 0)
+
+	avi := NewAVI()
+	avi.Register("R", full, 1000)
+	avi.Feedback("R", obs, 1000)
+	avi.Feedback("R", empty, 0)
+
+	storeErr := math.Abs(st.Estimate("R", obs)-1000) + math.Abs(st.Estimate("R", empty)-0)
+	aviErr := math.Abs(avi.Estimate("R", obs)-1000) + math.Abs(avi.Estimate("R", empty)-0)
+	if storeErr > aviErr {
+		t.Errorf("the consistent store should beat AVI on correlated data: store %.1f vs avi %.1f",
+			storeErr, aviErr)
+	}
+}

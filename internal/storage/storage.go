@@ -1,0 +1,479 @@
+// Package storage implements the buyer-side local DBMS that PayLess offloads
+// query processing to (paper §3, step 6–8). It is a small in-memory engine:
+// tables with row-level deduplication (the semantic store never evicts and
+// never stores a tuple twice), predicate scans, hash equi-joins, cartesian
+// products, grouped aggregation and ordering — everything the paper's query
+// class needs once the market data has been materialised locally.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"payless/internal/value"
+)
+
+// DB is a named collection of stored tables. It is safe for concurrent use.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{tables: make(map[string]*Table)}
+}
+
+// Create adds an empty table with the given schema. Creating an existing
+// table is an error.
+func (db *DB) Create(name string, schema value.Schema) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := db.tables[key]; ok {
+		return nil, fmt.Errorf("table %s already exists", name)
+	}
+	t := &Table{name: name, schema: schema.Clone(), index: make(map[string]struct{})}
+	db.tables[key] = t
+	return t, nil
+}
+
+// Ensure returns the named table, creating it if needed. An existing table
+// must have the same number of columns.
+func (db *DB) Ensure(name string, schema value.Schema) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(name)
+	if t, ok := db.tables[key]; ok {
+		if len(t.schema) != len(schema) {
+			return nil, fmt.Errorf("table %s exists with %d columns, want %d", name, len(t.schema), len(schema))
+		}
+		return t, nil
+	}
+	t := &Table{name: name, schema: schema.Clone(), index: make(map[string]struct{})}
+	db.tables[key] = t
+	return t, nil
+}
+
+// Lookup returns the named table.
+func (db *DB) Lookup(name string) (*Table, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// Drop removes the named table.
+func (db *DB) Drop(name string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	delete(db.tables, strings.ToLower(name))
+}
+
+// Table is a stored relation with whole-row deduplication.
+type Table struct {
+	mu     sync.RWMutex
+	name   string
+	schema value.Schema
+	rows   []value.Row
+	index  map[string]struct{}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() value.Schema { return t.schema }
+
+// Len returns the number of stored rows.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// Insert appends rows, silently skipping exact duplicates, and returns the
+// number of rows actually added. Rows of the wrong width are rejected.
+func (t *Table) Insert(rows []value.Row) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	added := 0
+	for _, r := range rows {
+		if len(r) != len(t.schema) {
+			return added, fmt.Errorf("table %s: row width %d, want %d", t.name, len(r), len(t.schema))
+		}
+		k := r.Key()
+		if _, dup := t.index[k]; dup {
+			continue
+		}
+		t.index[k] = struct{}{}
+		t.rows = append(t.rows, r.Clone())
+		added++
+	}
+	return added, nil
+}
+
+// Relation snapshots the table contents as an immutable relation.
+func (t *Table) Relation() Relation {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	rows := make([]value.Row, len(t.rows))
+	copy(rows, t.rows)
+	return Relation{Schema: t.schema.Clone(), Rows: rows}
+}
+
+// Relation is an immutable materialised result: a schema plus rows.
+type Relation struct {
+	Schema value.Schema
+	Rows   []value.Row
+}
+
+// Len returns the relation cardinality.
+func (r Relation) Len() int { return len(r.Rows) }
+
+// Select returns the rows satisfying pred.
+func (r Relation) Select(pred func(value.Row) bool) Relation {
+	out := Relation{Schema: r.Schema}
+	for _, row := range r.Rows {
+		if pred(row) {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// Project returns the relation restricted to the given column indexes.
+func (r Relation) Project(idx []int) Relation {
+	sch := make(value.Schema, len(idx))
+	for i, j := range idx {
+		sch[i] = r.Schema[j]
+	}
+	out := Relation{Schema: sch, Rows: make([]value.Row, 0, len(r.Rows))}
+	for _, row := range r.Rows {
+		out.Rows = append(out.Rows, value.Project(row, idx))
+	}
+	return out
+}
+
+// Distinct removes duplicate rows, preserving first-seen order.
+func (r Relation) Distinct() Relation {
+	seen := make(map[string]struct{}, len(r.Rows))
+	out := Relation{Schema: r.Schema}
+	for _, row := range r.Rows {
+		k := row.Key()
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// DistinctValues returns the distinct values of one column in first-seen
+// order — used to collect bind-join binding values.
+func (r Relation) DistinctValues(col int) []value.Value {
+	seen := make(map[string]struct{})
+	var out []value.Value
+	for _, row := range r.Rows {
+		v := row[col]
+		k := fmt.Sprintf("%d|%s", v.K, v.String())
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}
+
+// HashJoin equi-joins r and s on the given column pairs (r.Rows x s.Rows
+// where r[lc[i]] == s[rc[i]] for all i). The output schema is the
+// concatenation of both schemas.
+func HashJoin(r, s Relation, lc, rc []int) Relation {
+	out := Relation{Schema: append(r.Schema.Clone(), s.Schema.Clone()...)}
+	if len(lc) != len(rc) || len(lc) == 0 {
+		return Cross(r, s)
+	}
+	// Build on the smaller side.
+	build, probe := s, r
+	bc, pc := rc, lc
+	swapped := false
+	if len(r.Rows) < len(s.Rows) {
+		build, probe = r, s
+		bc, pc = lc, rc
+		swapped = true
+	}
+	ht := make(map[string][]value.Row, len(build.Rows))
+	for _, row := range build.Rows {
+		ht[joinKey(row, bc)] = append(ht[joinKey(row, bc)], row)
+	}
+	for _, prow := range probe.Rows {
+		for _, brow := range ht[joinKey(prow, pc)] {
+			var joined value.Row
+			if swapped {
+				// build side is r, probe side is s.
+				joined = append(append(value.Row{}, brow...), prow...)
+			} else {
+				joined = append(append(value.Row{}, prow...), brow...)
+			}
+			out.Rows = append(out.Rows, joined)
+		}
+	}
+	return out
+}
+
+func joinKey(row value.Row, cols []int) string {
+	var b strings.Builder
+	for i, c := range cols {
+		if i > 0 {
+			b.WriteByte(0x1f)
+		}
+		v := row[c]
+		// Normalise numerics so Int(2) joins Float(2.0).
+		if v.K == value.Float && v.F == float64(int64(v.F)) {
+			v = value.NewInt(int64(v.F))
+		}
+		b.WriteByte(byte(v.K) + '0')
+		b.WriteString(v.String())
+	}
+	return b.String()
+}
+
+// Cross returns the cartesian product of r and s.
+func Cross(r, s Relation) Relation {
+	out := Relation{Schema: append(r.Schema.Clone(), s.Schema.Clone()...)}
+	for _, a := range r.Rows {
+		for _, b := range s.Rows {
+			out.Rows = append(out.Rows, append(append(value.Row{}, a...), b...))
+		}
+	}
+	return out
+}
+
+// AggFunc enumerates the supported aggregate functions.
+type AggFunc uint8
+
+// Supported aggregates.
+const (
+	Count AggFunc = iota
+	Sum
+	Avg
+	Min
+	Max
+)
+
+// String returns the SQL name of the aggregate.
+func (f AggFunc) String() string {
+	switch f {
+	case Count:
+		return "COUNT"
+	case Sum:
+		return "SUM"
+	case Avg:
+		return "AVG"
+	case Min:
+		return "MIN"
+	case Max:
+		return "MAX"
+	default:
+		return "?"
+	}
+}
+
+// AggSpec names one aggregate to compute. Col is the input column index;
+// -1 means COUNT(*).
+type AggSpec struct {
+	Func AggFunc
+	Col  int
+	As   string
+}
+
+type aggState struct {
+	count int64
+	sum   float64
+	min   value.Value
+	max   value.Value
+	seen  bool
+}
+
+// Aggregate groups r by the given columns and computes the aggregates.
+// The output schema is the group-by columns followed by one column per
+// aggregate. With no group-by columns a single global row is produced
+// (even over an empty input, for COUNT to report 0).
+func Aggregate(r Relation, groupBy []int, aggs []AggSpec) Relation {
+	sch := make(value.Schema, 0, len(groupBy)+len(aggs))
+	for _, g := range groupBy {
+		sch = append(sch, r.Schema[g])
+	}
+	for _, a := range aggs {
+		name := a.As
+		if name == "" {
+			if a.Col >= 0 {
+				name = fmt.Sprintf("%s(%s)", a.Func, r.Schema[a.Col].Name)
+			} else {
+				name = fmt.Sprintf("%s(*)", a.Func)
+			}
+		}
+		typ := value.Float
+		if a.Func == Count {
+			typ = value.Int
+		} else if a.Col >= 0 && (a.Func == Min || a.Func == Max) {
+			typ = r.Schema[a.Col].Type
+		}
+		sch = append(sch, value.Column{Name: name, Type: typ})
+	}
+
+	groups := make(map[string][]*aggState)
+	keys := make(map[string]value.Row)
+	var order []string
+	for _, row := range r.Rows {
+		gk := joinKey(row, groupBy)
+		states, ok := groups[gk]
+		if !ok {
+			states = make([]*aggState, len(aggs))
+			for i := range states {
+				states[i] = &aggState{}
+			}
+			groups[gk] = states
+			keys[gk] = value.Project(row, groupBy)
+			order = append(order, gk)
+		}
+		for i, a := range aggs {
+			st := states[i]
+			if a.Col < 0 {
+				st.count++
+				continue
+			}
+			v := row[a.Col]
+			if v.IsNull() {
+				continue
+			}
+			st.count++
+			st.sum += v.AsFloat()
+			if !st.seen || v.Compare(st.min) < 0 {
+				st.min = v
+			}
+			if !st.seen || v.Compare(st.max) > 0 {
+				st.max = v
+			}
+			st.seen = true
+		}
+	}
+	if len(groupBy) == 0 && len(order) == 0 {
+		// Global aggregate over empty input.
+		groups[""] = make([]*aggState, len(aggs))
+		for i := range groups[""] {
+			groups[""][i] = &aggState{}
+		}
+		keys[""] = value.Row{}
+		order = append(order, "")
+	}
+
+	out := Relation{Schema: sch}
+	for _, gk := range order {
+		states := groups[gk]
+		row := append(value.Row{}, keys[gk]...)
+		for i, a := range aggs {
+			st := states[i]
+			switch a.Func {
+			case Count:
+				row = append(row, value.NewInt(st.count))
+			case Sum:
+				if st.count == 0 {
+					row = append(row, value.NewNull())
+				} else {
+					row = append(row, value.NewFloat(st.sum))
+				}
+			case Avg:
+				if st.count == 0 {
+					row = append(row, value.NewNull())
+				} else {
+					row = append(row, value.NewFloat(st.sum/float64(st.count)))
+				}
+			case Min:
+				if !st.seen {
+					row = append(row, value.NewNull())
+				} else {
+					row = append(row, st.min)
+				}
+			case Max:
+				if !st.seen {
+					row = append(row, value.NewNull())
+				} else {
+					row = append(row, st.max)
+				}
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// OrderBy sorts the relation by the given columns; desc[i] flips column i.
+// The sort is stable.
+func (r Relation) OrderBy(cols []int, desc []bool) Relation {
+	rows := make([]value.Row, len(r.Rows))
+	copy(rows, r.Rows)
+	sort.SliceStable(rows, func(i, j int) bool {
+		for k, c := range cols {
+			cmp := rows[i][c].Compare(rows[j][c])
+			if cmp == 0 {
+				continue
+			}
+			if k < len(desc) && desc[k] {
+				return cmp > 0
+			}
+			return cmp < 0
+		}
+		return false
+	})
+	return Relation{Schema: r.Schema, Rows: rows}
+}
+
+// Limit truncates the relation to at most n rows.
+func (r Relation) Limit(n int) Relation {
+	if n < 0 || n >= len(r.Rows) {
+		return r
+	}
+	return Relation{Schema: r.Schema, Rows: r.Rows[:n]}
+}
+
+// MergeJoin equi-joins r and s on single columns lc/rc by sorting both
+// sides — the classic alternative to HashJoin, preferable when inputs are
+// already ordered or memory for a hash table is tight. The output schema
+// and row multiset match HashJoin's.
+func MergeJoin(r, s Relation, lc, rc int) Relation {
+	out := Relation{Schema: append(r.Schema.Clone(), s.Schema.Clone()...)}
+	left := r.OrderBy([]int{lc}, nil)
+	right := s.OrderBy([]int{rc}, nil)
+	i, j := 0, 0
+	for i < len(left.Rows) && j < len(right.Rows) {
+		cmp := left.Rows[i][lc].Compare(right.Rows[j][rc])
+		switch {
+		case cmp < 0:
+			i++
+		case cmp > 0:
+			j++
+		default:
+			// Emit the cross product of the equal runs.
+			iEnd := i
+			for iEnd < len(left.Rows) && left.Rows[iEnd][lc].Compare(right.Rows[j][rc]) == 0 {
+				iEnd++
+			}
+			jEnd := j
+			for jEnd < len(right.Rows) && left.Rows[i][lc].Compare(right.Rows[jEnd][rc]) == 0 {
+				jEnd++
+			}
+			for a := i; a < iEnd; a++ {
+				for b := j; b < jEnd; b++ {
+					out.Rows = append(out.Rows, append(append(value.Row{}, left.Rows[a]...), right.Rows[b]...))
+				}
+			}
+			i, j = iEnd, jEnd
+		}
+	}
+	return out
+}

@@ -1,0 +1,203 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{Null: "null", Int: "int", Float: "float", String: "string", Kind(9): "kind(9)"}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if v := NewInt(42); v.K != Int || v.I != 42 {
+		t.Errorf("NewInt: %+v", v)
+	}
+	if v := NewFloat(2.5); v.K != Float || v.F != 2.5 {
+		t.Errorf("NewFloat: %+v", v)
+	}
+	if v := NewString("x"); v.K != String || v.S != "x" {
+		t.Errorf("NewString: %+v", v)
+	}
+	if !NewNull().IsNull() {
+		t.Error("NewNull not null")
+	}
+	if NewInt(7).AsFloat() != 7.0 {
+		t.Error("AsFloat on int")
+	}
+	if NewFloat(7.9).AsInt() != 7 {
+		t.Error("AsInt truncation")
+	}
+	if !math.IsNaN(NewString("a").AsFloat()) {
+		t.Error("AsFloat on string should be NaN")
+	}
+	if NewString("a").AsInt() != 0 {
+		t.Error("AsInt on string should be 0")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{NewNull(), "NULL"},
+		{NewInt(-3), "-3"},
+		{NewFloat(1.5), "1.5"},
+		{NewString("Seattle"), "Seattle"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%+v.String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(1), 1},
+		{NewInt(5), NewInt(5), 0},
+		{NewInt(1), NewFloat(1.5), -1},
+		{NewFloat(2.5), NewInt(2), 1},
+		{NewFloat(2.0), NewInt(2), 0},
+		{NewString("a"), NewString("b"), -1},
+		{NewString("b"), NewString("b"), 0},
+		{NewNull(), NewInt(0), -1},
+		{NewInt(0), NewNull(), 1},
+		{NewNull(), NewNull(), 0},
+		{NewInt(1), NewString("1"), -1}, // numeric kinds sort before strings
+		{NewString("1"), NewInt(1), 1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := NewInt(a), NewInt(b)
+		return va.Compare(vb) == -vb.Compare(va)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashEqualValuesEqualHashes(t *testing.T) {
+	f := func(i int64) bool {
+		return NewInt(i).Hash() == NewInt(i).Hash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if NewInt(1).Hash() == NewInt(2).Hash() {
+		t.Error("unexpectedly colliding hashes for 1 and 2")
+	}
+	if NewString("a").Hash() == NewInt(97).Hash() {
+		t.Error("string and int with same bytes should hash differently (kind tag)")
+	}
+}
+
+func TestRowCloneIndependence(t *testing.T) {
+	r := Row{NewInt(1), NewString("x")}
+	c := r.Clone()
+	c[0] = NewInt(9)
+	if r[0].I != 1 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestRowEqualAndHash(t *testing.T) {
+	a := Row{NewInt(1), NewString("x")}
+	b := Row{NewInt(1), NewString("x")}
+	c := Row{NewInt(2), NewString("x")}
+	if !a.Equal(b) {
+		t.Error("equal rows not Equal")
+	}
+	if a.Equal(c) {
+		t.Error("different rows Equal")
+	}
+	if a.Equal(a[:1]) {
+		t.Error("rows of different length Equal")
+	}
+	if a.Hash() != b.Hash() {
+		t.Error("equal rows with different hashes")
+	}
+}
+
+func TestRowKeyDistinguishesKinds(t *testing.T) {
+	a := Row{NewInt(1)}
+	b := Row{NewString("1")}
+	if a.Key() == b.Key() {
+		t.Error("Key must embed the kind tag")
+	}
+	c := Row{NewString("a"), NewString("b")}
+	d := Row{NewString("a\x1fb")} // separator collision guard differs by kind count
+	if len(c) != 2 || c.Key() == d.Key() {
+		t.Error("Key collision across row shapes")
+	}
+}
+
+func TestSchemaIndexOf(t *testing.T) {
+	s := Schema{{Name: "Country", Type: String}, {Name: "Date", Type: Int}}
+	if s.IndexOf("date") != 1 {
+		t.Error("IndexOf should be case-insensitive")
+	}
+	if s.IndexOf("missing") != -1 {
+		t.Error("IndexOf missing should be -1")
+	}
+	if got := s.Names(); got[0] != "Country" || got[1] != "Date" {
+		t.Errorf("Names: %v", got)
+	}
+}
+
+func TestSchemaClone(t *testing.T) {
+	s := Schema{{Name: "A", Type: Int}}
+	c := s.Clone()
+	c[0].Name = "B"
+	if s[0].Name != "A" {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestProject(t *testing.T) {
+	r := Row{NewInt(1), NewInt(2), NewInt(3)}
+	p := Project(r, []int{2, 0})
+	if p[0].I != 3 || p[1].I != 1 {
+		t.Errorf("Project: %v", p)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []Value{NewInt(-12), NewFloat(3.25), NewString("hello world"), NewNull()}
+	for _, v := range cases {
+		got, err := Parse(v.K, v.String())
+		if err != nil {
+			t.Fatalf("Parse(%v): %v", v, err)
+		}
+		if v.K != Null && !got.Equal(v) {
+			t.Errorf("round trip %v -> %v", v, got)
+		}
+	}
+	if _, err := Parse(Int, "not-a-number"); err == nil {
+		t.Error("Parse invalid int should error")
+	}
+	if _, err := Parse(Float, "x"); err == nil {
+		t.Error("Parse invalid float should error")
+	}
+	if _, err := Parse(Kind(99), "x"); err == nil {
+		t.Error("Parse unknown kind should error")
+	}
+}

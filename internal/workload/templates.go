@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Template is one parameterised query template; Instantiate draws a valid
+// query instance (one that returns non-empty results, per §5).
+type Template struct {
+	Name        string
+	Instantiate func(rng *rand.Rand) string
+}
+
+// dateRange draws a closed subrange of the generated dates.
+func (w *WHW) dateRange(rng *rand.Rand, maxSpan int) (int64, int64) {
+	n := len(w.Dates)
+	span := 1 + rng.Intn(minInt(maxSpan, n))
+	start := rng.Intn(n - span + 1)
+	return w.Dates[start], w.Dates[start+span-1]
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// countryWithStations draws a country that actually has weather stations.
+func (w *WHW) countryWithStations(rng *rand.Rand) string {
+	for {
+		c := w.Countries[rng.Intn(len(w.Countries))]
+		if len(w.StationCities[c]) > 0 {
+			return c
+		}
+	}
+}
+
+// zipForCountry draws a zip code whose city has a station in the country,
+// so the Q4/Q5 joins are non-empty. Returns "" when none exists.
+func (w *WHW) zipForCountry(rng *rand.Rand, country string) string {
+	cities := w.StationCities[country]
+	var candidates []string
+	for zip, city := range w.CityByZip {
+		if cities[city] {
+			candidates = append(candidates, zip)
+		}
+	}
+	if len(candidates) == 0 {
+		return ""
+	}
+	sort.Strings(candidates)
+	return candidates[rng.Intn(len(candidates))]
+}
+
+// Templates returns the paper's Table 1 query templates (Q1–Q5) backed by
+// this dataset's domains.
+func (w *WHW) Templates() []Template {
+	return []Template{
+		{
+			Name: "Q1",
+			Instantiate: func(rng *rand.Rand) string {
+				c := w.countryWithStations(rng)
+				lo, hi := w.dateRange(rng, 14)
+				return fmt.Sprintf(
+					"SELECT * FROM Weather WHERE Weather.Country = '%s' AND Weather.Date >= %d AND Weather.Date <= %d",
+					c, lo, hi)
+			},
+		},
+		{
+			Name: "Q2",
+			Instantiate: func(rng *rand.Rand) string {
+				span := rng.Int63n(w.Config.MaxRank/4) + 1
+				lo := rng.Int63n(w.Config.MaxRank-span) + 1
+				return fmt.Sprintf(
+					"SELECT COUNT(ZipCode) FROM Pollution WHERE Pollution.Rank >= %d AND Pollution.Rank <= %d",
+					lo, lo+span)
+			},
+		},
+		{
+			Name: "Q3",
+			Instantiate: func(rng *rand.Rand) string {
+				c := w.countryWithStations(rng)
+				lo, hi := w.dateRange(rng, 14)
+				return fmt.Sprintf(
+					"SELECT City, AVG(Temperature) FROM Station, Weather "+
+						"WHERE Station.Country = Weather.Country = '%s' AND Weather.Date >= %d AND Weather.Date <= %d "+
+						"AND Station.StationID = Weather.StationID GROUP BY City",
+					c, lo, hi)
+			},
+		},
+		{
+			Name: "Q4",
+			Instantiate: func(rng *rand.Rand) string {
+				for {
+					c := w.countryWithStations(rng)
+					zip := w.zipForCountry(rng, c)
+					if zip == "" {
+						continue
+					}
+					lo, hi := w.dateRange(rng, 14)
+					return fmt.Sprintf(
+						"SELECT Temperature FROM Station, Weather, ZipMap "+
+							"WHERE Station.Country = Weather.Country = '%s' AND ZipMap.ZipCode = '%s' "+
+							"AND Weather.Date >= %d AND Weather.Date <= %d "+
+							"AND Station.StationID = Weather.StationID AND Station.City = ZipMap.City",
+						c, zip, lo, hi)
+				}
+			},
+		},
+		{
+			Name: "Q5",
+			Instantiate: func(rng *rand.Rand) string {
+				c := w.countryWithStations(rng)
+				lo, hi := w.dateRange(rng, 14)
+				span := rng.Int63n(w.Config.MaxRank/2) + w.Config.MaxRank/4
+				rlo := rng.Int63n(maxI64(w.Config.MaxRank-span, 1)) + 1
+				return fmt.Sprintf(
+					"SELECT * FROM Pollution, Station, Weather, ZipMap "+
+						"WHERE Station.Country = Weather.Country = '%s' AND Weather.Date >= %d AND Weather.Date <= %d "+
+						"AND Pollution.Rank >= %d AND Pollution.Rank <= %d "+
+						"AND Pollution.ZipCode = ZipMap.ZipCode AND ZipMap.City = Station.City "+
+						"AND Station.StationID = Weather.StationID",
+					c, lo, hi, rlo, rlo+span)
+			},
+		},
+	}
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Mix builds a shuffled workload of q instances per template, as the
+// paper's experiments issue them ("query instances are issued in a random
+// order").
+func Mix(templates []Template, q int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	var out []string
+	for _, t := range templates {
+		for i := 0; i < q; i++ {
+			out = append(out, t.Instantiate(rng))
+		}
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}

@@ -1,0 +1,402 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"payless/internal/catalog"
+	"payless/internal/market"
+	"payless/internal/storage"
+	"payless/internal/value"
+)
+
+// TPCHConfig scales the TPC-H-shaped data. ScaleFactor maps to the paper's
+// "data size D": D=1 is the harness's stand-in for the paper's 1 GB, with
+// row counts reduced proportionally (documented in DESIGN.md). Zipf > 0
+// skews foreign keys and dates, matching the TPC-D skew generator [19].
+type TPCHConfig struct {
+	Seed        int64
+	ScaleFactor float64
+	Zipf        float64
+}
+
+// DefaultTPCHConfig returns the harness's base scale.
+func DefaultTPCHConfig() TPCHConfig {
+	return TPCHConfig{Seed: 1, ScaleFactor: 1.0}
+}
+
+// Base row counts at ScaleFactor 1 (the "1G" stand-in).
+const (
+	baseCustomers = 1000
+	baseOrders    = 8000
+	baseLineitem  = 30000
+	baseParts     = 1200
+	baseSuppliers = 80
+	basePartSupp  = 4800
+	// dateDays is the order-date domain [1, dateDays] in day numbers.
+	dateDays = 2400
+	// shipLag bounds ShipDate - OrderDate.
+	shipLag = 120
+)
+
+// Categorical domains.
+var (
+	mktSegments     = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"}
+	orderPriorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	regionNames     = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	partTypes       = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+)
+
+// TPCH holds the generated tables plus catalog metadata. Nation and Region
+// are local tables (as in the paper's experiments); the rest live in the
+// market's "TPCH" dataset.
+type TPCH struct {
+	Config TPCHConfig
+
+	Customer, Orders, Lineitem, Part, Supplier, PartSupp *catalog.Table
+	Nation, Region                                       *catalog.Table
+
+	CustomerRows, OrdersRows, LineitemRows, PartRows,
+	SupplierRows, PartSuppRows, NationRows, RegionRows []value.Row
+}
+
+func scaled(base int, sf float64) int {
+	n := int(float64(base) * sf)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// drawKey samples a key in [1, n]: uniform or Zipf-skewed.
+func drawKey(rng *rand.Rand, zf *Zipf, n int) int64 {
+	if zf != nil {
+		return int64(zf.Draw(rng))
+	}
+	return rng.Int63n(int64(n)) + 1
+}
+
+// GenerateTPCH builds the dataset.
+func GenerateTPCH(cfg TPCHConfig) *TPCH {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t := &TPCH{Config: cfg}
+	nc := scaled(baseCustomers, cfg.ScaleFactor)
+	no := scaled(baseOrders, cfg.ScaleFactor)
+	nl := scaled(baseLineitem, cfg.ScaleFactor)
+	np := scaled(baseParts, cfg.ScaleFactor)
+	ns := scaled(baseSuppliers, cfg.ScaleFactor)
+	nps := scaled(basePartSupp, cfg.ScaleFactor)
+
+	var custZ, partZ, suppZ, dateZ *Zipf
+	if cfg.Zipf > 0 {
+		custZ = NewZipf(nc, cfg.Zipf)
+		partZ = NewZipf(np, cfg.Zipf)
+		suppZ = NewZipf(ns, cfg.Zipf)
+		dateZ = NewZipf(dateDays, cfg.Zipf)
+	}
+
+	// Region + Nation (local).
+	for i, name := range regionNames {
+		t.RegionRows = append(t.RegionRows, value.Row{value.NewInt(int64(i + 1)), value.NewString(name)})
+	}
+	nationNames := make([]string, 25)
+	for i := 0; i < 25; i++ {
+		nationNames[i] = fmt.Sprintf("NATION_%02d", i+1)
+		t.NationRows = append(t.NationRows, value.Row{
+			value.NewInt(int64(i + 1)), value.NewString(nationNames[i]), value.NewInt(int64(i%5 + 1)),
+		})
+	}
+
+	// Customer.
+	for i := 1; i <= nc; i++ {
+		t.CustomerRows = append(t.CustomerRows, value.Row{
+			value.NewInt(int64(i)),
+			value.NewInt(rng.Int63n(25) + 1),
+			value.NewString(mktSegments[rng.Intn(len(mktSegments))]),
+			value.NewFloat(rng.Float64() * 10000),
+		})
+	}
+
+	// Orders. Order keys are dense 1..no so lineitems can reference them.
+	orderDate := make([]int64, no+1)
+	for i := 1; i <= no; i++ {
+		d := drawKey(rng, dateZ, dateDays)
+		orderDate[i] = d
+		t.OrdersRows = append(t.OrdersRows, value.Row{
+			value.NewInt(int64(i)),
+			value.NewInt(drawKey(rng, custZ, nc)),
+			value.NewInt(d),
+			value.NewString(orderPriorities[rng.Intn(len(orderPriorities))]),
+			value.NewFloat(1000 + rng.Float64()*100000),
+		})
+	}
+
+	// Lineitem.
+	for i := 1; i <= nl; i++ {
+		ok := rng.Int63n(int64(no)) + 1
+		ship := orderDate[ok] + rng.Int63n(shipLag) + 1
+		if ship > dateDays+shipLag {
+			ship = dateDays + shipLag
+		}
+		t.LineitemRows = append(t.LineitemRows, value.Row{
+			value.NewInt(ok),
+			value.NewInt(drawKey(rng, partZ, np)),
+			value.NewInt(drawKey(rng, suppZ, ns)),
+			value.NewInt(ship),
+			value.NewInt(rng.Int63n(50) + 1),
+			value.NewInt(rng.Int63n(11)), // discount in percent 0..10
+			value.NewFloat(100 + rng.Float64()*100000),
+		})
+	}
+
+	// Part.
+	for i := 1; i <= np; i++ {
+		t.PartRows = append(t.PartRows, value.Row{
+			value.NewInt(int64(i)),
+			value.NewString(partTypes[rng.Intn(len(partTypes))]),
+			value.NewInt(rng.Int63n(50) + 1),
+			value.NewFloat(900 + rng.Float64()*1000),
+		})
+	}
+
+	// Supplier.
+	for i := 1; i <= ns; i++ {
+		t.SupplierRows = append(t.SupplierRows, value.Row{
+			value.NewInt(int64(i)),
+			value.NewInt(rng.Int63n(25) + 1),
+			value.NewFloat(rng.Float64() * 10000),
+		})
+	}
+
+	// PartSupp.
+	seen := make(map[[2]int64]bool)
+	for len(t.PartSuppRows) < nps {
+		pk := drawKey(rng, partZ, np)
+		sk := drawKey(rng, suppZ, ns)
+		key := [2]int64{pk, sk}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		t.PartSuppRows = append(t.PartSuppRows, value.Row{
+			value.NewInt(pk), value.NewInt(sk),
+			value.NewInt(rng.Int63n(10000) + 1),
+			value.NewFloat(rng.Float64() * 1000),
+		})
+	}
+
+	t.buildMeta(nc, no, np, ns, nationNames)
+	return t
+}
+
+func (t *TPCH) buildMeta(nc, no, np, ns int, nationNames []string) {
+	numAttr := func(name string, min, max int64) catalog.Attribute {
+		return catalog.Attribute{Name: name, Type: value.Int, Binding: catalog.Free, Class: catalog.NumericAttr, Min: min, Max: max}
+	}
+	catAttr := func(name string, dom []string) catalog.Attribute {
+		return catalog.Attribute{Name: name, Type: value.String, Binding: catalog.Free, Class: catalog.CategoricalAttr, Domain: strDomain(dom)}
+	}
+	outAttr := func(name string) catalog.Attribute {
+		return catalog.Attribute{Name: name, Type: value.Float, Binding: catalog.Output}
+	}
+	col := func(name string, k value.Kind) value.Column { return value.Column{Name: name, Type: k} }
+
+	t.Region = &catalog.Table{
+		Name: "Region", Local: true,
+		Schema: value.Schema{col("RegionKey", value.Int), col("RName", value.String)},
+		Attrs: []catalog.Attribute{
+			numAttr("RegionKey", 1, 5),
+			catAttr("RName", regionNames),
+		},
+		Cardinality: int64(len(t.RegionRows)),
+	}
+	t.Nation = &catalog.Table{
+		Name: "Nation", Local: true,
+		Schema: value.Schema{col("NationKey", value.Int), col("NName", value.String), col("RegionKey", value.Int)},
+		Attrs: []catalog.Attribute{
+			numAttr("NationKey", 1, 25),
+			catAttr("NName", nationNames),
+			numAttr("RegionKey", 1, 5),
+		},
+		Cardinality: int64(len(t.NationRows)),
+	}
+	t.Customer = &catalog.Table{
+		Name:   "Customer",
+		Schema: value.Schema{col("CustKey", value.Int), col("NationKey", value.Int), col("MktSegment", value.String), col("AcctBal", value.Float)},
+		Attrs: []catalog.Attribute{
+			numAttr("CustKey", 1, int64(nc)),
+			numAttr("NationKey", 1, 25),
+			catAttr("MktSegment", mktSegments),
+			outAttr("AcctBal"),
+		},
+	}
+	t.Orders = &catalog.Table{
+		Name:   "Orders",
+		Schema: value.Schema{col("OrderKey", value.Int), col("CustKey", value.Int), col("OrderDate", value.Int), col("OrderPriority", value.String), col("TotalPrice", value.Float)},
+		Attrs: []catalog.Attribute{
+			numAttr("OrderKey", 1, int64(no)),
+			numAttr("CustKey", 1, int64(nc)),
+			numAttr("OrderDate", 1, dateDays),
+			catAttr("OrderPriority", orderPriorities),
+			outAttr("TotalPrice"),
+		},
+	}
+	t.Lineitem = &catalog.Table{
+		Name:   "Lineitem",
+		Schema: value.Schema{col("OrderKey", value.Int), col("PartKey", value.Int), col("SuppKey", value.Int), col("ShipDate", value.Int), col("Quantity", value.Int), col("Discount", value.Int), col("ExtendedPrice", value.Float)},
+		Attrs: []catalog.Attribute{
+			numAttr("OrderKey", 1, int64(no)),
+			numAttr("PartKey", 1, int64(np)),
+			numAttr("SuppKey", 1, int64(ns)),
+			numAttr("ShipDate", 1, dateDays+shipLag),
+			numAttr("Quantity", 1, 50),
+			numAttr("Discount", 0, 10),
+			outAttr("ExtendedPrice"),
+		},
+	}
+	t.Part = &catalog.Table{
+		Name:   "Part",
+		Schema: value.Schema{col("PartKey", value.Int), col("PType", value.String), col("Size", value.Int), col("RetailPrice", value.Float)},
+		Attrs: []catalog.Attribute{
+			numAttr("PartKey", 1, int64(np)),
+			catAttr("PType", partTypes),
+			numAttr("Size", 1, 50),
+			outAttr("RetailPrice"),
+		},
+	}
+	t.Supplier = &catalog.Table{
+		Name:   "Supplier",
+		Schema: value.Schema{col("SuppKey", value.Int), col("NationKey", value.Int), col("SAcctBal", value.Float)},
+		Attrs: []catalog.Attribute{
+			numAttr("SuppKey", 1, int64(ns)),
+			numAttr("NationKey", 1, 25),
+			outAttr("SAcctBal"),
+		},
+	}
+	t.PartSupp = &catalog.Table{
+		Name:   "PartSupp",
+		Schema: value.Schema{col("PartKey", value.Int), col("SuppKey", value.Int), col("AvailQty", value.Int), col("SupplyCost", value.Float)},
+		Attrs: []catalog.Attribute{
+			numAttr("PartKey", 1, int64(np)),
+			numAttr("SuppKey", 1, int64(ns)),
+			numAttr("AvailQty", 1, 10000),
+			outAttr("SupplyCost"),
+		},
+	}
+}
+
+// MarketTables lists the tables sold in the market.
+func (t *TPCH) MarketTables() []*catalog.Table {
+	return []*catalog.Table{t.Customer, t.Orders, t.Lineitem, t.Part, t.Supplier, t.PartSupp}
+}
+
+// MarketRowCount is the total number of rows behind the market paywall —
+// the "Download All" denominator.
+func (t *TPCH) MarketRowCount() int {
+	return len(t.CustomerRows) + len(t.OrdersRows) + len(t.LineitemRows) +
+		len(t.PartRows) + len(t.SupplierRows) + len(t.PartSuppRows)
+}
+
+// Install publishes the market tables in a "TPCH" dataset and loads Nation
+// and Region into the local DBMS.
+func (t *TPCH) Install(m *market.Market, db *storage.DB, tuplesPerTransaction int, price float64) error {
+	ds, err := m.AddDataset("TPCH", tuplesPerTransaction, price)
+	if err != nil {
+		return err
+	}
+	pairs := []struct {
+		meta *catalog.Table
+		rows []value.Row
+	}{
+		{t.Customer, t.CustomerRows}, {t.Orders, t.OrdersRows}, {t.Lineitem, t.LineitemRows},
+		{t.Part, t.PartRows}, {t.Supplier, t.SupplierRows}, {t.PartSupp, t.PartSuppRows},
+	}
+	for _, p := range pairs {
+		if err := ds.AddTable(p.meta, p.rows); err != nil {
+			return err
+		}
+	}
+	for _, local := range []struct {
+		meta *catalog.Table
+		rows []value.Row
+	}{{t.Nation, t.NationRows}, {t.Region, t.RegionRows}} {
+		tbl, err := db.Ensure(local.meta.Name, local.meta.Schema)
+		if err != nil {
+			return err
+		}
+		if _, err := tbl.Insert(local.rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Templates returns range-parameterised TPC-H-shaped query templates. The
+// ranges are sizable ("TPC-H queries scan a large portion of data", §5), so
+// a few dozen instances eventually cover the whole dataset.
+func (t *TPCH) Templates() []Template {
+	shipMax := int64(dateDays + shipLag)
+	return []Template{
+		{
+			Name: "T1-pricing", // Q6-shaped
+			Instantiate: func(rng *rand.Rand) string {
+				span := shipMax/8 + rng.Int63n(shipMax/8)
+				lo := rng.Int63n(shipMax-span) + 1
+				dlo := rng.Int63n(5)
+				return fmt.Sprintf(
+					"SELECT COUNT(*), SUM(ExtendedPrice) FROM Lineitem "+
+						"WHERE ShipDate >= %d AND ShipDate <= %d AND Discount >= %d AND Discount <= %d AND Quantity <= %d",
+					lo, lo+span, dlo, dlo+3, 25+rng.Int63n(25))
+			},
+		},
+		{
+			Name: "T2-shipping", // Q3-shaped
+			Instantiate: func(rng *rand.Rand) string {
+				seg := mktSegments[rng.Intn(len(mktSegments))]
+				cut := dateDays/3 + rng.Int63n(dateDays/3)
+				return fmt.Sprintf(
+					"SELECT COUNT(*), SUM(ExtendedPrice) FROM Customer, Orders, Lineitem "+
+						"WHERE Customer.MktSegment = '%s' AND Customer.CustKey = Orders.CustKey "+
+						"AND Lineitem.OrderKey = Orders.OrderKey AND Orders.OrderDate <= %d AND Lineitem.ShipDate >= %d",
+					seg, cut, cut)
+			},
+		},
+		{
+			Name: "T3-local-nation", // Q5-shaped with local Nation/Region
+			Instantiate: func(rng *rand.Rand) string {
+				region := regionNames[rng.Intn(len(regionNames))]
+				span := int64(dateDays / 4)
+				lo := rng.Int63n(dateDays-span) + 1
+				return fmt.Sprintf(
+					"SELECT NName, COUNT(*) FROM Region, Nation, Customer, Orders "+
+						"WHERE RName = '%s' AND Region.RegionKey = Nation.RegionKey "+
+						"AND Nation.NationKey = Customer.NationKey AND Customer.CustKey = Orders.CustKey "+
+						"AND Orders.OrderDate >= %d AND Orders.OrderDate <= %d GROUP BY NName",
+					region, lo, lo+span)
+			},
+		},
+		{
+			Name: "T4-parts", // partsupp join
+			Instantiate: func(rng *rand.Rand) string {
+				lo := rng.Int63n(40) + 1
+				return fmt.Sprintf(
+					"SELECT COUNT(*) FROM Part, PartSupp, Supplier "+
+						"WHERE Part.Size >= %d AND Part.Size <= %d AND Part.PartKey = PartSupp.PartKey "+
+						"AND PartSupp.SuppKey = Supplier.SuppKey",
+					lo, lo+10)
+			},
+		},
+		{
+			Name: "T5-returns", // Q10-shaped
+			Instantiate: func(rng *rand.Rand) string {
+				span := int64(dateDays / 6)
+				lo := rng.Int63n(dateDays-span) + 1
+				return fmt.Sprintf(
+					"SELECT NName, COUNT(*) FROM Customer, Orders, Nation "+
+						"WHERE Customer.CustKey = Orders.CustKey AND Customer.NationKey = Nation.NationKey "+
+						"AND Orders.OrderDate >= %d AND Orders.OrderDate <= %d GROUP BY NName",
+					lo, lo+span)
+			},
+		},
+	}
+}

@@ -1,0 +1,284 @@
+// Package workload generates the paper's evaluation workloads (§5):
+//
+//   - the real-data stand-in: synthetic Worldwide Historical Weather (WHW)
+//     and Environmental Hazard Rank (EHR) datasets with the schemas, access
+//     patterns and relative sizes of Fig. 1a, plus the local ZipMap table,
+//     and the five query templates of Table 1;
+//   - TPC-H-shaped data at configurable scale, with an optional Zipf(z=1)
+//     skew [19], and range-parameterised query templates whose parametric
+//     attributes are all free, with Nation and Region local.
+//
+// All generators are deterministic given a seed, so experiments repeat.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"payless/internal/catalog"
+	"payless/internal/market"
+	"payless/internal/storage"
+	"payless/internal/value"
+)
+
+// WHWConfig scales the weather/pollution data. The paper's real datasets
+// (Station 3 962 rows, Weather 19 549 140 rows, Pollution 44 210 rows) are
+// scaled down by default; relative shapes — stations per country, days per
+// station, the station→weather join fan-out — are preserved.
+type WHWConfig struct {
+	Seed int64
+	// Countries is the number of countries (the first is "United States").
+	Countries int
+	// StationsPerCountry is the average station count per country.
+	StationsPerCountry int
+	// CitiesPerCountry bounds how many cities a country's stations spread over.
+	CitiesPerCountry int
+	// Days is the number of consecutive calendar days of weather history,
+	// starting at StartDate.
+	Days int
+	// StartDate is the first day in YYYYMMDD form.
+	StartDate int64
+	// Zips is the Pollution table size; each zip maps to a city in ZipMap.
+	Zips int
+	// MaxRank bounds the pollution rank domain [1, MaxRank].
+	MaxRank int64
+}
+
+// DefaultWHWConfig returns the scale used by the benchmark harness.
+func DefaultWHWConfig() WHWConfig {
+	return WHWConfig{
+		Seed:               1,
+		Countries:          20,
+		StationsPerCountry: 30,
+		CitiesPerCountry:   8,
+		Days:               120,
+		StartDate:          20140401,
+		Zips:               800,
+		MaxRank:            1000,
+	}
+}
+
+// WHW holds the generated datasets plus their catalog metadata.
+type WHW struct {
+	Config WHWConfig
+
+	Station   *catalog.Table
+	Weather   *catalog.Table
+	Pollution *catalog.Table
+	ZipMap    *catalog.Table
+
+	StationRows   []value.Row
+	WeatherRows   []value.Row
+	PollutionRows []value.Row
+	ZipMapRows    []value.Row
+
+	// Countries, Cities and Dates are the generated domains.
+	Countries []string
+	Cities    []string
+	Dates     []int64
+	Zips      []string
+
+	// CityByZip maps each zip code to its city (the ZipMap contents).
+	CityByZip map[string]string
+	// StationCities maps country -> set of cities that have stations there.
+	StationCities map[string]map[string]bool
+}
+
+// DateSeq returns n consecutive calendar days starting at start (YYYYMMDD).
+func DateSeq(start int64, n int) []int64 {
+	t := time.Date(int(start/10000), time.Month(start/100%100), int(start%100), 0, 0, 0, 0, time.UTC)
+	out := make([]int64, n)
+	for i := 0; i < n; i++ {
+		d := t.AddDate(0, 0, i)
+		out[i] = int64(d.Year()*10000 + int(d.Month())*100 + d.Day())
+	}
+	return out
+}
+
+// GenerateWHW builds the synthetic WHW + EHR + ZipMap data.
+func GenerateWHW(cfg WHWConfig) *WHW {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := &WHW{Config: cfg}
+
+	w.Countries = append(w.Countries, "United States")
+	for i := 1; i < cfg.Countries; i++ {
+		w.Countries = append(w.Countries, fmt.Sprintf("Country%02d", i))
+	}
+	w.Dates = DateSeq(cfg.StartDate, cfg.Days)
+
+	// Cities: "Seattle" exists in the United States, as in the paper's
+	// running example.
+	cityOf := make(map[string][]string)
+	for ci, country := range w.Countries {
+		var cities []string
+		n := cfg.CitiesPerCountry
+		if n < 1 {
+			n = 1
+		}
+		for k := 0; k < n; k++ {
+			cities = append(cities, fmt.Sprintf("City_%02d_%02d", ci, k))
+		}
+		if country == "United States" {
+			cities[0] = "Seattle"
+		}
+		cityOf[country] = cities
+		w.Cities = append(w.Cities, cities...)
+	}
+
+	// Stations.
+	stationID := int64(1000)
+	type stationRec struct {
+		country string
+		id      int64
+		city    string
+	}
+	var stations []stationRec
+	for _, country := range w.Countries {
+		n := cfg.StationsPerCountry/2 + rng.Intn(cfg.StationsPerCountry+1)
+		cities := cityOf[country]
+		for k := 0; k < n; k++ {
+			stationID++
+			city := cities[rng.Intn(len(cities))]
+			stations = append(stations, stationRec{country: country, id: stationID, city: city})
+		}
+	}
+	w.StationCities = make(map[string]map[string]bool)
+	for _, s := range stations {
+		w.StationRows = append(w.StationRows, value.Row{
+			value.NewString(s.country), value.NewInt(s.id), value.NewString(s.city),
+		})
+		if w.StationCities[s.country] == nil {
+			w.StationCities[s.country] = make(map[string]bool)
+		}
+		w.StationCities[s.country][s.city] = true
+	}
+
+	// Weather: one record per station per day.
+	for _, s := range stations {
+		base := 5 + rng.Float64()*20
+		for _, d := range w.Dates {
+			temp := base + rng.Float64()*10 - 5
+			w.WeatherRows = append(w.WeatherRows, value.Row{
+				value.NewString(s.country), value.NewInt(s.id), value.NewInt(d), value.NewFloat(temp),
+			})
+		}
+	}
+
+	// Pollution + ZipMap: each zip belongs to one city.
+	w.CityByZip = make(map[string]string)
+	for i := 0; i < cfg.Zips; i++ {
+		zip := fmt.Sprintf("%05d", 10000+i)
+		w.Zips = append(w.Zips, zip)
+		city := w.Cities[rng.Intn(len(w.Cities))]
+		rank := rng.Int63n(cfg.MaxRank) + 1
+		w.PollutionRows = append(w.PollutionRows, value.Row{
+			value.NewString(zip), value.NewInt(rank),
+			value.NewFloat(-90 + rng.Float64()*180), value.NewFloat(-180 + rng.Float64()*360),
+		})
+		w.ZipMapRows = append(w.ZipMapRows, value.Row{value.NewString(zip), value.NewString(city)})
+		w.CityByZip[zip] = city
+	}
+
+	w.buildMeta()
+	return w
+}
+
+func strDomain(ss []string) []value.Value {
+	out := make([]value.Value, len(ss))
+	for i, s := range ss {
+		out[i] = value.NewString(s)
+	}
+	return out
+}
+
+func (w *WHW) buildMeta() {
+	cfg := w.Config
+	minDate, maxDate := w.Dates[0], w.Dates[len(w.Dates)-1]
+	minSID, maxSID := int64(1001), int64(1000+len(w.StationRows))
+
+	w.Station = &catalog.Table{
+		Name: "Station",
+		Schema: value.Schema{
+			{Name: "Country", Type: value.String},
+			{Name: "StationID", Type: value.Int},
+			{Name: "City", Type: value.String},
+		},
+		Attrs: []catalog.Attribute{
+			{Name: "Country", Type: value.String, Binding: catalog.Free, Class: catalog.CategoricalAttr, Domain: strDomain(w.Countries)},
+			{Name: "StationID", Type: value.Int, Binding: catalog.Free, Class: catalog.NumericAttr, Min: minSID, Max: maxSID},
+			{Name: "City", Type: value.String, Binding: catalog.Free, Class: catalog.CategoricalAttr, Domain: strDomain(w.Cities)},
+		},
+	}
+	w.Weather = &catalog.Table{
+		Name: "Weather",
+		Schema: value.Schema{
+			{Name: "Country", Type: value.String},
+			{Name: "StationID", Type: value.Int},
+			{Name: "Date", Type: value.Int},
+			{Name: "Temperature", Type: value.Float},
+		},
+		Attrs: []catalog.Attribute{
+			{Name: "Country", Type: value.String, Binding: catalog.Free, Class: catalog.CategoricalAttr, Domain: strDomain(w.Countries)},
+			{Name: "StationID", Type: value.Int, Binding: catalog.Free, Class: catalog.NumericAttr, Min: minSID, Max: maxSID},
+			{Name: "Date", Type: value.Int, Binding: catalog.Free, Class: catalog.NumericAttr, Min: minDate, Max: maxDate},
+			{Name: "Temperature", Type: value.Float, Binding: catalog.Output},
+		},
+	}
+	w.Pollution = &catalog.Table{
+		Name: "Pollution",
+		Schema: value.Schema{
+			{Name: "ZipCode", Type: value.String},
+			{Name: "Rank", Type: value.Int},
+			{Name: "Latitude", Type: value.Float},
+			{Name: "Longitude", Type: value.Float},
+		},
+		Attrs: []catalog.Attribute{
+			{Name: "ZipCode", Type: value.String, Binding: catalog.Free, Class: catalog.CategoricalAttr, Domain: strDomain(w.Zips)},
+			{Name: "Rank", Type: value.Int, Binding: catalog.Free, Class: catalog.NumericAttr, Min: 1, Max: cfg.MaxRank},
+			{Name: "Latitude", Type: value.Float, Binding: catalog.Output},
+			{Name: "Longitude", Type: value.Float, Binding: catalog.Output},
+		},
+	}
+	w.ZipMap = &catalog.Table{
+		Name:  "ZipMap",
+		Local: true,
+		Schema: value.Schema{
+			{Name: "ZipCode", Type: value.String},
+			{Name: "City", Type: value.String},
+		},
+		Attrs: []catalog.Attribute{
+			{Name: "ZipCode", Type: value.String, Binding: catalog.Free, Class: catalog.CategoricalAttr, Domain: strDomain(w.Zips)},
+			{Name: "City", Type: value.String, Binding: catalog.Free, Class: catalog.CategoricalAttr, Domain: strDomain(w.Cities)},
+		},
+		Cardinality: int64(len(w.ZipMapRows)),
+	}
+}
+
+// Install publishes the WHW and EHR datasets on a market with the given
+// page size, and loads ZipMap into the local DBMS.
+func (w *WHW) Install(m *market.Market, db *storage.DB, tuplesPerTransaction int, price float64) error {
+	whw, err := m.AddDataset("WHW", tuplesPerTransaction, price)
+	if err != nil {
+		return err
+	}
+	if err := whw.AddTable(w.Station, w.StationRows); err != nil {
+		return err
+	}
+	if err := whw.AddTable(w.Weather, w.WeatherRows); err != nil {
+		return err
+	}
+	ehr, err := m.AddDataset("EHR", tuplesPerTransaction, price)
+	if err != nil {
+		return err
+	}
+	if err := ehr.AddTable(w.Pollution, w.PollutionRows); err != nil {
+		return err
+	}
+	tbl, err := db.Ensure("ZipMap", w.ZipMap.Schema)
+	if err != nil {
+		return err
+	}
+	_, err = tbl.Insert(w.ZipMapRows)
+	return err
+}

@@ -1,0 +1,42 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Zipf draws integers in [1, n] with probability P(k) ∝ 1/k^z, matching the
+// TPC-D skew generator of Chaudhuri and Narasayya [19] that the paper uses
+// with z = 1. z = 0 degenerates to uniform.
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf precomputes the distribution over [1, n].
+func NewZipf(n int, z float64) *Zipf {
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 1; k <= n; k++ {
+		sum += 1 / math.Pow(float64(k), z)
+		cdf[k-1] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf}
+}
+
+// Draw samples one value in [1, n].
+func (zf *Zipf) Draw(rng *rand.Rand) int {
+	u := rng.Float64()
+	lo, hi := 0, len(zf.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if zf.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
+}

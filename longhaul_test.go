@@ -1,0 +1,60 @@
+package payless
+
+import (
+	"math"
+	"testing"
+
+	"payless/internal/workload"
+)
+
+// TestLongHaulWorkload soaks the full stack with a mixed Table 1 workload
+// and checks system invariants after every query:
+//   - the seller meter equals the sum of buyer reports (billing integrity),
+//   - per-table coverage is monotone non-decreasing (no eviction, §3),
+//   - the cumulative spend stays at or below the Download All cost for the
+//     tables actually touched plus a small rounding overhead.
+func TestLongHaulWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long haul")
+	}
+	client, m, w := testSetup(t, nil)
+	queries := workload.Mix(w.Templates(), 8, 2030) // 40 mixed queries
+
+	prevCoverage := map[string]int{}
+	var reported int64
+	for i, sql := range queries {
+		res, err := client.Query(sql)
+		if err != nil {
+			t.Fatalf("query %d (%s): %v", i, sql, err)
+		}
+		reported += res.Report.Transactions
+
+		meter, _ := m.MeterOf("acct")
+		if meter.Transactions != reported {
+			t.Fatalf("after query %d: meter %d != reports %d", i, meter.Transactions, reported)
+		}
+		for _, tc := range client.Coverage() {
+			if tc.StoredRows < prevCoverage[tc.Table] {
+				t.Fatalf("after query %d: coverage of %s shrank (%d -> %d)",
+					i, tc.Table, prevCoverage[tc.Table], tc.StoredRows)
+			}
+			prevCoverage[tc.Table] = tc.StoredRows
+		}
+	}
+
+	// Spend bound: with SQR, total spend cannot exceed the price of the
+	// rows actually owned plus one transaction of ceil-rounding per call.
+	owned := 0
+	for _, tc := range client.Coverage() {
+		owned += tc.StoredRows
+	}
+	calls := client.TotalSpend().Calls
+	bound := int64(math.Ceil(float64(owned)/100)) + calls
+	if reported > bound {
+		t.Errorf("spend %d exceeds owned-rows bound %d (owned=%d calls=%d)",
+			reported, bound, owned, calls)
+	}
+	if owned == 0 || reported == 0 {
+		t.Error("long haul should actually buy data")
+	}
+}

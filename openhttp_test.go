@@ -1,0 +1,80 @@
+package payless
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"payless/internal/catalog"
+	"payless/internal/market"
+	"payless/internal/storage"
+	"payless/internal/workload"
+)
+
+// TestOpenHTTPEndToEnd runs the full RESTful path: registration over HTTP,
+// catalog download, page-size discovery, queries through the connector, and
+// billing agreement between buyer and seller.
+func TestOpenHTTPEndToEnd(t *testing.T) {
+	w := workload.GenerateWHW(workload.WHWConfig{
+		Seed: 4, Countries: 3, StationsPerCountry: 15, CitiesPerCountry: 3,
+		Days: 15, StartDate: 20140601, Zips: 40, MaxRank: 100,
+	})
+	m := market.New()
+	if err := w.Install(m, storage.NewDB(), 50, 2.0); err != nil { // t=50, $2
+		t.Fatal(err)
+	}
+	m.RegisterAccount("org")
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	client, err := OpenHTTP(srv.URL, "org", []*catalog.Table{w.ZipMap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.LoadLocal("ZipMap", w.ZipMapRows); err != nil {
+		t.Fatal(err)
+	}
+
+	// The page size t=50 must have been discovered from the catalog:
+	// pricing below uses ceil(records/50) * $2.
+	sql := fmt.Sprintf("SELECT * FROM Weather WHERE Country = 'United States' AND Date >= %d AND Date <= %d",
+		w.Dates[0], w.Dates[9])
+	res, err := client.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := res.Report.Records
+	wantTrans := (records + 49) / 50
+	if res.Report.Transactions != wantTrans {
+		t.Errorf("t=50 pricing: %d transactions for %d records, want %d",
+			res.Report.Transactions, records, wantTrans)
+	}
+	if res.Report.Price != float64(wantTrans)*2 {
+		t.Errorf("price at $2/transaction: %v", res.Report.Price)
+	}
+	// Buyer-side report equals seller-side meter.
+	meter, _ := m.MeterOf("org")
+	if meter.Transactions != res.Report.Transactions || meter.Price != res.Report.Price {
+		t.Errorf("meter %+v vs report %+v", meter, res.Report)
+	}
+	// Reuse works across the HTTP path too.
+	res2, err := client.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Report.Transactions != 0 {
+		t.Errorf("repeat over HTTP should be free: %+v", res2.Report)
+	}
+	// The join templates run over HTTP as well.
+	res3, err := client.Query(fmt.Sprintf(
+		"SELECT City, AVG(Temperature) FROM Station, Weather "+
+			"WHERE Station.Country = Weather.Country = 'United States' AND Weather.Date >= %d AND Weather.Date <= %d "+
+			"AND Station.StationID = Weather.StationID GROUP BY City",
+		w.Dates[0], w.Dates[4]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res3.Rows) == 0 {
+		t.Error("join over HTTP returned nothing")
+	}
+}

@@ -1,0 +1,401 @@
+// Package payless is a client-side SQL layer over cloud data markets that
+// minimises the money paid to data sellers, reproducing "Query Optimization
+// over Cloud Data Market" (Li, Lo, Yiu, Xu — EDBT 2015).
+//
+// A data market sells tables behind a RESTful X→Y interface and bills
+// ceil(records/t) "transactions" per call. PayLess exposes SQL over such
+// tables (mixed freely with local tables), optimises each query with a
+// price-based dynamic program that uses bind joins as an access path, and
+// rewrites calls against a semantic store of everything previously
+// retrieved, so repeated analytics touch the market as little as possible.
+//
+// Typical use:
+//
+//	client, err := payless.Open(payless.Config{
+//		Tables: marketTables,          // from market registration
+//		Caller: connectorOrInProcess,  // HTTP connector or in-process market
+//	})
+//	res, err := client.Query(`SELECT City, AVG(Temperature) FROM ...`)
+//	fmt.Println(res.Report.Transactions) // money actually spent
+package payless
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"payless/internal/catalog"
+	"payless/internal/connector"
+	"payless/internal/core"
+	"payless/internal/engine"
+	"payless/internal/market"
+	"payless/internal/region"
+	"payless/internal/semstore"
+	"payless/internal/sqlparse"
+	"payless/internal/stats"
+	"payless/internal/storage"
+	"payless/internal/value"
+)
+
+// Consistency selects how stale reused results may be (paper §4.3).
+type Consistency struct {
+	// window > 0 limits reuse to entries younger than window; 0 is weak
+	// consistency (reuse everything); negative disables reuse entirely.
+	window time.Duration
+}
+
+// Weak reuses every stored result (the paper's default: datasets are
+// append-only).
+func Weak() Consistency { return Consistency{} }
+
+// Window reuses results fetched within d (the paper's "X-week consistency").
+func Window(d time.Duration) Consistency { return Consistency{window: d} }
+
+// Strong never reuses stored results: semantic query rewriting is disabled
+// and every query pays the market afresh.
+func Strong() Consistency { return Consistency{window: -1} }
+
+// Config configures a Client.
+type Config struct {
+	// Tables is the catalog: market tables (from registration) and local
+	// tables (Local=true). Required.
+	Tables []*catalog.Table
+	// Caller executes RESTful calls (HTTP connector or in-process market).
+	// Required.
+	Caller market.Caller
+	// TuplesPerTransaction is the page size t per dataset name.
+	TuplesPerTransaction map[string]int
+	// DefaultTuplesPerTransaction applies to datasets missing above; 0 = 100.
+	DefaultTuplesPerTransaction int
+	// Consistency selects result-freshness vs. price (default Weak).
+	Consistency Consistency
+	// DisableSQR turns off semantic query rewriting ("PayLess w/o SQR").
+	DisableSQR bool
+	// MinimizeCalls optimises for the number of RESTful calls instead of
+	// transactions — the behaviour of limited-access-pattern optimizers
+	// ("Minimizing Calls" in the paper's evaluation). Implies DisableSQR.
+	MinimizeCalls bool
+	// DisableTheorems turns off the search-space reductions of Theorems 1–3
+	// (the "Disable All" ablation).
+	DisableTheorems bool
+	// DisableBoxPruning turns off Algorithm 1's pruning rules (Fig. 15).
+	DisableBoxPruning bool
+	// UniformStats disables the learning statistics and keeps the textbook
+	// uniform estimator (shorthand for Statistics: StatsUniform).
+	UniformStats bool
+	// Statistics selects the updatable statistic implementation; the paper
+	// plugs in ISOMER and notes any updatable statistic fits (§3).
+	Statistics StatsKind
+	// Budget caps spending; over-budget queries fail with ErrOverBudget
+	// before any call is made.
+	Budget Budget
+}
+
+// StatsKind names a statistics implementation.
+type StatsKind int
+
+const (
+	// StatsFeedback is the default: a consistent multidimensional feedback
+	// histogram (the repository's ISOMER stand-in).
+	StatsFeedback StatsKind = iota
+	// StatsUniform never learns: the textbook cold-start estimator.
+	StatsUniform
+	// StatsAVI keeps one feedback histogram per attribute, combined under
+	// the attribute-value-independence assumption.
+	StatsAVI
+)
+
+// statsStore is what the client needs from a statistics implementation.
+type statsStore interface {
+	stats.Estimator
+	Register(table string, full region.Box, card int64)
+}
+
+// Result is a query outcome.
+type Result struct {
+	// Columns are the output column names.
+	Columns []string
+	// Rows are the result tuples, rendered as strings.
+	Rows [][]string
+	// Report is what this query actually cost at the market.
+	Report engine.Report
+	// EstTransactions is the optimizer's price estimate for the chosen plan.
+	EstTransactions int64
+	// Counters reports the optimizer's search effort.
+	Counters core.Counters
+	// Plan renders the chosen plan.
+	Plan string
+	// OptimizeTime is how long optimization took.
+	OptimizeTime time.Duration
+}
+
+// Client is a PayLess instance serving one data-buyer organisation. It is
+// safe for concurrent use: the paper's setting has one PayLess installation
+// serving all end users of the buyer (Fig. 2).
+type Client struct {
+	cat    *catalog.Catalog
+	db     *storage.DB
+	store  *semstore.Store
+	stats  statsStore
+	caller market.Caller
+	cfg    Config
+
+	mu    sync.Mutex
+	audit io.Writer
+	total engine.Report
+	// counters accumulates search effort across queries.
+	counters core.Counters
+	queries  int
+}
+
+// Open builds a Client from a config.
+func Open(cfg Config) (*Client, error) {
+	if cfg.Caller == nil {
+		return nil, fmt.Errorf("payless: Config.Caller is required")
+	}
+	if len(cfg.Tables) == 0 {
+		return nil, fmt.Errorf("payless: Config.Tables is required")
+	}
+	cat := catalog.New()
+	kind := cfg.Statistics
+	if cfg.UniformStats {
+		kind = StatsUniform
+	}
+	var st statsStore
+	switch kind {
+	case StatsUniform:
+		st = stats.NewUniform()
+	case StatsAVI:
+		st = stats.NewAVI()
+	default:
+		st = stats.New()
+	}
+	for _, t := range cfg.Tables {
+		if err := cat.Register(t); err != nil {
+			return nil, err
+		}
+		if !t.Local {
+			st.Register(t.Name, t.FullBox(), t.Cardinality)
+		}
+	}
+	db := storage.NewDB()
+	return &Client{
+		cat:    cat,
+		db:     db,
+		store:  semstore.New(db),
+		stats:  st,
+		caller: cfg.Caller,
+		cfg:    cfg,
+	}, nil
+}
+
+// OpenHTTP registers with a market server over HTTP and builds a Client:
+// it fetches the public catalog and per-dataset page sizes automatically.
+// Extra local tables may be passed alongside.
+func OpenHTTP(baseURL, accountKey string, localTables []*catalog.Table, opts ...func(*Config)) (*Client, error) {
+	cli := connector.New(baseURL, accountKey)
+	tables, err := cli.Catalog()
+	if err != nil {
+		return nil, err
+	}
+	tpt := make(map[string]int)
+	for _, t := range tables {
+		if _, ok := tpt[t.Dataset]; !ok {
+			pt, err := cli.TuplesPerTransaction(t.Dataset)
+			if err != nil {
+				return nil, err
+			}
+			tpt[t.Dataset] = pt
+		}
+	}
+	cfg := Config{
+		Tables:               append(tables, localTables...),
+		Caller:               cli,
+		TuplesPerTransaction: tpt,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return Open(cfg)
+}
+
+// LoadLocal loads rows into a local table so queries can join against it.
+// The table must be registered with Local=true in the config.
+func (c *Client) LoadLocal(name string, rows []value.Row) error {
+	t, ok := c.cat.Lookup(name)
+	if !ok || !t.Local {
+		return fmt.Errorf("payless: %s is not a registered local table", name)
+	}
+	tbl, err := c.db.Ensure(t.Name, t.Schema)
+	if err != nil {
+		return err
+	}
+	_, err = tbl.Insert(rows)
+	return err
+}
+
+// options derives the optimizer/engine options from the config.
+func (c *Client) options() core.Options {
+	opts := core.Options{
+		DisableSQR:                  c.cfg.DisableSQR || c.cfg.MinimizeCalls,
+		DisableTheorems:             c.cfg.DisableTheorems,
+		DisableBoxPruning:           c.cfg.DisableBoxPruning,
+		DefaultTuplesPerTransaction: c.cfg.DefaultTuplesPerTransaction,
+		TuplesPerTransaction:        c.cfg.TuplesPerTransaction,
+	}
+	if c.cfg.MinimizeCalls {
+		opts.CostModel = core.CostCalls
+	}
+	switch {
+	case c.cfg.Consistency.window < 0:
+		opts.DisableSQR = true
+	case c.cfg.Consistency.window > 0:
+		opts.Since = time.Now().Add(-c.cfg.Consistency.window)
+	}
+	return opts
+}
+
+// Query parses, optimises and executes one SQL statement.
+func (c *Client) Query(sql string) (*Result, error) {
+	parsed, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, fmt.Errorf("payless: parse: %w", err)
+	}
+	bound, err := core.Bind(parsed, c.cat)
+	if err != nil {
+		return nil, fmt.Errorf("payless: bind: %w", err)
+	}
+	opts := c.options()
+	opt := core.Optimizer{Catalog: c.cat, Store: c.store, Stats: c.stats, Options: opts}
+	plan, err := opt.Optimize(bound)
+	if err != nil {
+		return nil, fmt.Errorf("payless: optimize: %w", err)
+	}
+	if err := c.checkBudget(plan.EstTrans); err != nil {
+		return nil, err
+	}
+	eng := engine.Engine{
+		Catalog: c.cat,
+		Store:   c.store,
+		Stats:   c.stats,
+		Caller:  c.caller,
+		Options: opts,
+	}
+	rel, report, err := eng.Execute(plan)
+	if err != nil {
+		return nil, fmt.Errorf("payless: execute: %w", err)
+	}
+	c.mu.Lock()
+	c.total.Add(report)
+	c.counters.Add(plan.Counters)
+	c.queries++
+	c.mu.Unlock()
+
+	res := &Result{
+		Columns:         rel.Schema.Names(),
+		Report:          report,
+		EstTransactions: plan.EstTrans,
+		Counters:        plan.Counters,
+		Plan:            plan.String(),
+		OptimizeTime:    plan.Optimized,
+	}
+	for _, row := range rel.Rows {
+		enc := make([]string, len(row))
+		for i, v := range row {
+			enc[i] = v.String()
+		}
+		res.Rows = append(res.Rows, enc)
+	}
+	c.writeAudit(sql, res)
+	return res, nil
+}
+
+// Explain parses and optimises a statement without executing it.
+func (c *Client) Explain(sql string) (*Result, error) {
+	parsed, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, fmt.Errorf("payless: parse: %w", err)
+	}
+	bound, err := core.Bind(parsed, c.cat)
+	if err != nil {
+		return nil, fmt.Errorf("payless: bind: %w", err)
+	}
+	opt := core.Optimizer{Catalog: c.cat, Store: c.store, Stats: c.stats, Options: c.options()}
+	plan, err := opt.Optimize(bound)
+	if err != nil {
+		return nil, fmt.Errorf("payless: optimize: %w", err)
+	}
+	return &Result{
+		EstTransactions: plan.EstTrans,
+		Counters:        plan.Counters,
+		Plan:            plan.String(),
+		OptimizeTime:    plan.Optimized,
+	}, nil
+}
+
+// ExplainVerbose optimises a statement and renders a step-by-step plan
+// report without executing it.
+func (c *Client) ExplainVerbose(sql string) (string, error) {
+	parsed, err := sqlparse.Parse(sql)
+	if err != nil {
+		return "", fmt.Errorf("payless: parse: %w", err)
+	}
+	bound, err := core.Bind(parsed, c.cat)
+	if err != nil {
+		return "", fmt.Errorf("payless: bind: %w", err)
+	}
+	opt := core.Optimizer{Catalog: c.cat, Store: c.store, Stats: c.stats, Options: c.options()}
+	plan, err := opt.Optimize(bound)
+	if err != nil {
+		return "", fmt.Errorf("payless: optimize: %w", err)
+	}
+	return plan.Describe(), nil
+}
+
+// TotalSpend reports the cumulative market cost across all queries.
+func (c *Client) TotalSpend() engine.Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+// SearchEffort reports cumulative optimizer counters and the query count.
+func (c *Client) SearchEffort() (core.Counters, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counters, c.queries
+}
+
+// StoredRows reports how many rows of a market table are materialised in
+// the semantic store.
+func (c *Client) StoredRows(table string) int { return c.store.StoredRowCount(table) }
+
+// TableInfo summarises one catalog entry for introspection (the CLI's
+// \tables command).
+type TableInfo struct {
+	Name string
+	// Dataset is empty for local tables.
+	Dataset string
+	Local   bool
+	// BindingPattern uses the paper's notation, e.g. "Weather(Country^f, ...)".
+	BindingPattern string
+	Cardinality    int64
+	Columns        []string
+}
+
+// Tables lists every table the client can query.
+func (c *Client) Tables() []TableInfo {
+	var out []TableInfo
+	for _, t := range c.cat.Tables() {
+		out = append(out, TableInfo{
+			Name:           t.Name,
+			Dataset:        t.Dataset,
+			Local:          t.Local,
+			BindingPattern: t.BindingPattern(),
+			Cardinality:    t.Cardinality,
+			Columns:        t.Schema.Names(),
+		})
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package payless
+
+import (
+	"io"
+	"os"
+
+	"payless/internal/catalog"
+)
+
+// SaveStore serialises the semantic store — every paid-for call and its
+// materialised rows — so the organisation's purchases survive restarts.
+func (c *Client) SaveStore(w io.Writer) error {
+	return c.store.Save(w)
+}
+
+// LoadStore restores a previously saved semantic store. Tables must exist
+// in this client's catalog with the same schemas. Queries covered by the
+// restored store are answered without paying the market again.
+func (c *Client) LoadStore(r io.Reader) error {
+	return c.store.Load(r, func(table string) (*catalog.Table, bool) {
+		return c.cat.Lookup(table)
+	})
+}
+
+// SaveStoreFile and LoadStoreFile are path-based conveniences.
+func (c *Client) SaveStoreFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := c.SaveStore(f); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// LoadStoreFile restores the semantic store from a file written by
+// SaveStoreFile.
+func (c *Client) LoadStoreFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return c.LoadStore(f)
+}

@@ -1,0 +1,114 @@
+package payless
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadStoreRoundTrip(t *testing.T) {
+	c1, m, w := testSetup(t, nil)
+	sql := fmt.Sprintf("SELECT * FROM Weather WHERE Country = 'United States' AND Date >= %d AND Date <= %d",
+		w.Dates[0], w.Dates[9])
+	first, err := c1.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Report.Transactions == 0 {
+		t.Fatal("first run should pay")
+	}
+	var buf bytes.Buffer
+	if err := c1.SaveStore(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// A brand-new client (fresh restart on the same market account)
+	// restores the store and answers the same query for free.
+	m.RegisterAccount("restart")
+	c3, err := Open(Config{
+		Tables: c1.cfg.Tables,
+		Caller: c1.cfg.Caller,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c3.LoadLocal("ZipMap", w.ZipMapRows); err != nil {
+		t.Fatal(err)
+	}
+	if err := c3.LoadStore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c3.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Transactions != 0 || res.Report.Calls != 0 {
+		t.Errorf("restored store must answer for free: %+v", res.Report)
+	}
+	if len(res.Rows) != len(first.Rows) {
+		t.Errorf("restored rows: %d, want %d", len(res.Rows), len(first.Rows))
+	}
+	if c3.StoredRows("Weather") != c1.StoredRows("Weather") {
+		t.Errorf("stored rows differ: %d vs %d", c3.StoredRows("Weather"), c1.StoredRows("Weather"))
+	}
+}
+
+func TestSaveLoadStoreFile(t *testing.T) {
+	c1, _, w := testSetup(t, nil)
+	_ = w
+	if _, err := c1.Query("SELECT * FROM Pollution WHERE Rank >= 1 AND Rank <= 50"); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "store.json")
+	if err := c1.SaveStoreFile(path); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Open(Config{Tables: c1.cfg.Tables, Caller: c1.cfg.Caller})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.LoadStoreFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if c2.StoredRows("Pollution") != c1.StoredRows("Pollution") {
+		t.Error("file round trip lost rows")
+	}
+	if err := c2.LoadStoreFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestLoadStoreErrors(t *testing.T) {
+	client, _, _ := testSetup(t, nil)
+	if err := client.LoadStore(strings.NewReader("not json")); err == nil {
+		t.Error("bad JSON should error")
+	}
+	if err := client.LoadStore(strings.NewReader(`{"version":99}`)); err == nil {
+		t.Error("unknown version should error")
+	}
+	if err := client.LoadStore(strings.NewReader(`{"version":1,"tables":[{"table":"Ghost"}]}`)); err == nil {
+		t.Error("unknown table should error")
+	}
+	if err := client.LoadStore(strings.NewReader(
+		`{"version":1,"tables":[{"table":"Weather","kinds":["int"]}]}`)); err == nil {
+		t.Error("column count mismatch should error")
+	}
+	if err := client.LoadStore(strings.NewReader(
+		`{"version":1,"tables":[{"table":"Weather","kinds":["int","int","int","float"]}]}`)); err == nil {
+		t.Error("kind mismatch should error")
+	}
+	if err := client.LoadStore(strings.NewReader(
+		`{"version":1,"tables":[{"table":"Weather","kinds":["string","int","int","banana"]}]}`)); err == nil {
+		t.Error("unknown kind should error")
+	}
+	if err := client.LoadStore(strings.NewReader(
+		`{"version":1,"tables":[{"table":"Weather","kinds":["string","int","int","float"],"rows":[["a","1"]]}]}`)); err == nil {
+		t.Error("row width mismatch should error")
+	}
+	if err := client.LoadStore(strings.NewReader(
+		`{"version":1,"tables":[{"table":"Weather","kinds":["string","int","int","float"],"rows":[["US","x","1","1.0"]]}]}`)); err == nil {
+		t.Error("bad cell should error")
+	}
+}

@@ -1,0 +1,107 @@
+package payless
+
+import (
+	"testing"
+
+	"payless/internal/value"
+)
+
+func TestPrepareAndQuery(t *testing.T) {
+	client, _, w := testSetup(t, nil)
+	stmt, err := client.Prepare(
+		"SELECT * FROM Weather WHERE Country = ? AND Date >= ? AND Date <= ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.NumParams() != 3 {
+		t.Fatalf("params: %d", stmt.NumParams())
+	}
+	res, err := stmt.Query("United States", w.Dates[0], w.Dates[4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// Second execution with the same parameters is free (semantic store).
+	res2, err := stmt.Query("United States", w.Dates[0], w.Dates[4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Report.Transactions != 0 {
+		t.Errorf("repeat should be free: %+v", res2.Report)
+	}
+	// Different parameters hit the market again.
+	res3, err := stmt.Query("Country01", w.Dates[0], w.Dates[4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Report.Transactions == 0 {
+		t.Error("new parameters should pay")
+	}
+}
+
+func TestPrepareArgumentTypes(t *testing.T) {
+	client, _, _ := testSetup(t, nil)
+	stmt, err := client.Prepare("SELECT COUNT(*) FROM Pollution WHERE Rank >= ? AND Rank <= ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, args := range [][]any{
+		{int(1), int64(50)},
+		{int32(1), int64(50)},
+		{value.NewInt(1), value.NewInt(50)},
+	} {
+		if _, err := stmt.Query(args...); err != nil {
+			t.Errorf("args %v: %v", args, err)
+		}
+	}
+	if _, err := stmt.Query(1); err == nil {
+		t.Error("wrong arity should error")
+	}
+	if _, err := stmt.Query(1, struct{}{}); err == nil {
+		t.Error("unsupported type should error")
+	}
+	if _, err := stmt.Explain(1, 50); err != nil {
+		t.Errorf("Explain: %v", err)
+	}
+}
+
+func TestPrepareQuoteSafety(t *testing.T) {
+	client, _, _ := testSetup(t, nil)
+	stmt, err := client.Prepare("SELECT * FROM Pollution WHERE ZipCode = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A hostile string with quotes must stay a single literal: the query
+	// parses (no injection) and simply matches nothing.
+	res, err := stmt.Query("' OR Rank >= 1 AND ZipCode = '10001")
+	if err != nil {
+		t.Fatalf("quoted argument broke the statement: %v", err)
+	}
+	if len(res.Rows) != 0 {
+		t.Errorf("hostile literal must not match: %d rows", len(res.Rows))
+	}
+}
+
+func TestPreparePlaceholderInsideLiteral(t *testing.T) {
+	client, _, _ := testSetup(t, nil)
+	stmt, err := client.Prepare("SELECT * FROM Pollution WHERE ZipCode = 'what?' AND Rank >= ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.NumParams() != 1 {
+		t.Errorf("? inside a literal must not count: %d", stmt.NumParams())
+	}
+	// Escaped quotes inside literals are preserved.
+	stmt2, err := client.Prepare("SELECT * FROM Pollution WHERE ZipCode = 'it''s?ok' AND Rank >= ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt2.NumParams() != 1 {
+		t.Errorf("escaped-quote literal: %d params", stmt2.NumParams())
+	}
+	if _, err := client.Prepare("SELECT * FROM T WHERE a = 'oops"); err == nil {
+		t.Error("unterminated literal should error at Prepare")
+	}
+}
