@@ -75,7 +75,7 @@ func (c *Client) QueryBatch(sqls []string) ([]BatchResult, error) {
 		})
 		pick := plans[0]
 
-		eng := engine.Engine{Catalog: c.cat, Store: c.store, Stats: c.stats, Caller: c.caller, Options: opts}
+		eng := engine.Engine{Catalog: c.cat, Store: c.store, Stats: c.stats, Caller: c.caller, Options: opts, Concurrency: c.cfg.fetchConcurrency()}
 		rel, report, err := eng.Execute(pick.plan)
 		if err != nil {
 			return nil, fmt.Errorf("payless: batch statement %d: execute: %w", pick.p.idx, err)

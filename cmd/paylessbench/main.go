@@ -20,7 +20,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 10, 11, 12, 13, 14, 15 or all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 10, 11, 12, 13, 14, 15, conc or all")
 		dataset  = flag.String("dataset", "all", "dataset: real, tpch, tpch-skew or all")
 		qReal    = flag.Int("qreal", 40, "query instances per template (real data)")
 		qTPCH    = flag.Int("qtpch", 10, "query instances per template (TPC-H)")
@@ -38,7 +38,7 @@ func main() {
 	p.Seed = *seed
 	p.SampleEvery = *sample
 
-	figures := []string{"10", "11", "12", "13", "14", "15"}
+	figures := []string{"10", "11", "12", "13", "14", "15", "conc"}
 	if *fig != "all" {
 		figures = []string{*fig}
 	}
@@ -89,6 +89,11 @@ func one(f, ds string, req bench.Request) (*bench.Figure, error) {
 		return bench.Fig14(p, ds)
 	case "15":
 		return bench.Fig15(p, ds)
+	case "conc":
+		if ds != "real" && ds != "all" {
+			return nil, nil // the latency sweep runs on the real workload only
+		}
+		return bench.FigConcurrency(bench.DefaultConcurrencyParams())
 	default:
 		return nil, fmt.Errorf("unknown figure %q", f)
 	}

@@ -3,6 +3,7 @@ package payless
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 
 	"payless/internal/catalog"
@@ -11,18 +12,30 @@ import (
 	"payless/internal/workload"
 )
 
-// flakyCaller fails every call once armed, simulating a market outage.
+// flakyCaller fails every call once armed, simulating a market outage. It
+// is mutex-guarded: the engine's fetch pool may call it from many
+// goroutines.
 type flakyCaller struct {
 	inner    market.Caller
+	mu       sync.Mutex
 	failFrom int // fail calls with sequence number >= failFrom; -1 = never
 	calls    int
 }
 
 var errMarketDown = errors.New("market unavailable")
 
+func (f *flakyCaller) arm(failFrom int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failFrom = failFrom
+}
+
 func (f *flakyCaller) Call(q catalog.AccessQuery) (market.Result, error) {
+	f.mu.Lock()
 	f.calls++
-	if f.failFrom >= 0 && f.calls >= f.failFrom {
+	down := f.failFrom >= 0 && f.calls >= f.failFrom
+	f.mu.Unlock()
+	if down {
 		return market.Result{}, errMarketDown
 	}
 	return f.inner.Call(q)
@@ -56,14 +69,14 @@ func flakySetup(t *testing.T) (*Client, *flakyCaller, *workload.WHW) {
 
 func TestMarketOutageSurfacesError(t *testing.T) {
 	client, fc, w := flakySetup(t)
-	fc.failFrom = 1 // down from the first call
+	fc.arm(1) // down from the first call
 	sql := fmt.Sprintf("SELECT * FROM Weather WHERE Country = 'United States' AND Date >= %d AND Date <= %d",
 		w.Dates[0], w.Dates[5])
 	if _, err := client.Query(sql); !errors.Is(err, errMarketDown) {
 		t.Fatalf("outage must surface: %v", err)
 	}
 	// Recovery: the same client works once the market is back.
-	fc.failFrom = -1
+	fc.arm(-1)
 	if _, err := client.Query(sql); err != nil {
 		t.Fatalf("recovery failed: %v", err)
 	}
@@ -78,7 +91,7 @@ func TestMidPlanFailureKeepsPartialResults(t *testing.T) {
 			"WHERE City = 'Seattle' AND Station.Country = Weather.Country = 'United States' "+
 			"AND Date >= %d AND Date <= %d AND Station.StationID = Weather.StationID",
 		w.Dates[0], w.Dates[29])
-	fc.failFrom = 2
+	fc.arm(2)
 	if _, err := client.Query(sql); !errors.Is(err, errMarketDown) {
 		t.Fatalf("mid-plan outage must surface: %v", err)
 	}
@@ -89,7 +102,7 @@ func TestMidPlanFailureKeepsPartialResults(t *testing.T) {
 	}
 	// ...so the retry pays only for the missing part, and the final answer
 	// is complete and correct.
-	fc.failFrom = -1
+	fc.arm(-1)
 	res, err := client.Query(sql)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"payless/internal/workload"
+)
+
+func smallConcurrencyParams() ConcurrencyParams {
+	cfg := workload.DefaultWHWConfig()
+	cfg.Countries = 8
+	cfg.StationsPerCountry = 5
+	cfg.CitiesPerCountry = 2
+	cfg.Days = 10
+	cfg.Zips = 20
+	return ConcurrencyParams{
+		Cfg:         cfg,
+		Levels:      []int{1, 4},
+		CallLatency: 2 * time.Millisecond,
+		Queries:     3,
+		Seed:        42,
+	}
+}
+
+func TestFigConcurrencyBillsMatchAcrossLevels(t *testing.T) {
+	fig, err := FigConcurrency(smallConcurrencyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 1 || len(fig.Series[0].X) != 2 {
+		t.Fatalf("series shape: %+v", fig.Series)
+	}
+	if fig.XLabel != "conc" {
+		t.Errorf("xlabel: %q", fig.XLabel)
+	}
+	if out := fig.Render(); len(out) == 0 {
+		t.Error("empty render")
+	}
+}
+
+// BenchmarkFetchConcurrency measures one fan-out query end to end over the
+// HTTP transport with 5ms injected per-call latency. The 8-way fan-out
+// means conc=8 should run several times faster than conc=1:
+//
+//	go test ./internal/bench/ -bench FetchConcurrency -benchtime 10x
+func BenchmarkFetchConcurrency(b *testing.B) {
+	p := DefaultConcurrencyParams()
+	env, err := newConcurrencyEnv(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer env.close()
+	for _, conc := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("conc=%d", conc), func(b *testing.B) {
+			client, err := env.client(fmt.Sprintf("bench-%d-%d", conc, b.N), conc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := client.Query(env.sql[i%len(env.sql)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

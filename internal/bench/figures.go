@@ -41,8 +41,17 @@ type Figure struct {
 	ID     string
 	Title  string
 	Series []Series
+	// XLabel names the swept variable; empty means "#queries".
+	XLabel string
 	// Efforts is used by Figs. 14 and 15 instead of Series.
 	Efforts []Effort
+}
+
+func (f *Figure) xLabel() string {
+	if f.XLabel != "" {
+		return f.XLabel
+	}
+	return "#queries"
 }
 
 // Render prints the figure as aligned text rows (the same series the paper
@@ -57,7 +66,7 @@ func (f *Figure) Render() string {
 		}
 		return b.String()
 	}
-	fmt.Fprintf(&b, "%-10s", "#queries")
+	fmt.Fprintf(&b, "%-10s", f.xLabel())
 	for _, s := range f.Series {
 		fmt.Fprintf(&b, " %22s", s.System)
 	}

@@ -66,6 +66,16 @@ func (r *Request) dValues() []float64 {
 // series to w — the engine behind cmd/paylessbench.
 func RenderAll(req Request, w io.Writer) error {
 	for _, f := range req.figures() {
+		if f == "conc" {
+			start := time.Now()
+			fig, err := FigConcurrency(DefaultConcurrencyParams())
+			if err != nil {
+				return fmt.Errorf("fig conc: %w", err)
+			}
+			fmt.Fprint(w, fig.Render())
+			fmt.Fprintf(w, "   (regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+			continue
+		}
 		for _, ds := range req.datasets() {
 			if f == "13" && ds == "real" {
 				continue // Fig. 13 varies the synthetic data size only
@@ -109,7 +119,7 @@ func (f *Figure) Markdown() string {
 		}
 		return out
 	}
-	out += "| #queries |"
+	out += fmt.Sprintf("| %s |", f.xLabel())
 	for _, s := range f.Series {
 		out += fmt.Sprintf(" %s |", s.System)
 	}

@@ -1,14 +1,24 @@
 // Package connector is PayLess's data-market connector (paper §3, step 5):
 // an HTTP client that registers with a market server, exports its public
 // catalog, and issues RESTful data calls carrying the buyer's authentication
-// key. It implements market.Caller, so the execution engine is oblivious to
-// whether the market is remote (this client) or in-process.
+// key. It implements market.Caller and market.ContextCaller, so the
+// execution engine is oblivious to whether the market is remote (this
+// client) or in-process, and its parallel fetch pipeline can cancel
+// in-flight calls.
+//
+// Every attempt runs under a per-call deadline derived from the caller's
+// context. Transport failures, per-attempt timeouts and retryable HTTP
+// statuses (5xx, 429) are retried with exponential backoff plus jitter;
+// permanent HTTP 4xx responses fail fast — a malformed call must never be
+// re-issued, since every accepted call costs money.
 package connector
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -18,13 +28,43 @@ import (
 	"payless/internal/market"
 )
 
-// Client talks to one market server on behalf of one account.
+// StatusError is a non-2xx HTTP response from the market. Permanent client
+// errors (4xx other than 429) are returned as soon as they are observed,
+// without burning retry attempts.
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+func (e *StatusError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("market: %s (HTTP %d)", e.Msg, e.Code)
+	}
+	return fmt.Sprintf("market: HTTP %d", e.Code)
+}
+
+// Permanent reports whether the status must not be retried.
+func (e *StatusError) Permanent() bool {
+	return e.Code >= 400 && e.Code < 500 && e.Code != http.StatusTooManyRequests
+}
+
+// Client talks to one market server on behalf of one account. It is safe
+// for concurrent use by the engine's parallel fetch pipeline.
 type Client struct {
 	baseURL string
 	key     string
 	http    *http.Client
-	// retries is the number of extra attempts on transport errors.
+	// retries is the number of extra attempts on retryable errors.
 	retries int
+	// perCallTimeout bounds each individual HTTP attempt; 0 disables the
+	// per-attempt deadline (the caller's context still applies).
+	perCallTimeout time.Duration
+	// backoffBase and backoffMax shape the exponential backoff between
+	// attempts: base<<attempt capped at max, then jittered to 50–100%.
+	backoffBase time.Duration
+	backoffMax  time.Duration
+	// sleep waits between attempts; replaced in tests.
+	sleep func(ctx context.Context, d time.Duration) error
 }
 
 // Option configures a Client.
@@ -35,18 +75,42 @@ func WithHTTPClient(h *http.Client) Option {
 	return func(c *Client) { c.http = h }
 }
 
-// WithRetries sets the number of extra attempts on transport errors.
+// WithRetries sets the number of extra attempts on retryable errors.
 func WithRetries(n int) Option {
 	return func(c *Client) { c.retries = n }
+}
+
+// WithPerCallTimeout bounds each HTTP attempt; 0 disables the per-attempt
+// deadline.
+func WithPerCallTimeout(d time.Duration) Option {
+	return func(c *Client) { c.perCallTimeout = d }
+}
+
+// WithBackoff sets the exponential backoff shape between retry attempts.
+func WithBackoff(base, max time.Duration) Option {
+	return func(c *Client) { c.backoffBase = base; c.backoffMax = max }
 }
 
 // New returns a client for the market at baseURL authenticating with key.
 func New(baseURL, key string, opts ...Option) *Client {
 	c := &Client{
-		baseURL: baseURL,
-		key:     key,
-		http:    &http.Client{Timeout: 30 * time.Second},
-		retries: 2,
+		baseURL:        baseURL,
+		key:            key,
+		http:           &http.Client{},
+		retries:        2,
+		perCallTimeout: 30 * time.Second,
+		backoffBase:    100 * time.Millisecond,
+		backoffMax:     2 * time.Second,
+		sleep: func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-t.C:
+				return nil
+			}
+		},
 	}
 	for _, o := range opts {
 		o(c)
@@ -54,42 +118,95 @@ func New(baseURL, key string, opts ...Option) *Client {
 	return c
 }
 
-func (c *Client) get(path string, out any) error {
+// backoffDelay returns the jittered wait before retry attempt n (n >= 1).
+func (c *Client) backoffDelay(attempt int) time.Duration {
+	d := c.backoffBase
+	for i := 1; i < attempt && d < c.backoffMax; i++ {
+		d *= 2
+	}
+	if d > c.backoffMax {
+		d = c.backoffMax
+	}
+	if d <= 0 {
+		return 0
+	}
+	// Jitter into [d/2, d) so synchronized workers don't retry in lockstep.
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// get fetches one path with retries. Retryable failures (transport errors,
+// per-attempt timeouts, HTTP 5xx/429) back off exponentially; permanent 4xx
+// responses and parent-context cancellation return immediately.
+func (c *Client) get(ctx context.Context, path string, out any) error {
 	var lastErr error
 	for attempt := 0; attempt <= c.retries; attempt++ {
-		req, err := http.NewRequest(http.MethodGet, c.baseURL+path, nil)
-		if err != nil {
-			return err
+		if attempt > 0 {
+			if err := c.sleep(ctx, c.backoffDelay(attempt)); err != nil {
+				return fmt.Errorf("market call aborted after %d attempts: %w (last error: %v)", attempt, err, lastErr)
+			}
 		}
-		req.Header.Set(market.AuthHeader, c.key)
-		resp, err := c.http.Do(req)
+		body, code, err := c.attempt(ctx, path)
 		if err != nil {
-			lastErr = err
-			continue // transport error: retry
-		}
-		body, err := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if err != nil {
+			if ctx.Err() != nil {
+				// The caller's context expired or was cancelled: the engine
+				// is tearing the fan-out down, don't keep hammering.
+				return ctx.Err()
+			}
 			lastErr = err
 			continue
 		}
-		if resp.StatusCode != http.StatusOK {
+		if code != http.StatusOK {
+			se := &StatusError{Code: code}
 			var we market.WireError
 			if json.Unmarshal(body, &we) == nil && we.Error != "" {
-				return fmt.Errorf("market: %s (HTTP %d)", we.Error, resp.StatusCode)
+				se.Msg = we.Error
 			}
-			return fmt.Errorf("market: HTTP %d", resp.StatusCode)
+			if se.Permanent() {
+				return se
+			}
+			lastErr = se
+			continue
 		}
 		return json.Unmarshal(body, out)
 	}
 	return fmt.Errorf("market unreachable after %d attempts: %w", c.retries+1, lastErr)
 }
 
+// attempt performs one HTTP round-trip under the per-call deadline.
+func (c *Client) attempt(ctx context.Context, path string) ([]byte, int, error) {
+	actx := ctx
+	cancel := func() {}
+	if c.perCallTimeout > 0 {
+		actx, cancel = context.WithTimeout(ctx, c.perCallTimeout)
+	}
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodGet, c.baseURL+path, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	req.Header.Set(market.AuthHeader, c.key)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	return body, resp.StatusCode, nil
+}
+
 // Catalog fetches the market's public table metadata — the registration
 // step of paper Fig. 2.
 func (c *Client) Catalog() ([]*catalog.Table, error) {
+	return c.CatalogContext(context.Background())
+}
+
+// CatalogContext is Catalog under a caller-supplied context.
+func (c *Client) CatalogContext(ctx context.Context) ([]*catalog.Table, error) {
 	var wire []market.WireTable
-	if err := c.get("/v1/catalog", &wire); err != nil {
+	if err := c.get(ctx, "/v1/catalog", &wire); err != nil {
 		return nil, err
 	}
 	out := make([]*catalog.Table, 0, len(wire))
@@ -106,7 +223,7 @@ func (c *Client) Catalog() ([]*catalog.Table, error) {
 // TuplesPerTransaction fetches the page size t of the named dataset.
 func (c *Client) TuplesPerTransaction(dataset string) (int, error) {
 	var wire []market.WireTable
-	if err := c.get("/v1/catalog", &wire); err != nil {
+	if err := c.get(context.Background(), "/v1/catalog", &wire); err != nil {
 		return 0, err
 	}
 	for _, wt := range wire {
@@ -120,12 +237,19 @@ func (c *Client) TuplesPerTransaction(dataset string) (int, error) {
 // Meter fetches the account's current spending.
 func (c *Client) Meter() (market.Meter, error) {
 	var m market.Meter
-	err := c.get("/v1/meter", &m)
+	err := c.get(context.Background(), "/v1/meter", &m)
 	return m, err
 }
 
 // Call executes one RESTful data call. It implements market.Caller.
 func (c *Client) Call(q catalog.AccessQuery) (market.Result, error) {
+	return c.CallContext(context.Background(), q)
+}
+
+// CallContext executes one RESTful data call under ctx. It implements
+// market.ContextCaller: cancelling ctx aborts the in-flight request and any
+// remaining result pages.
+func (c *Client) CallContext(ctx context.Context, q catalog.AccessQuery) (market.Result, error) {
 	params := url.Values{}
 	for _, p := range q.Preds {
 		switch {
@@ -151,7 +275,7 @@ func (c *Client) Call(q catalog.AccessQuery) (market.Result, error) {
 		params.Set("page", strconv.Itoa(page))
 		path := base + "?" + params.Encode()
 		var wr market.WireResult
-		if err := c.get(path, &wr); err != nil {
+		if err := c.get(ctx, path, &wr); err != nil {
 			return market.Result{}, err
 		}
 		if page == 0 {

@@ -1,0 +1,139 @@
+package connector
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"payless/internal/catalog"
+)
+
+// fastBackoff keeps retry tests quick.
+func fastBackoff() Option { return WithBackoff(time.Millisecond, 2*time.Millisecond) }
+
+func TestPermanent4xxFailsFastWithoutRetry(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, `{"Error":"malformed call"}`, http.StatusBadRequest)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, "k", WithRetries(5), fastBackoff())
+	_, err := c.Call(catalog.AccessQuery{Dataset: "DS", Table: "T"})
+	if err == nil {
+		t.Fatal("400 must surface an error")
+	}
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+		t.Fatalf("want StatusError 400, got %v", err)
+	}
+	// A permanent client error must not be re-issued: every accepted call
+	// is billed, so retrying a 400 could re-bill a broken request forever.
+	if hits.Load() != 1 {
+		t.Fatalf("400 was retried: %d attempts, want 1", hits.Load())
+	}
+}
+
+func TestRetryable5xxRecovers(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			http.Error(w, "overloaded", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"Calls":1,"Records":0,"Transactions":0,"Price":0}`))
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, "k", WithRetries(3), fastBackoff())
+	if _, err := c.Meter(); err != nil {
+		t.Fatalf("5xx should be retried to success: %v", err)
+	}
+	if hits.Load() != 3 {
+		t.Fatalf("attempts: %d, want 3", hits.Load())
+	}
+}
+
+func TestTooManyRequestsIsRetryable(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			http.Error(w, "slow down", http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"Calls":1,"Records":0,"Transactions":0,"Price":0}`))
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, "k", WithRetries(2), fastBackoff())
+	if _, err := c.Meter(); err != nil {
+		t.Fatalf("429 should be retried: %v", err)
+	}
+	if hits.Load() != 2 {
+		t.Fatalf("attempts: %d, want 2", hits.Load())
+	}
+}
+
+func TestContextCancellationStopsRetrying(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		time.Sleep(200 * time.Millisecond)
+		w.Write([]byte(`[]`))
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	c := New(srv.URL, "k", WithRetries(5), fastBackoff())
+	start := time.Now()
+	_, err := c.CallContext(ctx, catalog.AccessQuery{Dataset: "DS", Table: "T"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 150*time.Millisecond {
+		t.Fatalf("cancellation ignored: took %v", elapsed)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("cancelled call kept retrying: %d attempts", hits.Load())
+	}
+}
+
+func TestPerCallTimeoutRetriesSlowAttempts(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			time.Sleep(150 * time.Millisecond) // first attempt exceeds the per-call deadline
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"Calls":1,"Records":0,"Transactions":0,"Price":0}`))
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, "k", WithRetries(2), fastBackoff(), WithPerCallTimeout(30*time.Millisecond))
+	if _, err := c.Meter(); err != nil {
+		t.Fatalf("slow attempt should retry under fresh deadline: %v", err)
+	}
+	if hits.Load() != 2 {
+		t.Fatalf("attempts: %d, want 2", hits.Load())
+	}
+}
+
+func TestBackoffDelayShape(t *testing.T) {
+	c := New("http://example", "k", WithBackoff(100*time.Millisecond, 400*time.Millisecond))
+	for attempt, max := range map[int]time.Duration{1: 100 * time.Millisecond, 2: 200 * time.Millisecond, 5: 400 * time.Millisecond} {
+		for i := 0; i < 20; i++ {
+			d := c.backoffDelay(attempt)
+			if d < max/2 || d > max {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, max/2, max)
+			}
+		}
+	}
+}

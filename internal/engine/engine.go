@@ -3,9 +3,17 @@
 // its result in the semantic store, feeds row counts back to the statistics,
 // materialises bind joins one call per distinct binding value, and offloads
 // joins, residual predicates, grouping and ordering to the local DBMS.
+//
+// Independent calls of one plan step — the remainder boxes of a direct
+// access, the per-binding calls of a bind join — fan out to a bounded
+// worker pool (see parallel.go). Each batch is planned up front against a
+// snapshot of the store and statistics and merged back in plan order, so
+// billing, coverage geometry and feedback-histogram state are identical at
+// every concurrency level.
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -15,7 +23,6 @@ import (
 	"payless/internal/core"
 	"payless/internal/market"
 	"payless/internal/region"
-	"payless/internal/rewrite"
 	"payless/internal/semstore"
 	"payless/internal/sqlparse"
 	"payless/internal/stats"
@@ -50,6 +57,9 @@ type Engine struct {
 	Caller market.Caller
 	// Options mirrors the optimizer's toggles (SQR, consistency window).
 	Options core.Options
+	// Concurrency bounds the number of in-flight market calls per batch;
+	// values <= 1 execute serially.
+	Concurrency int
 	// Now stamps semantic-store entries; nil means time.Now.
 	Now func() time.Time
 }
@@ -64,13 +74,19 @@ func (e *Engine) now() time.Time {
 // Execute runs the plan and returns the final result relation plus the
 // market cost actually incurred.
 func (e *Engine) Execute(plan *core.Plan) (storage.Relation, Report, error) {
+	return e.ExecuteContext(context.Background(), plan)
+}
+
+// ExecuteContext runs the plan under ctx: cancelling it stops in-flight
+// market fan-out, keeping whatever partial results were already paid for.
+func (e *Engine) ExecuteContext(ctx context.Context, plan *core.Plan) (storage.Relation, Report, error) {
 	var report Report
 	b := plan.Bound
 	var cur storage.Relation
 	started := false
 	for _, step := range plan.Steps {
 		rel := b.Rels[step.Rel]
-		fetched, err := e.fetch(rel, step, cur, b, &report)
+		fetched, err := e.fetch(ctx, rel, step, cur, b, &report)
 		if err != nil {
 			return storage.Relation{}, report, err
 		}
@@ -102,7 +118,7 @@ func (e *Engine) Execute(plan *core.Plan) (storage.Relation, Report, error) {
 }
 
 // fetch obtains the rows of one relation according to its access path.
-func (e *Engine) fetch(rel *core.Rel, step core.Step, prefix storage.Relation, b *core.BoundQuery, report *Report) (storage.Relation, error) {
+func (e *Engine) fetch(ctx context.Context, rel *core.Rel, step core.Step, prefix storage.Relation, b *core.BoundQuery, report *Report) (storage.Relation, error) {
 	switch step.Kind {
 	case core.LocalScan:
 		if rel.Table.Local {
@@ -110,9 +126,9 @@ func (e *Engine) fetch(rel *core.Rel, step core.Step, prefix storage.Relation, b
 		}
 		return e.storedScan(rel)
 	case core.MarketScan:
-		return e.marketScan(rel, report)
+		return e.marketScan(ctx, rel, report)
 	case core.MarketBind:
-		return e.bindScan(rel, step, prefix, b, report)
+		return e.bindScan(ctx, rel, step, prefix, b, report)
 	default:
 		return storage.Relation{}, fmt.Errorf("unknown access kind %v", step.Kind)
 	}
@@ -153,27 +169,40 @@ func (e *Engine) storedScan(rel *core.Rel) (storage.Relation, error) {
 
 // marketScan fetches a relation's remainder from the market. With SQR the
 // remainder boxes are recomputed against the current store state; without
-// SQR the full access query is sent as-is.
-func (e *Engine) marketScan(rel *core.Rel, report *Report) (storage.Relation, error) {
+// SQR the full access query is sent as-is. All calls of the scan are
+// planned first, then issued as one batch through the worker pool.
+func (e *Engine) marketScan(ctx context.Context, rel *core.Rel, report *Report) (storage.Relation, error) {
 	out := storage.Relation{Schema: rel.Table.Schema.Clone()}
-	for _, ab := range rel.AccessBoxes() {
-		if e.Options.DisableSQR || e.Store == nil {
-			q, err := catalog.QueryForBox(rel.Table, ab)
-			if err != nil {
-				return storage.Relation{}, err
-			}
-			res, err := e.Caller.Call(q)
-			if err != nil {
-				return storage.Relation{}, err
-			}
-			e.account(report, res)
-			e.feedback(rel.Table, ab, int64(res.Records))
-			out.Rows = append(out.Rows, res.Rows...)
-			continue
-		}
-		if err := e.fetchRemainder(rel.Table, ab, report); err != nil {
+	boxes := rel.AccessBoxes()
+	if e.Options.DisableSQR || e.Store == nil {
+		specs, err := specsForBoxes(rel.Table, boxes)
+		if err != nil {
 			return storage.Relation{}, err
 		}
+		results, err := e.runBatch(ctx, specs, report)
+		if err != nil {
+			return storage.Relation{}, err
+		}
+		for _, res := range results {
+			out.Rows = append(out.Rows, res.Rows...)
+		}
+		return out, nil
+	}
+	// Access boxes are pairwise disjoint (IN-lists split the access region
+	// into separate intervals), so their remainder plans cannot overlap and
+	// one coverage snapshot serves them all.
+	var specs []callSpec
+	for _, ab := range boxes {
+		s, err := e.planRemainder(rel.Table, ab)
+		if err != nil {
+			return storage.Relation{}, err
+		}
+		specs = append(specs, s...)
+	}
+	if _, err := e.runBatch(ctx, specs, report); err != nil {
+		return storage.Relation{}, err
+	}
+	for _, ab := range boxes {
 		got, err := e.Store.RowsIn(rel.Table, ab)
 		if err != nil {
 			return storage.Relation{}, err
@@ -183,33 +212,11 @@ func (e *Engine) marketScan(rel *core.Rel, report *Report) (storage.Relation, er
 	return out, nil
 }
 
-// fetchRemainder issues the remainder queries needed to make box fully
-// covered, recording every result.
-func (e *Engine) fetchRemainder(meta *catalog.Table, box region.Box, report *Report) error {
-	covered := e.Store.Boxes(meta.Name, e.Options.Since)
-	cfg := core.RewriteConfig(meta, &e.Options)
-	plan := rewrite.Remainders(box, covered, cfg, e.estimator(meta.Name))
-	for _, rb := range plan.Boxes {
-		q, err := catalog.QueryForBox(meta, rb)
-		if err != nil {
-			return err
-		}
-		res, err := e.Caller.Call(q)
-		if err != nil {
-			return err
-		}
-		e.account(report, res)
-		e.feedback(meta, rb, int64(res.Records))
-		if err := e.Store.Record(meta, rb, res.Rows, e.now()); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
 // bindScan accesses a relation one call per distinct binding value flowing
-// from the prefix (the paper's bind join, Fig. 1c).
-func (e *Engine) bindScan(rel *core.Rel, step core.Step, prefix storage.Relation, b *core.BoundQuery, report *Report) (storage.Relation, error) {
+// from the prefix (the paper's bind join, Fig. 1c). The per-binding calls
+// are independent — binding coordinates are distinct, so their call boxes
+// are disjoint on the bind dimension — and issue as one batch.
+func (e *Engine) bindScan(ctx context.Context, rel *core.Rel, step core.Step, prefix storage.Relation, b *core.BoundQuery, report *Report) (storage.Relation, error) {
 	if step.BindJoin < 0 || step.BindJoin >= len(b.Joins) {
 		return storage.Relation{}, fmt.Errorf("bind join index out of range")
 	}
@@ -276,20 +283,20 @@ func (e *Engine) bindScan(rel *core.Rel, step core.Step, prefix storage.Relation
 	}
 
 	if e.Options.DisableSQR || e.Store == nil {
+		var pointBoxes []region.Box
 		for _, coord := range coords {
-			for _, pb := range pointBoxesOf(coord) {
-				q, err := catalog.QueryForBox(rel.Table, pb)
-				if err != nil {
-					return storage.Relation{}, err
-				}
-				res, err := e.Caller.Call(q)
-				if err != nil {
-					return storage.Relation{}, err
-				}
-				e.account(report, res)
-				e.feedback(rel.Table, pb, int64(res.Records))
-				out.Rows = append(out.Rows, res.Rows...)
-			}
+			pointBoxes = append(pointBoxes, pointBoxesOf(coord)...)
+		}
+		specs, err := specsForBoxes(rel.Table, pointBoxes)
+		if err != nil {
+			return storage.Relation{}, err
+		}
+		results, err := e.runBatch(ctx, specs, report)
+		if err != nil {
+			return storage.Relation{}, err
+		}
+		for _, res := range results {
+			out.Rows = append(out.Rows, res.Rows...)
 		}
 		return out, nil
 	}
@@ -297,12 +304,20 @@ func (e *Engine) bindScan(rel *core.Rel, step core.Step, prefix storage.Relation
 	// With SQR, adjacent binding values may be coalesced into a single
 	// range call when the merged box is estimated cheaper than per-value
 	// calls — the paper's Fig. 9 bounding box B2 spanning known values.
-	// Categorical bind attributes cannot express ranges (Fig. 8).
+	// Categorical bind attributes cannot express ranges (Fig. 8). The
+	// groups are disjoint on the bind dimension, so one coverage snapshot
+	// serves every group's remainder plan.
 	groups := e.coalesceBindings(rel, attr, dim, coords)
+	var specs []callSpec
 	for _, g := range groups {
-		if err := e.fetchRemainder(rel.Table, g, report); err != nil {
+		s, err := e.planRemainder(rel.Table, g)
+		if err != nil {
 			return storage.Relation{}, err
 		}
+		specs = append(specs, s...)
+	}
+	if _, err := e.runBatch(ctx, specs, report); err != nil {
+		return storage.Relation{}, err
 	}
 	for _, coord := range coords {
 		for _, pb := range pointBoxesOf(coord) {

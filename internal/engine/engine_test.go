@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+
 	"testing"
 
 	"payless/internal/catalog"
@@ -361,20 +363,20 @@ func TestFetchErrorPaths(t *testing.T) {
 
 	// Engine without a store cannot serve covered or local scans.
 	noStore := Engine{Catalog: f.cat, Stats: f.st, Caller: f.caller}
-	if _, err := noStore.fetch(rel, core.Step{Kind: core.LocalScan}, storage.Relation{}, bq, &Report{}); err == nil {
+	if _, err := noStore.fetch(context.Background(), rel, core.Step{Kind: core.LocalScan}, storage.Relation{}, bq, &Report{}); err == nil {
 		t.Error("covered scan without store should error")
 	}
 	lrel := &core.Rel{Table: mustTable(t, f, "L")}
-	if _, err := noStore.fetch(lrel, core.Step{Kind: core.LocalScan}, storage.Relation{}, bq, &Report{}); err == nil {
+	if _, err := noStore.fetch(context.Background(), lrel, core.Step{Kind: core.LocalScan}, storage.Relation{}, bq, &Report{}); err == nil {
 		t.Error("local scan without store should error")
 	}
 	// Unknown access kind.
 	e := Engine{Catalog: f.cat, Store: f.store, Stats: f.st, Caller: f.caller}
-	if _, err := e.fetch(rel, core.Step{Kind: core.AccessKind(99)}, storage.Relation{}, bq, &Report{}); err == nil {
+	if _, err := e.fetch(context.Background(), rel, core.Step{Kind: core.AccessKind(99)}, storage.Relation{}, bq, &Report{}); err == nil {
 		t.Error("unknown kind should error")
 	}
 	// Bind join with a bad join index.
-	if _, err := e.bindScan(rel, core.Step{Kind: core.MarketBind, BindJoin: 5}, storage.Relation{}, bq, &Report{}); err == nil {
+	if _, err := e.bindScan(context.Background(), rel, core.Step{Kind: core.MarketBind, BindJoin: 5}, storage.Relation{}, bq, &Report{}); err == nil {
 		t.Error("bad bind join index should error")
 	}
 	// Local table not loaded into the DBMS.

@@ -1,0 +1,166 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"payless/internal/catalog"
+	"payless/internal/core"
+	"payless/internal/market"
+	"payless/internal/region"
+	"payless/internal/rewrite"
+)
+
+// callSpec is one planned market call of a batch: the access query to issue
+// and the box it covers. Specs are computed up front against a snapshot of
+// the semantic store and statistics, so the batch contents do not depend on
+// the concurrency level; record marks calls whose rows must be recorded
+// into the semantic store (the SQR path).
+type callSpec struct {
+	meta   *catalog.Table
+	box    region.Box
+	q      catalog.AccessQuery
+	record bool
+}
+
+// specsForBoxes builds plain (non-recording) call specs for a set of boxes.
+func specsForBoxes(meta *catalog.Table, boxes []region.Box) ([]callSpec, error) {
+	specs := make([]callSpec, 0, len(boxes))
+	for _, b := range boxes {
+		q, err := catalog.QueryForBox(meta, b)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, callSpec{meta: meta, box: b, q: q})
+	}
+	return specs, nil
+}
+
+// planRemainder computes the remainder calls needed to make box fully
+// covered, against the store's current coverage snapshot. It issues no
+// calls itself.
+func (e *Engine) planRemainder(meta *catalog.Table, box region.Box) ([]callSpec, error) {
+	covered := e.Store.Boxes(meta.Name, e.Options.Since)
+	cfg := core.RewriteConfig(meta, &e.Options)
+	plan := rewrite.Remainders(box, covered, cfg, e.estimator(meta.Name))
+	specs := make([]callSpec, 0, len(plan.Boxes))
+	for _, rb := range plan.Boxes {
+		q, err := catalog.QueryForBox(meta, rb)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, callSpec{meta: meta, box: rb, q: q, record: true})
+	}
+	return specs, nil
+}
+
+// concurrency returns the effective worker-pool width for a batch.
+func (e *Engine) concurrency(n int) int {
+	c := e.Concurrency
+	if c < 1 {
+		c = 1
+	}
+	if c > n {
+		c = n
+	}
+	return c
+}
+
+// runBatch executes a batch of call specs through a bounded worker pool and
+// merges the results. The merge — billing (account), histogram feedback,
+// and semantic-store recording — walks the specs strictly in slice order,
+// so the final billing, coverage geometry, and statistics state are
+// identical at every concurrency level.
+//
+// On the first hard error the batch cancels its context to stop in-flight
+// calls and launches no further ones; results that already completed are
+// still merged (they are paid for, and recording them lets a retry avoid
+// re-billing). At Concurrency<=1 this degrades to exactly the serial
+// engine's behavior: calls issue one at a time and stop at the first error.
+// The returned results align with specs; entries are nil only when the
+// batch failed.
+func (e *Engine) runBatch(ctx context.Context, specs []callSpec, report *Report) ([]*market.Result, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make([]*market.Result, len(specs))
+	errs := make([]error, len(specs))
+	var failed atomic.Bool
+	sem := make(chan struct{}, e.concurrency(len(specs)))
+	var wg sync.WaitGroup
+	for i := range specs {
+		sem <- struct{}{}
+		// Re-check after acquiring the slot: a serial pool (width 1) only
+		// frees the slot once the previous call has fully finished, so a
+		// failure there stops the very next launch — the exact fail-fast
+		// point of the old serial loop.
+		if failed.Load() {
+			<-sem
+			break
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer func() {
+				<-sem
+				wg.Done()
+			}()
+			res, err := market.Do(cctx, e.Caller, specs[i].q)
+			if err != nil {
+				errs[i] = err
+				failed.Store(true)
+				cancel()
+				return
+			}
+			results[i] = &res
+		}(i)
+	}
+	wg.Wait()
+	var mergeErr error
+	for i, spec := range specs {
+		res := results[i]
+		if res == nil {
+			continue
+		}
+		e.account(report, *res)
+		e.feedback(spec.meta, spec.box, int64(res.Records))
+		if spec.record && e.Store != nil {
+			if err := e.Store.Record(spec.meta, spec.box, res.Rows, e.now()); err != nil && mergeErr == nil {
+				mergeErr = err
+			}
+		}
+	}
+	if err := batchError(errs); err != nil {
+		return results, err
+	}
+	return results, mergeErr
+}
+
+// batchError picks the error to surface: the lowest-index non-context
+// error, so the root cause (e.g. a market outage) wins over the
+// context.Canceled errors our own tear-down induced in sibling calls.
+func batchError(errs []error) error {
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first = err
+		}
+		if !isContextErr(err) {
+			return err
+		}
+	}
+	return first
+}
+
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

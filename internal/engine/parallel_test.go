@@ -1,0 +1,167 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"payless/internal/catalog"
+	"payless/internal/market"
+	"payless/internal/region"
+)
+
+// poolCaller records in-flight concurrency and fails chosen calls.
+type poolCaller struct {
+	delay    time.Duration
+	failAt   map[int]error // by call sequence (1-based)
+	mu       sync.Mutex
+	seq      int
+	inflight int
+	peak     int
+	calls    []string // table names in completion order
+}
+
+func (p *poolCaller) Call(q catalog.AccessQuery) (market.Result, error) {
+	return p.CallContext(context.Background(), q)
+}
+
+func (p *poolCaller) CallContext(ctx context.Context, q catalog.AccessQuery) (market.Result, error) {
+	p.mu.Lock()
+	p.seq++
+	seq := p.seq
+	p.inflight++
+	if p.inflight > p.peak {
+		p.peak = p.inflight
+	}
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		p.inflight--
+		p.calls = append(p.calls, q.Table)
+		p.mu.Unlock()
+	}()
+	if p.delay > 0 {
+		select {
+		case <-ctx.Done():
+			return market.Result{}, ctx.Err()
+		case <-time.After(p.delay):
+		}
+	}
+	if err := p.failAt[seq]; err != nil {
+		return market.Result{}, err
+	}
+	return market.Result{Records: 1, Transactions: 1, Price: 1}, nil
+}
+
+func testSpecs(n int) []callSpec {
+	meta := rTable()
+	specs := make([]callSpec, n)
+	for i := range specs {
+		specs[i] = callSpec{
+			meta: meta,
+			box:  region.Box{Dims: []region.Interval{{Lo: int64(i), Hi: int64(i) + 1}}},
+			q:    catalog.AccessQuery{Dataset: "DS", Table: "R"},
+		}
+	}
+	return specs
+}
+
+func TestRunBatchBoundsConcurrency(t *testing.T) {
+	pc := &poolCaller{delay: 5 * time.Millisecond}
+	e := &Engine{Caller: pc, Concurrency: 3}
+	var rep Report
+	results, err := e.runBatch(context.Background(), testSpecs(10), &rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 10 {
+		t.Fatalf("results: %d", len(results))
+	}
+	if rep.Calls != 10 || rep.Transactions != 10 {
+		t.Errorf("report: %+v", rep)
+	}
+	if pc.peak > 3 {
+		t.Errorf("peak in-flight %d exceeds pool width 3", pc.peak)
+	}
+	if pc.peak < 2 {
+		t.Errorf("pool never overlapped calls (peak %d)", pc.peak)
+	}
+}
+
+func TestRunBatchSerialFailsFast(t *testing.T) {
+	boom := errors.New("boom")
+	pc := &poolCaller{failAt: map[int]error{2: boom}}
+	e := &Engine{Caller: pc, Concurrency: 1}
+	var rep Report
+	_, err := e.runBatch(context.Background(), testSpecs(6), &rep)
+	if !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	// Serial mode must stop at the failing call, exactly like the old loop:
+	// call 1 succeeded and is billed, call 2 failed, calls 3+ never issued.
+	if pc.seq != 2 {
+		t.Errorf("issued %d calls after a serial failure, want 2", pc.seq)
+	}
+	if rep.Calls != 1 {
+		t.Errorf("billed %d calls, want 1 (the pre-failure success)", rep.Calls)
+	}
+}
+
+func TestRunBatchSurfacesRootCauseNotCancellation(t *testing.T) {
+	boom := errors.New("boom")
+	// The first call fails fast while its five siblings sleep; their
+	// cancellation errors must not mask the root cause.
+	pc := &poolCaller{delay: 20 * time.Millisecond, failAt: map[int]error{1: boom}}
+	e := &Engine{Caller: pc, Concurrency: 6}
+	var rep Report
+	_, err := e.runBatch(context.Background(), testSpecs(6), &rep)
+	if !errors.Is(err, boom) {
+		t.Fatalf("root cause masked: got %v", err)
+	}
+}
+
+func TestRunBatchKeepsPaidResultsOnFailure(t *testing.T) {
+	boom := errors.New("boom")
+	pc := &poolCaller{failAt: map[int]error{4: boom}}
+	e := &Engine{Caller: pc, Concurrency: 2}
+	var rep Report
+	_, err := e.runBatch(context.Background(), testSpecs(8), &rep)
+	if !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	// Calls that completed before the failure are paid for and must be
+	// accounted, even though the batch as a whole failed.
+	if rep.Calls == 0 {
+		t.Error("pre-failure successes were dropped from the report")
+	}
+	if rep.Calls > 7 {
+		t.Errorf("too many calls billed after fail-fast: %d", rep.Calls)
+	}
+}
+
+func TestRunBatchHonorsParentCancellation(t *testing.T) {
+	pc := &poolCaller{delay: time.Second}
+	e := &Engine{Caller: pc, Concurrency: 4}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	var rep Report
+	start := time.Now()
+	_, err := e.runBatch(ctx, testSpecs(4), &rep)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if time.Since(start) > 500*time.Millisecond {
+		t.Fatal("cancellation did not stop in-flight calls")
+	}
+}
+
+func TestRunBatchEmpty(t *testing.T) {
+	e := &Engine{Caller: &poolCaller{}, Concurrency: 4}
+	var rep Report
+	results, err := e.runBatch(context.Background(), nil, &rep)
+	if err != nil || results != nil {
+		t.Fatalf("empty batch: %v %v", results, err)
+	}
+}

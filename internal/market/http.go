@@ -237,12 +237,14 @@ func (m *Market) Handler() http.Handler {
 		var out []WireTable
 		m.mu.RLock()
 		for _, ds := range m.datasets {
+			ds.mu.RLock()
 			for _, t := range ds.tables {
-				t.mu.Lock()
+				t.mu.RLock()
 				wt := WireTableOf(t.meta, ds.TuplesPerTransaction)
-				t.mu.Unlock()
+				t.mu.RUnlock()
 				out = append(out, wt)
 			}
+			ds.mu.RUnlock()
 		}
 		m.mu.RUnlock()
 		writeJSON(w, out)
@@ -273,7 +275,10 @@ func (m *Market) Handler() http.Handler {
 			httpError(w, http.StatusNotFound, err.Error())
 			return
 		}
-		q, err := decodeQuery(mt.meta, dataset, table, r)
+		mt.mu.RLock()
+		meta := cloneMeta(mt.meta)
+		mt.mu.RUnlock()
+		q, err := decodeQuery(meta, dataset, table, r)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err.Error())
 			return

@@ -14,6 +14,7 @@
 package market
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -41,6 +42,29 @@ type Caller interface {
 	Call(q catalog.AccessQuery) (Result, error)
 }
 
+// ContextCaller is a Caller whose calls honour context cancellation and
+// deadlines. The engine's parallel fetch pipeline uses CallContext when the
+// transport provides it so an aborted query stops its in-flight fan-out.
+type ContextCaller interface {
+	Caller
+	CallContext(ctx context.Context, q catalog.AccessQuery) (Result, error)
+}
+
+// Do dispatches one call through c, using CallContext when the transport
+// supports it. A context that is already cancelled fails before any money is
+// spent; plain Callers are invoked as-is (their calls cannot be interrupted).
+func Do(ctx context.Context, c Caller, q catalog.AccessQuery) (Result, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		if cc, ok := c.(ContextCaller); ok {
+			return cc.CallContext(ctx, q)
+		}
+	}
+	return c.Call(q)
+}
+
 // Meter accumulates a buyer account's spending.
 type Meter struct {
 	Calls        int64
@@ -49,29 +73,41 @@ type Meter struct {
 	Price        float64
 }
 
-// Dataset groups tables sold under one price plan.
+// Dataset groups tables sold under one price plan. TuplesPerTransaction and
+// PricePerTransaction are immutable after AddDataset; the tables map is
+// guarded by mu so owner-side publishes never race concurrent buyer scans.
 type Dataset struct {
 	Name string
 	// TuplesPerTransaction is the page size t of Eq. 1.
 	TuplesPerTransaction int
 	// PricePerTransaction is the price p of Eq. 1.
 	PricePerTransaction float64
+	mu                  sync.RWMutex
 	tables              map[string]*marketTable
 }
 
 type marketTable struct {
+	// mu guards meta and rows: shared by concurrent scans, exclusive for
+	// owner-side appends.
+	mu   sync.RWMutex
 	meta *catalog.Table
 	rows []value.Row
 	// eqIndex[attrName][valueKey] lists row indexes; built lazily for
 	// attributes used in equality predicates (bind joins hit these hard).
-	mu      sync.Mutex
+	// idxMu guards it separately so concurrent readers can share mu while
+	// one of them builds the index. Lock order: mu before idxMu.
+	idxMu   sync.Mutex
 	eqIndex map[string]map[string][]int
 }
 
 // Market hosts datasets and bills registered accounts.
 type Market struct {
+	// mu guards the datasets map; accMu guards the accounts map and every
+	// meter behind it, so billing increments never contend with catalog
+	// lookups from parallel callers.
 	mu       sync.RWMutex
 	datasets map[string]*Dataset
+	accMu    sync.RWMutex
 	accounts map[string]*Meter
 }
 
@@ -103,13 +139,15 @@ func (m *Market) AddDataset(name string, tuplesPerTransaction int, pricePerTrans
 // AddTable publishes a table in the dataset. The catalog metadata is cloned
 // with the authoritative cardinality and dataset name filled in.
 func (ds *Dataset) AddTable(meta *catalog.Table, rows []value.Row) error {
-	if _, dup := ds.tables[keyOf(meta.Name)]; dup {
-		return fmt.Errorf("table %s already exists in dataset %s", meta.Name, ds.Name)
-	}
 	for i, r := range rows {
 		if len(r) != len(meta.Schema) {
 			return fmt.Errorf("table %s row %d: width %d, want %d", meta.Name, i, len(r), len(meta.Schema))
 		}
+	}
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if _, dup := ds.tables[keyOf(meta.Name)]; dup {
+		return fmt.Errorf("table %s already exists in dataset %s", meta.Name, ds.Name)
 	}
 	mcopy := *meta
 	mcopy.Dataset = ds.Name
@@ -127,17 +165,19 @@ func (ds *Dataset) AddTable(meta *catalog.Table, rows []value.Row) error {
 // snapshot keep working — the freshness of their answers is governed by
 // their consistency level (§4.3).
 func (ds *Dataset) Append(table string, rows []value.Row) error {
+	ds.mu.RLock()
 	mt, ok := ds.tables[keyOf(table)]
+	ds.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("unknown table %s in dataset %s", table, ds.Name)
 	}
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
 	for i, r := range rows {
 		if len(r) != len(mt.meta.Schema) {
 			return fmt.Errorf("table %s append row %d: width %d, want %d", table, i, len(r), len(mt.meta.Schema))
 		}
 	}
-	mt.mu.Lock()
-	defer mt.mu.Unlock()
 	for _, r := range rows {
 		for i := range mt.meta.Attrs {
 			a := &mt.meta.Attrs[i]
@@ -155,9 +195,23 @@ func (ds *Dataset) Append(table string, rows []value.Row) error {
 	}
 	mt.rows = append(mt.rows, rows...)
 	mt.meta.Cardinality = int64(len(mt.rows))
-	// Equality indexes are rebuilt lazily on next use.
+	// Equality indexes are rebuilt lazily on next use. Readers waiting on
+	// mt.mu cannot observe the stale index: it is cleared before the write
+	// lock is released, and index reads require at least mt.mu.RLock.
+	mt.idxMu.Lock()
 	mt.eqIndex = make(map[string]map[string][]int)
+	mt.idxMu.Unlock()
 	return nil
+}
+
+// cloneMeta deep-copies a table's public metadata so snapshots handed to
+// buyers never alias the attribute structs that Append mutates in place
+// (domain mins/maxes widen as rows arrive).
+func cloneMeta(t *catalog.Table) *catalog.Table {
+	c := *t
+	c.Schema = t.Schema.Clone()
+	c.Attrs = append([]catalog.Attribute(nil), t.Attrs...)
+	return &c
 }
 
 func keyOf(s string) string {
@@ -172,6 +226,14 @@ func keyOf(s string) string {
 	return string(out)
 }
 
+// table returns the dataset's table under the dataset lock.
+func (ds *Dataset) table(name string) (*marketTable, bool) {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	t, ok := ds.tables[keyOf(name)]
+	return t, ok
+}
+
 // Dataset returns the named dataset for owner-side operations (appends).
 func (m *Market) Dataset(name string) (*Dataset, bool) {
 	m.mu.RLock()
@@ -182,15 +244,15 @@ func (m *Market) Dataset(name string) (*Dataset, bool) {
 
 // RegisterAccount creates (or resets) a buyer account identified by key.
 func (m *Market) RegisterAccount(key string) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.accMu.Lock()
+	defer m.accMu.Unlock()
 	m.accounts[key] = &Meter{}
 }
 
 // MeterOf returns a snapshot of the account's spending.
 func (m *Market) MeterOf(key string) (Meter, bool) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
+	m.accMu.RLock()
+	defer m.accMu.RUnlock()
 	mt, ok := m.accounts[key]
 	if !ok {
 		return Meter{}, false
@@ -208,7 +270,7 @@ func (m *Market) lookup(dataset, table string) (*Dataset, *marketTable, error) {
 		if !ok {
 			return nil, nil, fmt.Errorf("unknown dataset %s", dataset)
 		}
-		t, ok := ds.tables[keyOf(table)]
+		t, ok := ds.table(table)
 		if !ok {
 			return nil, nil, fmt.Errorf("unknown table %s in dataset %s", table, dataset)
 		}
@@ -217,7 +279,7 @@ func (m *Market) lookup(dataset, table string) (*Dataset, *marketTable, error) {
 	var foundDS *Dataset
 	var foundT *marketTable
 	for _, ds := range m.datasets {
-		if t, ok := ds.tables[keyOf(table)]; ok {
+		if t, ok := ds.table(table); ok {
 			if foundT != nil {
 				return nil, nil, fmt.Errorf("table %s is ambiguous across datasets", table)
 			}
@@ -238,12 +300,14 @@ func (m *Market) ExportCatalog() []*catalog.Table {
 	defer m.mu.RUnlock()
 	var out []*catalog.Table
 	for _, ds := range m.datasets {
+		ds.mu.RLock()
 		for _, t := range ds.tables {
-			t.mu.Lock()
-			c := *t.meta
-			t.mu.Unlock()
-			out = append(out, &c)
+			t.mu.RLock()
+			c := cloneMeta(t.meta)
+			t.mu.RUnlock()
+			out = append(out, c)
 		}
+		ds.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Dataset != out[j].Dataset {
@@ -258,9 +322,9 @@ func (m *Market) ExportCatalog() []*catalog.Table {
 // table's binding pattern and billing the meter. This is the market-side
 // entry point shared by the in-process caller and the HTTP server.
 func (m *Market) Execute(accountKey string, q catalog.AccessQuery) (Result, error) {
-	m.mu.RLock()
-	meter, authed := m.accounts[accountKey]
-	m.mu.RUnlock()
+	m.accMu.RLock()
+	_, authed := m.accounts[accountKey]
+	m.accMu.RUnlock()
 	if !authed {
 		return Result{}, fmt.Errorf("unknown account key %q", accountKey)
 	}
@@ -268,15 +332,16 @@ func (m *Market) Execute(accountKey string, q catalog.AccessQuery) (Result, erro
 	if err != nil {
 		return Result{}, err
 	}
-	// The per-table lock serialises scans against owner-side appends.
-	mt.mu.Lock()
+	// The shared per-table lock lets parallel buyer calls scan concurrently
+	// while still excluding owner-side appends mid-scan.
+	mt.mu.RLock()
 	if err := catalog.ValidateBinding(mt.meta, q); err != nil {
-		mt.mu.Unlock()
+		mt.mu.RUnlock()
 		return Result{}, err
 	}
 	rows := mt.scan(q)
 	schema := mt.meta.Schema.Clone()
-	mt.mu.Unlock()
+	mt.mu.RUnlock()
 	records := len(rows)
 	trans := int64(0)
 	if records > 0 {
@@ -284,12 +349,18 @@ func (m *Market) Execute(accountKey string, q catalog.AccessQuery) (Result, erro
 	}
 	price := float64(trans) * ds.PricePerTransaction
 
-	m.mu.Lock()
-	meter.Calls++
-	meter.Records += int64(records)
-	meter.Transactions += trans
-	meter.Price += price
-	m.mu.Unlock()
+	// Re-resolve the meter under the write lock: billing must hit the
+	// account's current meter even if it was re-registered mid-call, and the
+	// increment block is atomic so no concurrent call can interleave a
+	// partial update (Calls bumped, Transactions not yet).
+	m.accMu.Lock()
+	if meter := m.accounts[accountKey]; meter != nil {
+		meter.Calls++
+		meter.Records += int64(records)
+		meter.Transactions += trans
+		meter.Price += price
+	}
+	m.accMu.Unlock()
 
 	return Result{
 		Schema:       schema,
@@ -301,8 +372,8 @@ func (m *Market) Execute(accountKey string, q catalog.AccessQuery) (Result, erro
 }
 
 // scan returns the rows matching the call, using a lazily built equality
-// index when the call has an equality predicate. The caller holds the
-// table lock.
+// index when the call has an equality predicate. The caller holds the table
+// lock (shared suffices).
 func (mt *marketTable) scan(q catalog.AccessQuery) []value.Row {
 	// Pick the first equality predicate as the index key.
 	var idxAttr string
@@ -337,14 +408,17 @@ func (mt *marketTable) scan(q catalog.AccessQuery) []value.Row {
 
 // indexLookup returns candidate row indexes for attr == v, building the
 // index on first use. It returns nil (not empty) when the attribute cannot
-// be indexed, which signals "fall back to a full scan". The caller holds
-// the table lock.
+// be indexed, which signals "fall back to a full scan". The caller holds the
+// table lock (shared suffices: idxMu serialises concurrent index builds, and
+// rows cannot change while any table lock is held).
 func (mt *marketTable) indexLookup(attr string, v value.Value) []int {
 	col := mt.meta.Schema.IndexOf(attr)
 	if col < 0 {
 		return nil
 	}
 	key := keyOf(attr)
+	mt.idxMu.Lock()
+	defer mt.idxMu.Unlock()
 	idx, ok := mt.eqIndex[key]
 	if !ok {
 		idx = make(map[string][]int)
@@ -365,9 +439,9 @@ func (mt *marketTable) indexLookup(attr string, v value.Value) []int {
 // HTTP transport uses it to serve follow-up pages of an already-billed
 // result.
 func (m *Market) executeUnbilled(accountKey string, q catalog.AccessQuery) (Result, error) {
-	m.mu.RLock()
+	m.accMu.RLock()
 	_, authed := m.accounts[accountKey]
-	m.mu.RUnlock()
+	m.accMu.RUnlock()
 	if !authed {
 		return Result{}, fmt.Errorf("unknown account key %q", accountKey)
 	}
@@ -375,8 +449,8 @@ func (m *Market) executeUnbilled(accountKey string, q catalog.AccessQuery) (Resu
 	if err != nil {
 		return Result{}, err
 	}
-	mt.mu.Lock()
-	defer mt.mu.Unlock()
+	mt.mu.RLock()
+	defer mt.mu.RUnlock()
 	if err := catalog.ValidateBinding(mt.meta, q); err != nil {
 		return Result{}, err
 	}
@@ -404,5 +478,14 @@ type AccountCaller struct {
 
 // Call implements Caller.
 func (a AccountCaller) Call(q catalog.AccessQuery) (Result, error) {
+	return a.Market.Execute(a.Key, q)
+}
+
+// CallContext implements ContextCaller. The in-process transport has no
+// in-flight work to interrupt, so the context only gates call admission.
+func (a AccountCaller) CallContext(ctx context.Context, q catalog.AccessQuery) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	return a.Market.Execute(a.Key, q)
 }

@@ -20,8 +20,10 @@
 package payless
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"time"
 
@@ -90,6 +92,28 @@ type Config struct {
 	// Budget caps spending; over-budget queries fail with ErrOverBudget
 	// before any call is made.
 	Budget Budget
+	// FetchConcurrency bounds the number of in-flight market calls per plan
+	// step (the engine's fetch worker pool). 0 picks min(8, GOMAXPROCS);
+	// 1 executes calls serially. The bill is identical at any setting —
+	// batches are planned up front and merged in plan order — only
+	// wall-clock latency changes.
+	FetchConcurrency int
+}
+
+// fetchConcurrency resolves the configured FetchConcurrency to an
+// effective pool width.
+func (cfg *Config) fetchConcurrency() int {
+	if cfg.FetchConcurrency > 0 {
+		return cfg.FetchConcurrency
+	}
+	c := runtime.GOMAXPROCS(0)
+	if c > 8 {
+		c = 8
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
 }
 
 // StatsKind names a statistics implementation.
@@ -258,6 +282,14 @@ func (c *Client) options() core.Options {
 
 // Query parses, optimises and executes one SQL statement.
 func (c *Client) Query(sql string) (*Result, error) {
+	return c.QueryContext(context.Background(), sql)
+}
+
+// QueryContext is Query under a caller-supplied context: cancelling ctx
+// stops in-flight market fan-out. Results already paid for before the
+// cancellation stay recorded in the semantic store, so a retry does not
+// re-bill them.
+func (c *Client) QueryContext(ctx context.Context, sql string) (*Result, error) {
 	parsed, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, fmt.Errorf("payless: parse: %w", err)
@@ -276,13 +308,14 @@ func (c *Client) Query(sql string) (*Result, error) {
 		return nil, err
 	}
 	eng := engine.Engine{
-		Catalog: c.cat,
-		Store:   c.store,
-		Stats:   c.stats,
-		Caller:  c.caller,
-		Options: opts,
+		Catalog:     c.cat,
+		Store:       c.store,
+		Stats:       c.stats,
+		Caller:      c.caller,
+		Options:     opts,
+		Concurrency: c.cfg.fetchConcurrency(),
 	}
-	rel, report, err := eng.Execute(plan)
+	rel, report, err := eng.ExecuteContext(ctx, plan)
 	if err != nil {
 		return nil, fmt.Errorf("payless: execute: %w", err)
 	}
