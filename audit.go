@@ -19,6 +19,11 @@ type AuditRecord struct {
 	Transactions    int64     `json:"transactions"`
 	Price           float64   `json:"price"`
 	OptimizeMicros  int64     `json:"optimizeMicros"`
+	// Trace-derived fields, present only when the query was traced.
+	Retries      int64 `json:"retries,omitempty"`
+	StoreHits    int   `json:"storeHits,omitempty"`
+	StoreHitRows int64 `json:"storeHitRows,omitempty"`
+	TotalMicros  int64 `json:"totalMicros,omitempty"`
 }
 
 // SetAuditLog starts appending one JSON line per executed query to w.
@@ -48,6 +53,12 @@ func (c *Client) writeAudit(sql string, res *Result) {
 		Transactions:    res.Report.Transactions,
 		Price:           res.Report.Price,
 		OptimizeMicros:  res.OptimizeTime.Microseconds(),
+	}
+	if tr := res.Trace; tr != nil {
+		rec.Retries = tr.Retries()
+		rec.StoreHits = tr.StoreHits
+		rec.StoreHitRows = tr.StoreHitRows
+		rec.TotalMicros = tr.Total.Microseconds()
 	}
 	line, err := json.Marshal(rec)
 	if err != nil {

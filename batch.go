@@ -1,8 +1,8 @@
 package payless
 
 import (
-	"fmt"
 	"sort"
+	"time"
 
 	"payless/internal/core"
 	"payless/internal/engine"
@@ -40,11 +40,11 @@ func (c *Client) QueryBatch(sqls []string) ([]BatchResult, error) {
 	for i, sql := range sqls {
 		parsed, err := sqlparse.Parse(sql)
 		if err != nil {
-			return nil, fmt.Errorf("payless: batch statement %d: parse: %w", i, err)
+			return nil, &BatchError{Index: i, Err: stageErr(StageParse, err)}
 		}
 		bound, err := core.Bind(parsed, c.cat)
 		if err != nil {
-			return nil, fmt.Errorf("payless: batch statement %d: bind: %w", i, err)
+			return nil, &BatchError{Index: i, Err: stageErr(StageBind, err)}
 		}
 		todo = append(todo, pending{idx: i, bound: bound})
 	}
@@ -63,7 +63,7 @@ func (c *Client) QueryBatch(sqls []string) ([]BatchResult, error) {
 		for _, p := range todo {
 			plan, err := opt.Optimize(p.bound)
 			if err != nil {
-				return nil, fmt.Errorf("payless: batch statement %d: optimize: %w", p.idx, err)
+				return nil, &BatchError{Index: p.idx, Err: stageErr(StageOptimize, err)}
 			}
 			plans = append(plans, costed{p: p, plan: plan})
 		}
@@ -76,10 +76,14 @@ func (c *Client) QueryBatch(sqls []string) ([]BatchResult, error) {
 		pick := plans[0]
 
 		eng := engine.Engine{Catalog: c.cat, Store: c.store, Stats: c.stats, Caller: c.caller, Options: opts, Concurrency: c.cfg.fetchConcurrency()}
+		execStart := time.Now()
 		rel, report, err := eng.Execute(pick.plan)
 		if err != nil {
-			return nil, fmt.Errorf("payless: batch statement %d: execute: %w", pick.p.idx, err)
+			c.metrics.ObserveQueryError()
+			return nil, &BatchError{Index: pick.p.idx, Err: stageErr(StageExecute, err)}
 		}
+		c.metrics.ObserveQuery(time.Since(execStart)+pick.plan.Optimized, pick.plan.Optimized,
+			report.Calls, report.Records, report.Transactions, report.Price)
 		c.mu.Lock()
 		c.total.Add(report)
 		c.counters.Add(pick.plan.Counters)

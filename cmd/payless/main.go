@@ -11,7 +11,8 @@
 //	payless -market http://localhost:8080 -key demo -local whw
 //
 // Meta commands at the prompt: \spend (cumulative bill), \explain SQL
-// (optimize without paying), \q (quit).
+// (optimize without paying), \trace (execution trace of the last query),
+// \metrics (cumulative counters), \q (quit).
 package main
 
 import (
@@ -56,7 +57,7 @@ func main() {
 		return
 	}
 
-	fmt.Println("payless — SQL over the data market. \\q to quit, \\spend for the bill, \\tables to list tables, \\coverage for owned data, \\explain <sql> to preview a plan.")
+	fmt.Println("payless — SQL over the data market. \\q to quit, \\spend for the bill, \\tables to list tables, \\coverage for owned data, \\explain <sql> to preview a plan, \\trace for the last query's execution trace, \\metrics for cumulative counters.")
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -74,13 +75,21 @@ func main() {
 			r := client.TotalSpend()
 			fmt.Printf("calls=%d records=%d transactions=%d price=$%.2f\n",
 				r.Calls, r.Records, r.Transactions, r.Price)
+		case line == `\trace`:
+			if lastTrace == nil {
+				fmt.Println("no traced query yet — run a statement first")
+				continue
+			}
+			fmt.Print(lastTrace.Describe())
+		case line == `\metrics`:
+			client.WriteMetrics(os.Stdout)
 		case strings.HasPrefix(line, `\explain `):
-			out, err := client.ExplainVerbose(strings.TrimPrefix(line, `\explain `))
+			res, err := client.Explain(strings.TrimPrefix(line, `\explain `), payless.Verbose())
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
 			}
-			fmt.Print(out)
+			fmt.Print(res.PlanDetail)
 		case line == `\tables`:
 			for _, ti := range client.Tables() {
 				where := ti.Dataset
@@ -107,12 +116,16 @@ func main() {
 }
 
 func buildClient(marketURL, key, local, demo string, seed int64, noSQR, minCalls bool) (*payless.Client, error) {
-	mutate := func(c *payless.Config) {
-		c.DisableSQR = noSQR
-		c.MinimizeCalls = minCalls
+	// Trace every statement so \trace can replay the last one.
+	opts := []payless.Option{payless.WithTracer(&payless.CollectTracer{})}
+	if noSQR {
+		opts = append(opts, payless.WithoutSQR())
+	}
+	if minCalls {
+		opts = append(opts, payless.WithMinimizeCalls())
 	}
 	if demo != "" {
-		return demoClient(demo, seed, mutate)
+		return demoClient(demo, seed, opts)
 	}
 	if marketURL == "" {
 		return nil, fmt.Errorf("either -market or -demo is required")
@@ -121,7 +134,7 @@ func buildClient(marketURL, key, local, demo string, seed int64, noSQR, minCalls
 	if err != nil {
 		return nil, err
 	}
-	client, err := payless.OpenHTTP(marketURL, key, localTables, mutate)
+	client, err := payless.OpenHTTP(marketURL, key, localTables, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -153,7 +166,7 @@ func localData(local string, seed int64) ([]*catalog.Table, map[string][]value.R
 }
 
 // demoClient spins up an in-process market with the named dataset.
-func demoClient(dataset string, seed int64, mutate func(*payless.Config)) (*payless.Client, error) {
+func demoClient(dataset string, seed int64, opts []payless.Option) (*payless.Client, error) {
 	m := market.New()
 	m.RegisterAccount("demo")
 	var localTables []*catalog.Table
@@ -187,8 +200,7 @@ func demoClient(dataset string, seed int64, mutate func(*payless.Config)) (*payl
 		Tables: append(m.ExportCatalog(), localTables...),
 		Caller: market.AccountCaller{Market: m, Key: "demo"},
 	}
-	mutate(&cfg)
-	client, err := payless.Open(cfg)
+	client, err := payless.Open(cfg, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -202,11 +214,15 @@ func demoClient(dataset string, seed int64, mutate func(*payless.Config)) (*payl
 
 const maxPrintedRows = 40
 
+// lastTrace holds the most recent statement's execution trace for \trace.
+var lastTrace *payless.Trace
+
 func runStatement(client *payless.Client, sql string) error {
 	res, err := client.Query(sql)
 	if err != nil {
 		return err
 	}
+	lastTrace = res.Trace
 	fmt.Println(strings.Join(res.Columns, " | "))
 	for i, row := range res.Rows {
 		if i == maxPrintedRows {

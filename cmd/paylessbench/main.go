@@ -28,6 +28,7 @@ func main() {
 		seed     = flag.Int64("seed", 42, "workload seed")
 		sample   = flag.Int("sample", 10, "sample the cumulative series every N queries")
 		markdown = flag.Bool("markdown", false, "emit markdown tables instead of text")
+		trace    = flag.Bool("trace", false, "trace every query in the concurrency figure and emit traced-call/retry series")
 	)
 	flag.Parse()
 
@@ -47,7 +48,7 @@ func main() {
 		datasets = []string{*dataset}
 	}
 
-	req := bench.Request{Params: p, Figures: figures, Datasets: datasets}
+	req := bench.Request{Params: p, Figures: figures, Datasets: datasets, ConcTrace: *trace}
 	if !*markdown {
 		if err := bench.RenderAll(req, os.Stdout); err != nil {
 			log.Fatal(err)
@@ -93,7 +94,9 @@ func one(f, ds string, req bench.Request) (*bench.Figure, error) {
 		if ds != "real" && ds != "all" {
 			return nil, nil // the latency sweep runs on the real workload only
 		}
-		return bench.FigConcurrency(bench.DefaultConcurrencyParams())
+		cp := bench.DefaultConcurrencyParams()
+		cp.Trace = req.ConcTrace
+		return bench.FigConcurrency(cp)
 	default:
 		return nil, fmt.Errorf("unknown figure %q", f)
 	}

@@ -1,0 +1,111 @@
+package payless
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"payless/internal/connector"
+)
+
+// The error taxonomy. Every failure a Client returns is matchable with
+// errors.Is / errors.As:
+//
+//   - ErrParse / ErrBind / ErrOptimize / ErrExecute identify the query
+//     stage that failed (carried by *QueryError);
+//   - ErrOverBudget (budget.go) means the optimizer's estimate exceeded
+//     the configured spending budget before any money was spent;
+//   - *StatusError surfaces a non-2xx HTTP response from the market
+//     through the execute stage (errors.As).
+var (
+	// ErrParse marks a SQL syntax error.
+	ErrParse = errors.New("payless: parse error")
+	// ErrBind marks a failure resolving tables/columns against the catalog.
+	ErrBind = errors.New("payless: bind error")
+	// ErrOptimize marks a failure deriving a plan (e.g. an unsatisfiable
+	// binding pattern).
+	ErrOptimize = errors.New("payless: optimize error")
+	// ErrExecute marks a failure running the plan (market outages land
+	// here, wrapping the transport error).
+	ErrExecute = errors.New("payless: execute error")
+)
+
+// StatusError is a non-2xx HTTP response from the market, re-exported from
+// the connector so callers can match transport failures:
+//
+//	var se *payless.StatusError
+//	if errors.As(err, &se) && se.Code == 429 { ... }
+type StatusError = connector.StatusError
+
+// Stage names the query-processing phase an error belongs to.
+type Stage string
+
+// The query stages, in pipeline order.
+const (
+	StageParse    Stage = "parse"
+	StageBind     Stage = "bind"
+	StageOptimize Stage = "optimize"
+	StageExecute  Stage = "execute"
+)
+
+// sentinel maps a stage to its matchable sentinel error.
+func (s Stage) sentinel() error {
+	switch s {
+	case StageParse:
+		return ErrParse
+	case StageBind:
+		return ErrBind
+	case StageOptimize:
+		return ErrOptimize
+	case StageExecute:
+		return ErrExecute
+	}
+	return nil
+}
+
+// QueryError is a failure in one stage of query processing. It matches
+// both its stage sentinel (errors.Is(err, payless.ErrParse)) and whatever
+// the stage itself returned (errors.As through Err).
+type QueryError struct {
+	Stage Stage
+	Err   error
+}
+
+// Error renders "payless: <stage>: <cause>" — the format this package has
+// always used, now carried by a typed error.
+func (e *QueryError) Error() string {
+	return "payless: " + string(e.Stage) + ": " + e.Err.Error()
+}
+
+// Unwrap exposes both the stage sentinel and the underlying cause.
+func (e *QueryError) Unwrap() []error {
+	if s := e.Stage.sentinel(); s != nil {
+		return []error{s, e.Err}
+	}
+	return []error{e.Err}
+}
+
+// stageErr wraps err as a QueryError; nil stays nil.
+func stageErr(stage Stage, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &QueryError{Stage: stage, Err: err}
+}
+
+// BatchError locates a failed statement inside a QueryBatch. It unwraps to
+// the statement's QueryError, so stage sentinels keep matching.
+type BatchError struct {
+	// Index is the failed statement's position in the submitted batch.
+	Index int
+	Err   error
+}
+
+// Error renders "payless: batch statement <i>: <stage>: <cause>".
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("payless: batch statement %d: %s",
+		e.Index, strings.TrimPrefix(e.Err.Error(), "payless: "))
+}
+
+// Unwrap exposes the statement's error.
+func (e *BatchError) Unwrap() error { return e.Err }

@@ -1,0 +1,65 @@
+package payless
+
+import "context"
+
+// ExplainOption adjusts what Explain reports.
+type ExplainOption func(*explainConfig)
+
+type explainConfig struct {
+	verbose bool
+}
+
+// Verbose makes Explain render the optimizer's step-by-step plan report
+// into Result.PlanDetail (the output ExplainVerbose used to return).
+func Verbose() ExplainOption {
+	return func(ec *explainConfig) { ec.verbose = true }
+}
+
+// Explain parses and optimises a statement without executing it. The
+// returned Result carries the plan rendering, the price estimate and the
+// optimizer's search counters; no market call is made and nothing is
+// billed.
+func (c *Client) Explain(sql string, opts ...ExplainOption) (*Result, error) {
+	return c.ExplainContext(context.Background(), sql, opts...)
+}
+
+// ExplainContext is Explain under a caller-supplied context.
+func (c *Client) ExplainContext(ctx context.Context, sql string, opts ...ExplainOption) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var ec explainConfig
+	for _, o := range opts {
+		o(&ec)
+	}
+	tr := c.beginTrace(sql)
+	plan, _, err := c.compile(sql, tr)
+	if err != nil {
+		c.finishTrace(tr)
+		return nil, err
+	}
+	res := &Result{
+		EstTransactions: plan.EstTrans,
+		Counters:        plan.Counters,
+		Plan:            plan.String(),
+		OptimizeTime:    plan.Optimized,
+	}
+	if ec.verbose {
+		res.PlanDetail = plan.Describe()
+	}
+	c.finishTrace(tr)
+	res.Trace = tr
+	return res, nil
+}
+
+// ExplainVerbose optimises a statement and renders the step-by-step plan
+// report without executing it.
+//
+// Deprecated: use Explain(sql, Verbose()) and read Result.PlanDetail.
+func (c *Client) ExplainVerbose(sql string) (string, error) {
+	res, err := c.Explain(sql, Verbose())
+	if err != nil {
+		return "", err
+	}
+	return res.PlanDetail, nil
+}

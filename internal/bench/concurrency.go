@@ -28,6 +28,11 @@ type ConcurrencyParams struct {
 	// Queries is the number of fan-out queries replayed per level.
 	Queries int
 	Seed    int64
+	// Trace attaches a CollectTracer to every client, checks each query's
+	// trace against its bill (the per-call transaction sum must equal the
+	// report exactly, at every concurrency level), and adds traced-call and
+	// retry series to the figure.
+	Trace bool
 }
 
 // DefaultConcurrencyParams keeps the sweep laptop-fast: 8 countries give an
@@ -90,14 +95,14 @@ func (env *concurrencyEnv) close() { env.srv.Close() }
 // client builds a fresh PayLess client against the live market. SQR is
 // disabled so every query pays its full fan-out of calls — the experiment
 // measures transport latency, not semantic reuse.
-func (env *concurrencyEnv) client(key string, conc int) (*payless.Client, error) {
+func (env *concurrencyEnv) client(key string, conc int, opts ...payless.Option) (*payless.Client, error) {
 	env.m.RegisterAccount(key)
 	c, err := payless.Open(payless.Config{
 		Tables:           append(env.m.ExportCatalog(), env.w.ZipMap),
 		Caller:           connector.New(env.srv.URL, key),
 		DisableSQR:       true,
 		FetchConcurrency: conc,
-	})
+	}, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -125,23 +130,47 @@ func FigConcurrency(p ConcurrencyParams) (*Figure, error) {
 		XLabel: "conc",
 	}
 	s := Series{System: "PayLess w/o SQR latency(ms)"}
+	calls := Series{System: "traced calls"}
+	retries := Series{System: "traced retries"}
 	var bills []int64
 	for _, conc := range p.Levels {
-		client, err := env.client(fmt.Sprintf("conc-%d", conc), conc)
+		var opts []payless.Option
+		if p.Trace {
+			opts = append(opts, payless.WithTracer(&payless.CollectTracer{}))
+		}
+		client, err := env.client(fmt.Sprintf("conc-%d", conc), conc, opts...)
 		if err != nil {
 			return nil, err
 		}
 		start := time.Now()
-		var bill int64
+		var bill, levelCalls, levelRetries int64
 		for _, sql := range env.sql {
 			res, err := client.Query(sql)
 			if err != nil {
 				return nil, err
 			}
 			bill += res.Report.Transactions
+			if p.Trace {
+				tr := res.Trace
+				if tr == nil {
+					return nil, fmt.Errorf("conc=%d: tracing enabled but Result.Trace is nil", conc)
+				}
+				// The trace is an exact accounting of the bill: the per-call
+				// transaction sum must match the report at every level.
+				if got := tr.CallTransactions(); got != res.Report.Transactions {
+					return nil, fmt.Errorf("conc=%d: trace transaction sum %d != report %d",
+						conc, got, res.Report.Transactions)
+				}
+				levelCalls += int64(len(tr.Calls))
+				levelRetries += tr.Retries()
+			}
 		}
 		s.X = append(s.X, conc)
 		s.Y = append(s.Y, time.Since(start).Milliseconds())
+		calls.X = append(calls.X, conc)
+		calls.Y = append(calls.Y, levelCalls)
+		retries.X = append(retries.X, conc)
+		retries.Y = append(retries.Y, levelRetries)
 		bills = append(bills, bill)
 	}
 	for _, b := range bills {
@@ -150,5 +179,8 @@ func FigConcurrency(p ConcurrencyParams) (*Figure, error) {
 		}
 	}
 	fig.Series = append(fig.Series, s)
+	if p.Trace {
+		fig.Series = append(fig.Series, calls, retries)
+	}
 	return fig, nil
 }

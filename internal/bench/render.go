@@ -19,6 +19,9 @@ type Request struct {
 	QRealValues []int
 	QTPCHValues []int
 	DValues     []float64
+	// ConcTrace enables per-query tracing in the concurrency figure and
+	// adds traced-call/retry series (paylessbench -trace).
+	ConcTrace bool
 }
 
 func (r *Request) figures() []string {
@@ -68,7 +71,9 @@ func RenderAll(req Request, w io.Writer) error {
 	for _, f := range req.figures() {
 		if f == "conc" {
 			start := time.Now()
-			fig, err := FigConcurrency(DefaultConcurrencyParams())
+			cp := DefaultConcurrencyParams()
+			cp.Trace = req.ConcTrace
+			fig, err := FigConcurrency(cp)
 			if err != nil {
 				return fmt.Errorf("fig conc: %w", err)
 			}

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	payless "payless"
+)
+
+// noopTracer opts every query out of tracing: Begin returns nil, so the
+// engine runs the same nil-trace path as a client with no Tracer at all.
+type noopTracer struct{}
+
+func (noopTracer) Begin(string) *payless.Trace { return nil }
+func (noopTracer) Finish(*payless.Trace)       {}
+
+// replay runs one full pass over the workload on a fresh client.
+func replay(t testing.TB, env *concurrencyEnv, key string, opts ...payless.Option) time.Duration {
+	t.Helper()
+	client, err := env.client(key, 8, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	for _, sql := range env.sql {
+		if _, err := client.Query(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return time.Since(start)
+}
+
+// TestNoopTracerOverhead is the benchmark-smoke guard: a client whose
+// Tracer declines every query must run the fan-out workload within 2% of
+// an untraced client. Minimum-of-N timings are compared so scheduler noise
+// cancels out, and the comparison re-measures before declaring a
+// regression.
+func TestNoopTracerOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison")
+	}
+	p := smallConcurrencyParams()
+	env, err := newConcurrencyEnv(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.close()
+	const runs = 5
+	minDur := func(traced bool, round int) time.Duration {
+		best := time.Duration(1) << 62
+		for i := 0; i < runs; i++ {
+			key := fmt.Sprintf("ovh-%v-%d-%d", traced, round, i)
+			var opts []payless.Option
+			if traced {
+				opts = append(opts, payless.WithTracer(noopTracer{}))
+			}
+			if d := replay(t, env, key, opts...); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	for round := 0; ; round++ {
+		base := minDur(false, round)
+		traced := minDur(true, round)
+		overhead := float64(traced-base) / float64(base)
+		if overhead < 0.02 {
+			t.Logf("noop-tracer overhead %.2f%% (base %v, traced %v)", 100*overhead, base, traced)
+			return
+		}
+		if round == 2 {
+			t.Fatalf("noop tracer adds %.1f%% overhead (base %v, traced %v), want <2%%",
+				100*overhead, base, traced)
+		}
+	}
+}
+
+// BenchmarkFetchConcurrencyTraced is BenchmarkFetchConcurrency with a
+// CollectTracer attached — compare the two to quantify the cost of full
+// tracing:
+//
+//	go test ./internal/bench/ -bench FetchConcurrency -benchtime 10x
+func BenchmarkFetchConcurrencyTraced(b *testing.B) {
+	p := DefaultConcurrencyParams()
+	env, err := newConcurrencyEnv(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer env.close()
+	for _, conc := range []int{1, 8} {
+		b.Run(fmt.Sprintf("conc=%d", conc), func(b *testing.B) {
+			client, err := env.client(fmt.Sprintf("tbench-%d-%d", conc, b.N), conc,
+				payless.WithTracer(&payless.CollectTracer{}))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := client.Query(env.sql[i%len(env.sql)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -26,6 +26,7 @@ import (
 
 	"payless/internal/catalog"
 	"payless/internal/market"
+	"payless/internal/obs"
 )
 
 // StatusError is a non-2xx HTTP response from the market. Permanent client
@@ -141,6 +142,9 @@ func (c *Client) get(ctx context.Context, path string, out any) error {
 	var lastErr error
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
+			// Annotate the in-flight call's trace record (if the engine
+			// attached one) before the backoff sleep.
+			obs.CallFromContext(ctx).AddRetry()
 			if err := c.sleep(ctx, c.backoffDelay(attempt)); err != nil {
 				return fmt.Errorf("market call aborted after %d attempts: %w (last error: %v)", attempt, err, lastErr)
 			}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"payless/internal/catalog"
+	"payless/internal/obs"
 	"payless/internal/region"
 	"payless/internal/rewrite"
 	"payless/internal/semstore"
@@ -25,6 +26,9 @@ type Optimizer struct {
 	// Stats estimates row counts per (table, box).
 	Stats   stats.Estimator
 	Options Options
+	// Trace, when non-nil, receives the optimize span, the chosen plan and
+	// the search-effort counters.
+	Trace *obs.Trace
 }
 
 // relInfo caches per-relation facts the DP consults repeatedly.
@@ -49,6 +53,7 @@ type optRun struct {
 // Optimize derives the best plan for the bound query.
 func (o *Optimizer) Optimize(b *BoundQuery) (*Plan, error) {
 	start := time.Now()
+	endSpan := o.Trace.StartSpan("optimize")
 	run := &optRun{o: o, b: b, info: make([]relInfo, len(b.Rels))}
 	for i := range b.Rels {
 		run.prepRel(i)
@@ -61,11 +66,15 @@ func (o *Optimizer) Optimize(b *BoundQuery) (*Plan, error) {
 		plan, err = run.searchLeftDeep()
 	}
 	if err != nil {
+		endSpan(err)
 		return nil, err
 	}
 	plan.Bound = b
 	plan.Counters = run.counters
 	plan.Optimized = time.Since(start)
+	endSpan(nil)
+	o.Trace.SetPlan(plan.String(), plan.EstTrans)
+	o.Trace.SetCounters(plan.Counters.PlansEvaluated, plan.Counters.BoxesEnumerated, plan.Counters.BoxesKept)
 	return plan, nil
 }
 

@@ -22,6 +22,7 @@ import (
 	"payless/internal/catalog"
 	"payless/internal/core"
 	"payless/internal/market"
+	"payless/internal/obs"
 	"payless/internal/region"
 	"payless/internal/semstore"
 	"payless/internal/sqlparse"
@@ -60,6 +61,10 @@ type Engine struct {
 	// Concurrency bounds the number of in-flight market calls per batch;
 	// values <= 1 execute serially.
 	Concurrency int
+	// Trace, when non-nil, receives one record per market call (in
+	// plan-merge order) plus semantic-store hit accounting. Nil disables
+	// tracing at the cost of one nil check per instrumentation point.
+	Trace *obs.Trace
 	// Now stamps semantic-store entries; nil means time.Now.
 	Now func() time.Time
 }
@@ -164,6 +169,9 @@ func (e *Engine) storedScan(rel *core.Rel) (storage.Relation, error) {
 		}
 		out.Rows = append(out.Rows, got.Rows...)
 	}
+	// A fully covered market relation is a zero-price access (Theorem 2):
+	// the whole read is a semantic-store hit.
+	e.Trace.AddStoreHit(int64(len(out.Rows)))
 	return out, nil
 }
 
@@ -199,7 +207,8 @@ func (e *Engine) marketScan(ctx context.Context, rel *core.Rel, report *Report) 
 		}
 		specs = append(specs, s...)
 	}
-	if _, err := e.runBatch(ctx, specs, report); err != nil {
+	results, err := e.runBatch(ctx, specs, report)
+	if err != nil {
 		return storage.Relation{}, err
 	}
 	for _, ab := range boxes {
@@ -209,6 +218,7 @@ func (e *Engine) marketScan(ctx context.Context, rel *core.Rel, report *Report) 
 		}
 		out.Rows = append(out.Rows, got.Rows...)
 	}
+	e.noteStoreServed(len(specs), len(out.Rows), results)
 	return out, nil
 }
 
@@ -316,7 +326,8 @@ func (e *Engine) bindScan(ctx context.Context, rel *core.Rel, step core.Step, pr
 		}
 		specs = append(specs, s...)
 	}
-	if _, err := e.runBatch(ctx, specs, report); err != nil {
+	results, err := e.runBatch(ctx, specs, report)
+	if err != nil {
 		return storage.Relation{}, err
 	}
 	for _, coord := range coords {
@@ -328,7 +339,30 @@ func (e *Engine) bindScan(ctx context.Context, rel *core.Rel, step core.Step, pr
 			out.Rows = append(out.Rows, got.Rows...)
 		}
 	}
+	e.noteStoreServed(len(specs), len(out.Rows), results)
 	return out, nil
+}
+
+// noteStoreServed attributes a SQR access's output rows between freshly
+// bought records and rows the semantic store already owned. With zero
+// remainder calls the access was fully covered — a store hit; otherwise
+// the store served approximately the rows beyond the fresh records (an
+// estimate: overlap dedup can make fresh rows and stored rows coincide).
+func (e *Engine) noteStoreServed(specCount, outRows int, results []*market.Result) {
+	if e.Trace == nil {
+		return
+	}
+	if specCount == 0 {
+		e.Trace.AddStoreHit(int64(outRows))
+		return
+	}
+	var fresh int
+	for _, res := range results {
+		if res != nil {
+			fresh += res.Records
+		}
+	}
+	e.Trace.AddStoreRows(int64(outRows - fresh))
 }
 
 // coalesceBindings groups sorted binding coordinates into call boxes.

@@ -5,10 +5,12 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"payless/internal/catalog"
 	"payless/internal/core"
 	"payless/internal/market"
+	"payless/internal/obs"
 	"payless/internal/region"
 	"payless/internal/rewrite"
 )
@@ -92,6 +94,16 @@ func (e *Engine) runBatch(ctx context.Context, specs []callSpec, report *Report)
 	defer cancel()
 	results := make([]*market.Result, len(specs))
 	errs := make([]error, len(specs))
+	// Per-call trace records live alongside the results. Each record is
+	// written only by the goroutine running its call (latency, transport
+	// retries via obs.ContextWithCall) and appended to the trace in the
+	// plan-order merge below, so traced call order is deterministic at
+	// every concurrency level.
+	traced := e.Trace != nil
+	var recs []*obs.CallRecord
+	if traced {
+		recs = make([]*obs.CallRecord, len(specs))
+	}
 	var failed atomic.Bool
 	sem := make(chan struct{}, e.concurrency(len(specs)))
 	var wg sync.WaitGroup
@@ -111,7 +123,21 @@ func (e *Engine) runBatch(ctx context.Context, specs []callSpec, report *Report)
 				<-sem
 				wg.Done()
 			}()
-			res, err := market.Do(cctx, e.Caller, specs[i].q)
+			callCtx := cctx
+			var start time.Time
+			if traced {
+				recs[i] = &obs.CallRecord{
+					Dataset: specs[i].meta.Dataset,
+					Table:   specs[i].meta.Name,
+					Query:   specs[i].q.String(),
+				}
+				callCtx = obs.ContextWithCall(cctx, recs[i])
+				start = time.Now()
+			}
+			res, err := market.Do(callCtx, e.Caller, specs[i].q)
+			if traced {
+				recs[i].Latency = time.Since(start)
+			}
 			if err != nil {
 				errs[i] = err
 				failed.Store(true)
@@ -130,10 +156,23 @@ func (e *Engine) runBatch(ctx context.Context, specs []callSpec, report *Report)
 		}
 		e.account(report, *res)
 		e.feedback(spec.meta, spec.box, int64(res.Records))
-		if spec.record && e.Store != nil {
-			if err := e.Store.Record(spec.meta, spec.box, res.Rows, e.now()); err != nil && mergeErr == nil {
+		added := 0
+		recorded := spec.record && e.Store != nil
+		if recorded {
+			n, err := e.Store.Record(spec.meta, spec.box, res.Rows, e.now())
+			added = n
+			if err != nil && mergeErr == nil {
 				mergeErr = err
 			}
+		}
+		if traced {
+			rec := recs[i]
+			rec.Records = int64(res.Records)
+			rec.Transactions = res.Transactions
+			rec.Price = res.Price
+			rec.Recorded = recorded
+			rec.NewRows = added
+			e.Trace.AddCall(*rec)
 		}
 	}
 	if err := batchError(errs); err != nil {

@@ -224,11 +224,15 @@ const AuthHeader = "X-Account-Key"
 //	GET /v1/catalog                      — public table metadata
 //	GET /v1/meter                        — the calling account's meter
 //	GET /v1/data/{dataset}/{table}?...   — one RESTful data call
+//	GET /metrics                         — seller-side Prometheus metrics
 //
 // Data-call predicates travel as query parameters: attr=value for equality,
 // attr.gte= / attr.lte= for inclusive numeric range ends.
 func (m *Market) Handler() http.Handler {
 	mux := http.NewServeMux()
+	// /metrics is unauthenticated by design: it exposes aggregate service
+	// counters (no per-account data) in the format scrapers expect.
+	mux.Handle("GET /metrics", m.metrics.Handler("market"))
 	mux.HandleFunc("GET /v1/catalog", func(w http.ResponseWriter, r *http.Request) {
 		if !m.authed(r) {
 			httpError(w, http.StatusUnauthorized, "unknown account key")

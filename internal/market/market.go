@@ -18,8 +18,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"payless/internal/catalog"
+	"payless/internal/obs"
 	"payless/internal/value"
 )
 
@@ -109,12 +111,24 @@ type Market struct {
 	datasets map[string]*Dataset
 	accMu    sync.RWMutex
 	accounts map[string]*Meter
+	// metrics aggregates seller-side observability across all accounts:
+	// calls served, records, transactions billed and scan latency. It is
+	// internally locked and exposed at GET /metrics by the HTTP server.
+	metrics *obs.Metrics
 }
 
 // New returns an empty market.
 func New() *Market {
-	return &Market{datasets: make(map[string]*Dataset), accounts: make(map[string]*Meter)}
+	return &Market{
+		datasets: make(map[string]*Dataset),
+		accounts: make(map[string]*Meter),
+		metrics:  obs.NewMetrics(),
+	}
 }
+
+// Metrics returns a snapshot of the seller-side counters: every billed
+// call across every account since the market started.
+func (m *Market) Metrics() obs.Snapshot { return m.metrics.Snapshot() }
 
 // AddDataset creates a dataset with the given pricing. t must be positive.
 func (m *Market) AddDataset(name string, tuplesPerTransaction int, pricePerTransaction float64) (*Dataset, error) {
@@ -322,6 +336,7 @@ func (m *Market) ExportCatalog() []*catalog.Table {
 // table's binding pattern and billing the meter. This is the market-side
 // entry point shared by the in-process caller and the HTTP server.
 func (m *Market) Execute(accountKey string, q catalog.AccessQuery) (Result, error) {
+	start := time.Now()
 	m.accMu.RLock()
 	_, authed := m.accounts[accountKey]
 	m.accMu.RUnlock()
@@ -361,6 +376,7 @@ func (m *Market) Execute(accountKey string, q catalog.AccessQuery) (Result, erro
 		meter.Price += price
 	}
 	m.accMu.Unlock()
+	m.metrics.ObserveCall(time.Since(start), int64(records), trans, price)
 
 	return Result{
 		Schema:       schema,

@@ -1,0 +1,33 @@
+package obs
+
+import "context"
+
+type callKey struct{}
+
+// ContextWithCall attaches a call record to ctx so transport layers below
+// the engine (the HTTP connector's retry loop) can annotate the in-flight
+// call without threading trace plumbing through every signature.
+func ContextWithCall(ctx context.Context, rec *CallRecord) context.Context {
+	if rec == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, callKey{}, rec)
+}
+
+// CallFromContext returns the call record attached to ctx, or nil.
+func CallFromContext(ctx context.Context) *CallRecord {
+	if ctx == nil {
+		return nil
+	}
+	rec, _ := ctx.Value(callKey{}).(*CallRecord)
+	return rec
+}
+
+// AddRetry counts one extra transport attempt. Safe on a nil receiver; a
+// call record is only ever touched by the goroutine running its call.
+func (r *CallRecord) AddRetry() {
+	if r == nil {
+		return
+	}
+	r.Retries++
+}

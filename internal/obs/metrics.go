@@ -1,0 +1,267 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds. Market round-trips live in
+// the 1ms–10s range; everything slower lands in +Inf.
+var latencyBuckets = []time.Duration{
+	time.Millisecond,
+	2 * time.Millisecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	25 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	250 * time.Millisecond,
+	500 * time.Millisecond,
+	time.Second,
+	(5 * time.Second) / 2,
+	5 * time.Second,
+	10 * time.Second,
+}
+
+// histogram is a fixed-bucket latency histogram. Counts are per-bucket
+// (non-cumulative, one overflow bucket at the end); snapshots and the
+// Prometheus rendering cumulate.
+type histogram struct {
+	counts []int64
+	count  int64
+	sum    time.Duration
+}
+
+func (h *histogram) observe(d time.Duration) {
+	if h.counts == nil {
+		h.counts = make([]int64, len(latencyBuckets)+1)
+	}
+	i := sort.Search(len(latencyBuckets), func(i int) bool { return d <= latencyBuckets[i] })
+	h.counts[i]++
+	h.count++
+	h.sum += d
+}
+
+func (h *histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count, Sum: h.sum}
+	var cum int64
+	for i, le := range latencyBuckets {
+		if h.counts != nil {
+			cum += h.counts[i]
+		}
+		s.Buckets = append(s.Buckets, Bucket{Le: le, Count: cum})
+	}
+	return s
+}
+
+// Bucket is one cumulative histogram bucket: Count observations ≤ Le.
+type Bucket struct {
+	Le    time.Duration
+	Count int64
+}
+
+// HistogramSnapshot is a point-in-time copy of a latency histogram.
+type HistogramSnapshot struct {
+	Count   int64
+	Sum     time.Duration
+	Buckets []Bucket
+}
+
+// Quantile returns an upper bound on the q-quantile latency (q in [0,1]),
+// resolved to bucket boundaries; 0 when the histogram is empty.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(s.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	for _, b := range s.Buckets {
+		if b.Count >= rank {
+			return b.Le
+		}
+	}
+	// Beyond the last bound: report the mean of the overflow as a stand-in.
+	return s.Sum / time.Duration(s.Count)
+}
+
+// Metrics accumulates process-wide counters and latency histograms. One
+// instance serves a Client (buyer side) or a Market (seller side); unused
+// families simply stay zero. Safe for concurrent use.
+type Metrics struct {
+	mu sync.Mutex
+
+	queries     int64
+	queryErrors int64
+
+	calls        int64
+	records      int64
+	transactions int64
+	price        float64
+	retries      int64
+
+	storeHits    int64
+	storeHitRows int64
+
+	queryLatency    histogram
+	callLatency     histogram
+	optimizeLatency histogram
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// ObserveQuery folds one finished query into the registry: its end-to-end
+// and optimize latencies plus what it cost at the market.
+func (m *Metrics) ObserveQuery(total, optimize time.Duration, calls, records, transactions int64, price float64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queries++
+	m.calls += calls
+	m.records += records
+	m.transactions += transactions
+	m.price += price
+	m.queryLatency.observe(total)
+	m.optimizeLatency.observe(optimize)
+}
+
+// ObserveQueryError counts a failed query.
+func (m *Metrics) ObserveQueryError() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queryErrors++
+}
+
+// ObserveTrace folds a finished trace's per-call detail into the registry:
+// call latencies, retries and semantic-store reuse. Call/record/transaction
+// totals are NOT added here — ObserveQuery already counted them from the
+// query report — so observing both for the same query never double-counts.
+func (m *Metrics) ObserveTrace(t *Trace) {
+	if m == nil || t == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, c := range t.Calls {
+		m.callLatency.observe(c.Latency)
+		m.retries += int64(c.Retries)
+	}
+	m.storeHits += int64(t.StoreHits)
+	m.storeHitRows += t.StoreHitRows
+}
+
+// ObserveCall folds one served market call into the registry — the
+// seller-side entry point used by Market.Execute.
+func (m *Metrics) ObserveCall(latency time.Duration, records, transactions int64, price float64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.calls++
+	m.records += records
+	m.transactions += transactions
+	m.price += price
+	m.callLatency.observe(latency)
+}
+
+// Snapshot is a point-in-time copy of every counter and histogram.
+type Snapshot struct {
+	// Queries and QueryErrors count finished and failed queries.
+	Queries     int64
+	QueryErrors int64
+	// Calls/Records/Transactions/Price are the cumulative market bill.
+	Calls        int64
+	Records      int64
+	Transactions int64
+	Price        float64
+	// Retries counts extra transport attempts across all calls.
+	Retries int64
+	// StoreHits counts plan accesses served entirely from the semantic
+	// store; StoreHitRows the rows served locally instead of bought.
+	StoreHits    int64
+	StoreHitRows int64
+
+	QueryLatency    HistogramSnapshot
+	CallLatency     HistogramSnapshot
+	OptimizeLatency HistogramSnapshot
+}
+
+// Snapshot returns a consistent copy of the registry.
+func (m *Metrics) Snapshot() Snapshot {
+	if m == nil {
+		return Snapshot{}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Snapshot{
+		Queries:         m.queries,
+		QueryErrors:     m.queryErrors,
+		Calls:           m.calls,
+		Records:         m.records,
+		Transactions:    m.transactions,
+		Price:           m.price,
+		Retries:         m.retries,
+		StoreHits:       m.storeHits,
+		StoreHitRows:    m.storeHitRows,
+		QueryLatency:    m.queryLatency.snapshot(),
+		CallLatency:     m.callLatency.snapshot(),
+		OptimizeLatency: m.optimizeLatency.snapshot(),
+	}
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format. prefix namespaces the metric families ("payless" on the buyer
+// side, "market" on the seller side).
+func (m *Metrics) WritePrometheus(w io.Writer, prefix string) {
+	s := m.Snapshot()
+	counter := func(name, help string, v any) {
+		fmt.Fprintf(w, "# HELP %s_%s %s\n# TYPE %s_%s counter\n", prefix, name, help, prefix, name)
+		switch n := v.(type) {
+		case int64:
+			fmt.Fprintf(w, "%s_%s %d\n", prefix, name, n)
+		case float64:
+			fmt.Fprintf(w, "%s_%s %g\n", prefix, name, n)
+		}
+	}
+	counter("queries_total", "Queries executed.", s.Queries)
+	counter("query_errors_total", "Queries that failed.", s.QueryErrors)
+	counter("calls_total", "RESTful market calls.", s.Calls)
+	counter("records_total", "Records returned by market calls.", s.Records)
+	counter("transactions_total", "Transactions billed (ceil(records/t) per call).", s.Transactions)
+	counter("price_total", "Money billed across all calls.", s.Price)
+	counter("call_retries_total", "Extra transport attempts beyond the first.", s.Retries)
+	counter("store_hits_total", "Plan accesses served entirely from the semantic store.", s.StoreHits)
+	counter("store_hit_rows_total", "Rows served from the semantic store instead of bought.", s.StoreHitRows)
+	hist := func(name, help string, h HistogramSnapshot) {
+		fmt.Fprintf(w, "# HELP %s_%s %s\n# TYPE %s_%s histogram\n", prefix, name, help, prefix, name)
+		for _, b := range h.Buckets {
+			fmt.Fprintf(w, "%s_%s_bucket{le=\"%g\"} %d\n", prefix, name, b.Le.Seconds(), b.Count)
+		}
+		fmt.Fprintf(w, "%s_%s_bucket{le=\"+Inf\"} %d\n", prefix, name, h.Count)
+		fmt.Fprintf(w, "%s_%s_sum %g\n", prefix, name, h.Sum.Seconds())
+		fmt.Fprintf(w, "%s_%s_count %d\n", prefix, name, h.Count)
+	}
+	hist("query_duration_seconds", "End-to-end query latency.", s.QueryLatency)
+	hist("call_duration_seconds", "Market call latency (including retries and paging).", s.CallLatency)
+	hist("optimize_duration_seconds", "Optimizer latency per query.", s.OptimizeLatency)
+}
+
+// Handler serves the registry at GET in Prometheus text format.
+func (m *Metrics) Handler(prefix string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		m.WritePrometheus(w, prefix)
+	})
+}

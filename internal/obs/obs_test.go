@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilTraceIsNoOp(t *testing.T) {
+	var tr *Trace
+	end := tr.StartSpan("parse")
+	end(nil)
+	tr.AddCall(CallRecord{Transactions: 3})
+	tr.AddStoreHit(10)
+	tr.AddStoreRows(5)
+	tr.SetPlan("p", 1)
+	tr.SetCounters(1, 2, 3)
+	tr.Finish()
+	if tr.CallTransactions() != 0 || tr.Retries() != 0 {
+		t.Error("nil trace should sum to zero")
+	}
+	if got := tr.Describe(); !strings.Contains(got, "no trace") {
+		t.Errorf("nil Describe: %q", got)
+	}
+}
+
+func TestTraceAccumulates(t *testing.T) {
+	tr := NewTrace("SELECT 1")
+	end := tr.StartSpan("parse")
+	end(nil)
+	tr.AddCall(CallRecord{Table: "Weather", Records: 120, Transactions: 2, Price: 2, Retries: 1, Latency: time.Millisecond})
+	tr.AddCall(CallRecord{Table: "Weather", Records: 30, Transactions: 1, Price: 1})
+	tr.AddStoreHit(40)
+	tr.SetPlan("Weather(scan,3) est=3", 3)
+	tr.SetCounters(4, 5, 2)
+	tr.Finish()
+
+	if got := tr.CallTransactions(); got != 3 {
+		t.Errorf("CallTransactions = %d, want 3", got)
+	}
+	if got := tr.Retries(); got != 1 {
+		t.Errorf("Retries = %d, want 1", got)
+	}
+	if tr.Total <= 0 {
+		t.Error("Finish should stamp Total")
+	}
+	out := tr.Describe()
+	for _, want := range []string{"SELECT 1", "parse", "2 call(s)", "3 transactions", "Weather", "4 plans evaluated", "1 access(es) served locally"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Describe missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpanRecordsError(t *testing.T) {
+	tr := NewTrace("x")
+	end := tr.StartSpan("bind")
+	end(context.Canceled)
+	if len(tr.Spans) != 1 || tr.Spans[0].Err == "" {
+		t.Fatalf("span error not recorded: %+v", tr.Spans)
+	}
+}
+
+func TestContextCallPropagation(t *testing.T) {
+	rec := &CallRecord{}
+	ctx := ContextWithCall(context.Background(), rec)
+	got := CallFromContext(ctx)
+	if got != rec {
+		t.Fatal("record did not round-trip through context")
+	}
+	got.AddRetry()
+	got.AddRetry()
+	if rec.Retries != 2 {
+		t.Errorf("Retries = %d, want 2", rec.Retries)
+	}
+	if CallFromContext(context.Background()) != nil {
+		t.Error("empty context should yield nil record")
+	}
+	var nilRec *CallRecord
+	nilRec.AddRetry() // must not panic
+}
+
+func TestMetricsCountersAndPrometheus(t *testing.T) {
+	m := NewMetrics()
+	m.ObserveQuery(10*time.Millisecond, time.Millisecond, 2, 150, 3, 3)
+	m.ObserveQueryError()
+	tr := NewTrace("q")
+	tr.AddCall(CallRecord{Latency: 4 * time.Millisecond, Retries: 1})
+	tr.AddCall(CallRecord{Latency: 6 * time.Millisecond})
+	tr.AddStoreHit(25)
+	m.ObserveTrace(tr)
+
+	s := m.Snapshot()
+	if s.Queries != 1 || s.QueryErrors != 1 || s.Calls != 2 || s.Transactions != 3 {
+		t.Errorf("snapshot counters: %+v", s)
+	}
+	if s.Retries != 1 || s.StoreHits != 1 || s.StoreHitRows != 25 {
+		t.Errorf("trace-fed counters: %+v", s)
+	}
+	if s.CallLatency.Count != 2 {
+		t.Errorf("call latency count = %d, want 2", s.CallLatency.Count)
+	}
+	if q := s.CallLatency.Quantile(0.5); q < 4*time.Millisecond || q > 10*time.Millisecond {
+		t.Errorf("p50 call latency = %v", q)
+	}
+
+	var b strings.Builder
+	m.WritePrometheus(&b, "payless")
+	out := b.String()
+	for _, want := range []string{
+		"payless_queries_total 1",
+		"payless_query_errors_total 1",
+		"payless_calls_total 2",
+		"payless_transactions_total 3",
+		"payless_store_hit_rows_total 25",
+		"payless_call_duration_seconds_count 2",
+		`payless_call_duration_seconds_bucket{le="+Inf"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q", want)
+		}
+	}
+}
+
+func TestMetricsObserveCallSellerSide(t *testing.T) {
+	m := NewMetrics()
+	m.ObserveCall(2*time.Millisecond, 150, 2, 2)
+	m.ObserveCall(3*time.Millisecond, 50, 1, 1)
+	s := m.Snapshot()
+	if s.Calls != 2 || s.Records != 200 || s.Transactions != 3 || s.Price != 3 {
+		t.Errorf("seller-side counters: %+v", s)
+	}
+	srv := httptest.NewServer(m.Handler("market"))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "market_transactions_total 3") {
+		t.Errorf("metrics endpoint output:\n%s", buf[:n])
+	}
+}
+
+func TestNilMetricsIsNoOp(t *testing.T) {
+	var m *Metrics
+	m.ObserveQuery(time.Millisecond, 0, 1, 1, 1, 1)
+	m.ObserveQueryError()
+	m.ObserveTrace(NewTrace("q"))
+	m.ObserveCall(time.Millisecond, 1, 1, 1)
+	if s := m.Snapshot(); s.Queries != 0 {
+		t.Errorf("nil metrics snapshot: %+v", s)
+	}
+}

@@ -18,10 +18,10 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	b1 := region.NewBox(region.Point(0), region.Interval{Lo: 1, Hi: 51})
 	b2 := region.NewBox(region.Point(1), region.Interval{Lo: 1, Hi: 101})
 	at := time.Date(2026, 7, 1, 12, 0, 0, 0, time.UTC)
-	if err := s1.Record(meta, b1, []value.Row{row("A", 10, 1.5)}, at); err != nil {
+	if _, err := s1.Record(meta, b1, []value.Row{row("A", 10, 1.5)}, at); err != nil {
 		t.Fatal(err)
 	}
-	if err := s1.Record(meta, b2, []value.Row{row("B", 99, 2.5)}, at.Add(time.Hour)); err != nil {
+	if _, err := s1.Record(meta, b2, []value.Row{row("B", 99, 2.5)}, at.Add(time.Hour)); err != nil {
 		t.Fatal(err)
 	}
 

@@ -75,17 +75,20 @@ func (s *Store) tableFor(meta *catalog.Table) *tableStore {
 }
 
 // Record stores the outcome of an executed call: its box, its exact row
-// count, and the rows themselves (deduplicated into the local DBMS).
-func (s *Store) Record(meta *catalog.Table, b region.Box, rows []value.Row, at time.Time) error {
+// count, and the rows themselves (deduplicated into the local DBMS). It
+// returns how many rows were new — not already materialised from an earlier
+// call — which is the trace's measure of how much of the bill bought data
+// the buyer did not yet own.
+func (s *Store) Record(meta *catalog.Table, b region.Box, rows []value.Row, at time.Time) (added int, err error) {
 	if b.Empty() && len(rows) > 0 {
-		return fmt.Errorf("semstore: non-empty result for empty box on %s", meta.Name)
+		return 0, fmt.Errorf("semstore: non-empty result for empty box on %s", meta.Name)
 	}
 	tbl, err := s.db.Ensure(LocalTableName(meta.Name), meta.Schema)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if _, err := tbl.Insert(rows); err != nil {
-		return err
+		return 0, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -98,7 +101,7 @@ func (s *Store) Record(meta *catalog.Table, b region.Box, rows []value.Row, at t
 		}
 		rb, err := RowBox(meta, row)
 		if err != nil {
-			return err
+			return added, err
 		}
 		cs := make([]int64, rb.D())
 		for i, iv := range rb.Dims {
@@ -107,8 +110,9 @@ func (s *Store) Record(meta *catalog.Table, b region.Box, rows []value.Row, at t
 		ts.seen[k] = struct{}{}
 		ts.rows = append(ts.rows, row.Clone())
 		ts.coords = append(ts.coords, cs)
+		added++
 	}
-	return nil
+	return added, nil
 }
 
 // Boxes returns the stored boxes of the table fetched at or after since.

@@ -37,7 +37,7 @@ func TestRecordAndBoxes(t *testing.T) {
 	meta := pollutionMeta()
 	b1 := region.NewBox(region.Point(0), region.Interval{Lo: 1, Hi: 51})
 	now := time.Now()
-	if err := s.Record(meta, b1, []value.Row{row("A", 10, 1), row("A", 20, 2)}, now); err != nil {
+	if _, err := s.Record(meta, b1, []value.Row{row("A", 10, 1), row("A", 20, 2)}, now); err != nil {
 		t.Fatal(err)
 	}
 	if got := s.Boxes("Pollution", time.Time{}); len(got) != 1 || !got[0].Equal(b1) {
@@ -73,10 +73,10 @@ func TestRecordErrors(t *testing.T) {
 	s := New(storage.NewDB())
 	meta := pollutionMeta()
 	empty := region.NewBox(region.Interval{Lo: 5, Hi: 5}, region.Interval{Lo: 1, Hi: 2})
-	if err := s.Record(meta, empty, []value.Row{row("A", 1, 0)}, time.Now()); err == nil {
+	if _, err := s.Record(meta, empty, []value.Row{row("A", 1, 0)}, time.Now()); err == nil {
 		t.Error("rows in empty box should error")
 	}
-	if err := s.Record(meta, meta.FullBox(), []value.Row{{value.NewInt(1)}}, time.Now()); err == nil {
+	if _, err := s.Record(meta, meta.FullBox(), []value.Row{{value.NewInt(1)}}, time.Now()); err == nil {
 		t.Error("bad row width should error")
 	}
 }

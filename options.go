@@ -1,0 +1,66 @@
+package payless
+
+// Option customises a Config before the Client is built. Options are
+// accepted by both Open and OpenHTTP; zero-value Config fields keep their
+// documented defaults. Because Option is an alias-shaped function type,
+// existing callers that pass bare func(*payless.Config) literals keep
+// compiling unchanged.
+type Option func(*Config)
+
+// WithConsistency selects result-freshness vs. price (Weak, Window, Strong).
+func WithConsistency(cons Consistency) Option {
+	return func(c *Config) { c.Consistency = cons }
+}
+
+// WithBudget caps spending; over-budget queries fail with ErrOverBudget
+// before any call is made.
+func WithBudget(b Budget) Option {
+	return func(c *Config) { c.Budget = b }
+}
+
+// WithFetchConcurrency bounds in-flight market calls per plan step.
+// The bill is identical at any setting; only wall-clock latency changes.
+func WithFetchConcurrency(n int) Option {
+	return func(c *Config) { c.FetchConcurrency = n }
+}
+
+// WithTracer installs a per-query execution tracer. Use &CollectTracer{}
+// to populate Result.Trace on every query; nil (the default) disables
+// tracing at near-zero cost.
+func WithTracer(t Tracer) Option {
+	return func(c *Config) { c.Tracer = t }
+}
+
+// WithStatistics selects the updatable statistic implementation.
+func WithStatistics(kind StatsKind) Option {
+	return func(c *Config) { c.Statistics = kind }
+}
+
+// WithDefaultTuplesPerTransaction sets the page size t for datasets that
+// don't declare their own.
+func WithDefaultTuplesPerTransaction(t int) Option {
+	return func(c *Config) { c.DefaultTuplesPerTransaction = t }
+}
+
+// WithoutSQR turns off semantic query rewriting (the paper's
+// "PayLess w/o SQR" ablation).
+func WithoutSQR() Option {
+	return func(c *Config) { c.DisableSQR = true }
+}
+
+// WithMinimizeCalls optimises for the number of RESTful calls instead of
+// transactions ("Minimizing Calls" in the paper's evaluation).
+func WithMinimizeCalls() Option {
+	return func(c *Config) { c.MinimizeCalls = true }
+}
+
+// WithoutTheorems turns off the search-space reductions of Theorems 1–3
+// (the "Disable All" ablation).
+func WithoutTheorems() Option {
+	return func(c *Config) { c.DisableTheorems = true }
+}
+
+// WithoutBoxPruning turns off Algorithm 1's remainder-box pruning rules.
+func WithoutBoxPruning() Option {
+	return func(c *Config) { c.DisableBoxPruning = true }
+}

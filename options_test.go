@@ -1,0 +1,180 @@
+package payless
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"payless/internal/catalog"
+	"payless/internal/market"
+	"payless/internal/storage"
+	"payless/internal/workload"
+)
+
+func optionsSetup(t *testing.T, opts ...Option) (*Client, *workload.WHW) {
+	t.Helper()
+	w := workload.GenerateWHW(workload.WHWConfig{
+		Seed: 9, Countries: 2, StationsPerCountry: 8, CitiesPerCountry: 2,
+		Days: 8, StartDate: 20140601, Zips: 20, MaxRank: 100,
+	})
+	m := market.New()
+	if err := w.Install(m, storage.NewDB(), 100, 1); err != nil {
+		t.Fatal(err)
+	}
+	m.RegisterAccount("opts")
+	client, err := Open(Config{
+		Tables: append(m.ExportCatalog(), w.ZipMap),
+		Caller: market.AccountCaller{Market: m, Key: "opts"},
+	}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.LoadLocal("ZipMap", w.ZipMapRows); err != nil {
+		t.Fatal(err)
+	}
+	return client, w
+}
+
+// TestOptionsApply pins that functional options actually reach the Config
+// on both Open paths.
+func TestOptionsApply(t *testing.T) {
+	var cfg Config
+	for _, o := range []Option{
+		WithConsistency(Window(time.Hour)),
+		WithBudget(Budget{PerQuery: 7}),
+		WithFetchConcurrency(3),
+		WithTracer(&CollectTracer{}),
+		WithStatistics(StatsAVI),
+		WithDefaultTuplesPerTransaction(42),
+		WithoutSQR(),
+		WithMinimizeCalls(),
+		WithoutTheorems(),
+		WithoutBoxPruning(),
+	} {
+		o(&cfg)
+	}
+	if cfg.FetchConcurrency != 3 || cfg.Tracer == nil || cfg.Statistics != StatsAVI ||
+		cfg.DefaultTuplesPerTransaction != 42 || !cfg.DisableSQR || !cfg.MinimizeCalls ||
+		!cfg.DisableTheorems || !cfg.DisableBoxPruning {
+		t.Errorf("options did not stick: %+v", cfg)
+	}
+}
+
+// TestOpenAppliesOptions opens a client with options and checks they are
+// observable in behaviour: the tracer traces, and WithoutSQR makes the
+// repeat of a query pay again.
+func TestOpenAppliesOptions(t *testing.T) {
+	client, w := optionsSetup(t, WithTracer(&CollectTracer{}), WithoutSQR(), WithFetchConcurrency(2))
+	sql := fmt.Sprintf("SELECT * FROM Weather WHERE Country = 'United States' AND Date >= %d AND Date <= %d",
+		w.Dates[0], w.Dates[3])
+	first, err := client.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Trace == nil {
+		t.Fatal("WithTracer must produce Result.Trace")
+	}
+	second, err := client.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Report.Transactions == 0 {
+		t.Error("WithoutSQR must disable reuse — the repeat should pay")
+	}
+}
+
+// TestOpenHTTPAcceptsTypedAndLegacyOptions pins source compatibility: both
+// a typed Option and a bare func(*Config) literal (the pre-redesign shape)
+// are accepted by OpenHTTP's variadic parameter.
+func TestOpenHTTPAcceptsTypedAndLegacyOptions(t *testing.T) {
+	w := workload.GenerateWHW(workload.WHWConfig{
+		Seed: 9, Countries: 2, StationsPerCountry: 8, CitiesPerCountry: 2,
+		Days: 8, StartDate: 20140601, Zips: 20, MaxRank: 100,
+	})
+	m := market.New()
+	if err := w.Install(m, storage.NewDB(), 100, 1); err != nil {
+		t.Fatal(err)
+	}
+	m.RegisterAccount("legacy")
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+	legacy := func(c *Config) { c.DisableSQR = true }
+	client, err := OpenHTTP(srv.URL, "legacy", []*catalog.Table{w.ZipMap},
+		WithFetchConcurrency(2), legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.LoadLocal("ZipMap", w.ZipMapRows); err != nil {
+		t.Fatal(err)
+	}
+	sql := fmt.Sprintf("SELECT * FROM Weather WHERE Country = 'United States' AND Date >= %d AND Date <= %d",
+		w.Dates[0], w.Dates[3])
+	if _, err := client.Query(sql); err != nil {
+		t.Fatal(err)
+	}
+	res, err := client.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Transactions == 0 {
+		t.Error("legacy func(*Config) option must still apply (SQR disabled)")
+	}
+}
+
+// TestExplainVariants pins the folded Explain API: plain Explain fills the
+// summary, Verbose() adds PlanDetail, ExplainContext honours cancellation,
+// and the deprecated ExplainVerbose returns the same detail text.
+func TestExplainVariants(t *testing.T) {
+	client, w := optionsSetup(t)
+	sql := fmt.Sprintf("SELECT * FROM Weather WHERE Country = 'United States' AND Date >= %d AND Date <= %d",
+		w.Dates[0], w.Dates[3])
+
+	plain, err := client.Explain(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Plan == "" || plain.PlanDetail != "" {
+		t.Errorf("plain Explain: plan %q, detail %q", plain.Plan, plain.PlanDetail)
+	}
+	if len(plain.Rows) != 0 || plain.Report.Calls != 0 {
+		t.Error("Explain must not execute")
+	}
+
+	verbose, err := client.Explain(sql, Verbose())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verbose.PlanDetail == "" {
+		t.Fatal("Verbose() must fill PlanDetail")
+	}
+
+	//lint:ignore SA1019 the deprecated wrapper is exactly what is under test
+	old, err := client.ExplainVerbose(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The header embeds the optimize wall-clock time, so compare the
+	// deterministic step listing below it.
+	steps := func(s string) string {
+		if _, rest, ok := strings.Cut(s, "\n"); ok {
+			return rest
+		}
+		return s
+	}
+	if steps(old) != steps(verbose.PlanDetail) {
+		t.Errorf("ExplainVerbose %q vs PlanDetail %q", old, verbose.PlanDetail)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := client.ExplainContext(ctx, sql); err == nil {
+		t.Error("cancelled ExplainContext must fail")
+	}
+
+	if !strings.Contains(verbose.PlanDetail, "\n") {
+		t.Errorf("PlanDetail should be a multi-line report: %q", verbose.PlanDetail)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"payless/internal/core"
 	"payless/internal/engine"
 	"payless/internal/market"
+	"payless/internal/obs"
 	"payless/internal/region"
 	"payless/internal/semstore"
 	"payless/internal/sqlparse"
@@ -98,6 +99,12 @@ type Config struct {
 	// batches are planned up front and merged in plan order — only
 	// wall-clock latency changes.
 	FetchConcurrency int
+	// Tracer receives a per-query execution trace (spans for
+	// parse/bind/optimize/execute plus one record per market call). nil
+	// disables tracing; the disabled path costs a single nil check.
+	// &CollectTracer{} traces every query and attaches the trace to
+	// Result.Trace.
+	Tracer Tracer
 }
 
 // fetchConcurrency resolves the configured FetchConcurrency to an
@@ -136,6 +143,27 @@ type statsStore interface {
 	Register(table string, full region.Box, card int64)
 }
 
+// Observability types, re-exported from the internal obs package so users
+// outside this module can name them.
+type (
+	// Trace is one query's execution trace: stage spans, per-market-call
+	// records, and optimizer counters. Render it with Describe().
+	Trace = obs.Trace
+	// Span is one timed stage (parse, bind, optimize, execute) of a Trace.
+	Span = obs.Span
+	// CallRecord is one RESTful market call inside a Trace.
+	CallRecord = obs.CallRecord
+	// Tracer receives traces; implement it to ship traces anywhere, or use
+	// CollectTracer to keep them on the Result.
+	Tracer = obs.Tracer
+	// CollectTracer is the simplest Tracer: it traces every query. The
+	// finished trace is attached to Result.Trace.
+	CollectTracer = obs.CollectTracer
+	// MetricsSnapshot is a point-in-time copy of a Client's cumulative
+	// counters and latency histograms (see Client.Metrics).
+	MetricsSnapshot = obs.Snapshot
+)
+
 // Result is a query outcome.
 type Result struct {
 	// Columns are the output column names.
@@ -150,20 +178,27 @@ type Result struct {
 	Counters core.Counters
 	// Plan renders the chosen plan.
 	Plan string
+	// PlanDetail is the step-by-step plan report; filled by
+	// Explain(sql, Verbose()).
+	PlanDetail string
 	// OptimizeTime is how long optimization took.
 	OptimizeTime time.Duration
+	// Trace is the query's execution trace when a Tracer was configured
+	// and chose to trace this query; nil otherwise.
+	Trace *Trace
 }
 
 // Client is a PayLess instance serving one data-buyer organisation. It is
 // safe for concurrent use: the paper's setting has one PayLess installation
 // serving all end users of the buyer (Fig. 2).
 type Client struct {
-	cat    *catalog.Catalog
-	db     *storage.DB
-	store  *semstore.Store
-	stats  statsStore
-	caller market.Caller
-	cfg    Config
+	cat     *catalog.Catalog
+	db      *storage.DB
+	store   *semstore.Store
+	stats   statsStore
+	caller  market.Caller
+	cfg     Config
+	metrics *obs.Metrics
 
 	mu    sync.Mutex
 	audit io.Writer
@@ -173,8 +208,11 @@ type Client struct {
 	queries  int
 }
 
-// Open builds a Client from a config.
-func Open(cfg Config) (*Client, error) {
+// Open builds a Client from a config, with Options applied on top.
+func Open(cfg Config, opts ...Option) (*Client, error) {
+	for _, o := range opts {
+		o(&cfg)
+	}
 	if cfg.Caller == nil {
 		return nil, fmt.Errorf("payless: Config.Caller is required")
 	}
@@ -205,19 +243,20 @@ func Open(cfg Config) (*Client, error) {
 	}
 	db := storage.NewDB()
 	return &Client{
-		cat:    cat,
-		db:     db,
-		store:  semstore.New(db),
-		stats:  st,
-		caller: cfg.Caller,
-		cfg:    cfg,
+		cat:     cat,
+		db:      db,
+		store:   semstore.New(db),
+		stats:   st,
+		caller:  cfg.Caller,
+		cfg:     cfg,
+		metrics: obs.NewMetrics(),
 	}, nil
 }
 
 // OpenHTTP registers with a market server over HTTP and builds a Client:
 // it fetches the public catalog and per-dataset page sizes automatically.
 // Extra local tables may be passed alongside.
-func OpenHTTP(baseURL, accountKey string, localTables []*catalog.Table, opts ...func(*Config)) (*Client, error) {
+func OpenHTTP(baseURL, accountKey string, localTables []*catalog.Table, opts ...Option) (*Client, error) {
 	cli := connector.New(baseURL, accountKey)
 	tables, err := cli.Catalog()
 	if err != nil {
@@ -280,6 +319,52 @@ func (c *Client) options() core.Options {
 	return opts
 }
 
+// beginTrace asks the configured Tracer (if any) for a trace of sql.
+// Returns nil — the universal "not tracing" value — when no Tracer is set
+// or the Tracer declines.
+func (c *Client) beginTrace(sql string) *obs.Trace {
+	if c.cfg.Tracer == nil {
+		return nil
+	}
+	return c.cfg.Tracer.Begin(sql)
+}
+
+// finishTrace stamps tr's total duration and hands it to the Tracer.
+// Safe on nil (untraced queries).
+func (c *Client) finishTrace(tr *obs.Trace) {
+	if tr == nil {
+		return
+	}
+	tr.Finish()
+	c.metrics.ObserveTrace(tr)
+	c.cfg.Tracer.Finish(tr)
+}
+
+// compile runs the parse → bind → optimize preamble shared by Query,
+// Explain and QueryBatch: each stage is recorded as a span on tr (which
+// may be nil) and failures come back as typed *QueryError values.
+func (c *Client) compile(sql string, tr *obs.Trace) (*core.Plan, core.Options, error) {
+	end := tr.StartSpan("parse")
+	parsed, err := sqlparse.Parse(sql)
+	end(err)
+	if err != nil {
+		return nil, core.Options{}, stageErr(StageParse, err)
+	}
+	end = tr.StartSpan("bind")
+	bound, err := core.Bind(parsed, c.cat)
+	end(err)
+	if err != nil {
+		return nil, core.Options{}, stageErr(StageBind, err)
+	}
+	opts := c.options()
+	opt := core.Optimizer{Catalog: c.cat, Store: c.store, Stats: c.stats, Options: opts, Trace: tr}
+	plan, err := opt.Optimize(bound)
+	if err != nil {
+		return nil, core.Options{}, stageErr(StageOptimize, err)
+	}
+	return plan, opts, nil
+}
+
 // Query parses, optimises and executes one SQL statement.
 func (c *Client) Query(sql string) (*Result, error) {
 	return c.QueryContext(context.Background(), sql)
@@ -290,19 +375,28 @@ func (c *Client) Query(sql string) (*Result, error) {
 // cancellation stay recorded in the semantic store, so a retry does not
 // re-bill them.
 func (c *Client) QueryContext(ctx context.Context, sql string) (*Result, error) {
-	parsed, err := sqlparse.Parse(sql)
+	start := time.Now()
+	tr := c.beginTrace(sql)
+	res, err := c.run(ctx, sql, tr)
 	if err != nil {
-		return nil, fmt.Errorf("payless: parse: %w", err)
+		c.metrics.ObserveQueryError()
+		c.finishTrace(tr)
+		return nil, err
 	}
-	bound, err := core.Bind(parsed, c.cat)
+	report := res.Report
+	c.metrics.ObserveQuery(time.Since(start), res.OptimizeTime,
+		report.Calls, report.Records, report.Transactions, report.Price)
+	c.finishTrace(tr)
+	res.Trace = tr
+	c.writeAudit(sql, res)
+	return res, nil
+}
+
+// run executes one statement end to end, recording spans on tr.
+func (c *Client) run(ctx context.Context, sql string, tr *obs.Trace) (*Result, error) {
+	plan, opts, err := c.compile(sql, tr)
 	if err != nil {
-		return nil, fmt.Errorf("payless: bind: %w", err)
-	}
-	opts := c.options()
-	opt := core.Optimizer{Catalog: c.cat, Store: c.store, Stats: c.stats, Options: opts}
-	plan, err := opt.Optimize(bound)
-	if err != nil {
-		return nil, fmt.Errorf("payless: optimize: %w", err)
+		return nil, err
 	}
 	if err := c.checkBudget(plan.EstTrans); err != nil {
 		return nil, err
@@ -314,10 +408,13 @@ func (c *Client) QueryContext(ctx context.Context, sql string) (*Result, error) 
 		Caller:      c.caller,
 		Options:     opts,
 		Concurrency: c.cfg.fetchConcurrency(),
+		Trace:       tr,
 	}
+	endExec := tr.StartSpan("execute")
 	rel, report, err := eng.ExecuteContext(ctx, plan)
+	endExec(err)
 	if err != nil {
-		return nil, fmt.Errorf("payless: execute: %w", err)
+		return nil, stageErr(StageExecute, err)
 	}
 	c.mu.Lock()
 	c.total.Add(report)
@@ -340,51 +437,18 @@ func (c *Client) QueryContext(ctx context.Context, sql string) (*Result, error) 
 		}
 		res.Rows = append(res.Rows, enc)
 	}
-	c.writeAudit(sql, res)
 	return res, nil
 }
 
-// Explain parses and optimises a statement without executing it.
-func (c *Client) Explain(sql string) (*Result, error) {
-	parsed, err := sqlparse.Parse(sql)
-	if err != nil {
-		return nil, fmt.Errorf("payless: parse: %w", err)
-	}
-	bound, err := core.Bind(parsed, c.cat)
-	if err != nil {
-		return nil, fmt.Errorf("payless: bind: %w", err)
-	}
-	opt := core.Optimizer{Catalog: c.cat, Store: c.store, Stats: c.stats, Options: c.options()}
-	plan, err := opt.Optimize(bound)
-	if err != nil {
-		return nil, fmt.Errorf("payless: optimize: %w", err)
-	}
-	return &Result{
-		EstTransactions: plan.EstTrans,
-		Counters:        plan.Counters,
-		Plan:            plan.String(),
-		OptimizeTime:    plan.Optimized,
-	}, nil
-}
+// Metrics returns a snapshot of the client's cumulative counters and
+// latency histograms: queries, market bill, retries, semantic-store reuse
+// and query/call/optimize latency distributions. Render it for scraping
+// with WriteMetrics.
+func (c *Client) Metrics() MetricsSnapshot { return c.metrics.Snapshot() }
 
-// ExplainVerbose optimises a statement and renders a step-by-step plan
-// report without executing it.
-func (c *Client) ExplainVerbose(sql string) (string, error) {
-	parsed, err := sqlparse.Parse(sql)
-	if err != nil {
-		return "", fmt.Errorf("payless: parse: %w", err)
-	}
-	bound, err := core.Bind(parsed, c.cat)
-	if err != nil {
-		return "", fmt.Errorf("payless: bind: %w", err)
-	}
-	opt := core.Optimizer{Catalog: c.cat, Store: c.store, Stats: c.stats, Options: c.options()}
-	plan, err := opt.Optimize(bound)
-	if err != nil {
-		return "", fmt.Errorf("payless: optimize: %w", err)
-	}
-	return plan.Describe(), nil
-}
+// WriteMetrics renders the client's metrics in the Prometheus text
+// exposition format under the "payless" namespace.
+func (c *Client) WriteMetrics(w io.Writer) { c.metrics.WritePrometheus(w, "payless") }
 
 // TotalSpend reports the cumulative market cost across all queries.
 func (c *Client) TotalSpend() engine.Report {
