@@ -163,7 +163,7 @@ func (c *Client) Coverage() []TableCoverage {
 		}
 		if !tc.FullyCovered {
 			opts := c.options()
-			covered := c.store.Boxes(t.Name, opts.Since)
+			covered, _ := c.store.Coverage(t.Name, full, opts.Since)
 			plan := rewrite.Remainders(full, covered, core.RewriteConfig(t, &opts), func(b region.Box) float64 {
 				return c.stats.Estimate(t.Name, b)
 			})

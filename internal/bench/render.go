@@ -69,6 +69,16 @@ func (r *Request) dValues() []float64 {
 // series to w — the engine behind cmd/paylessbench.
 func RenderAll(req Request, w io.Writer) error {
 	for _, f := range req.figures() {
+		if f == "store" {
+			start := time.Now()
+			fig, err := FigStore(DefaultStoreParams())
+			if err != nil {
+				return fmt.Errorf("fig store: %w", err)
+			}
+			fmt.Fprint(w, fig.Render())
+			fmt.Fprintf(w, "   (regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+			continue
+		}
 		if f == "conc" {
 			start := time.Now()
 			cp := DefaultConcurrencyParams()

@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"payless/internal/catalog"
+	"payless/internal/region"
+	"payless/internal/semstore"
+	"payless/internal/storage"
+	"payless/internal/value"
+)
+
+// StoreParams controls the semantic-store scaling experiment: lookup cost on
+// a store holding N disjoint coverage entries, indexed vs. the pre-index
+// collect-and-subtract baseline.
+type StoreParams struct {
+	// Sizes are the live entry counts to sweep.
+	Sizes []int
+	// Iters is the number of timed lookups per point.
+	Iters int
+}
+
+// DefaultStoreParams matches the BenchmarkSemstoreRemainder grid recorded in
+// EXPERIMENTS.md.
+func DefaultStoreParams() StoreParams {
+	return StoreParams{Sizes: []int{100, 1000, 10000}, Iters: 200}
+}
+
+func storeGridMeta(max int64) *catalog.Table {
+	return &catalog.Table{
+		Dataset: "Synth",
+		Name:    "StoreGrid",
+		Schema: value.Schema{
+			{Name: "X", Type: value.Int},
+			{Name: "Y", Type: value.Int},
+			{Name: "V", Type: value.Float},
+		},
+		Attrs: []catalog.Attribute{
+			{Name: "X", Type: value.Int, Binding: catalog.Free, Class: catalog.NumericAttr, Min: 0, Max: max},
+			{Name: "Y", Type: value.Int, Binding: catalog.Free, Class: catalog.NumericAttr, Min: 0, Max: max},
+			{Name: "V", Type: value.Float, Binding: catalog.Output},
+		},
+	}
+}
+
+// tiledStore records n disjoint, non-adjacent 2x2 tiles — gaps on both axes
+// defeat compaction, so the live entry count stays exactly n. Each tile
+// materialises one row; rows holds them for the naive linear-scan baseline.
+func tiledStore(n int) (*semstore.Store, *catalog.Table, [][2]int64, region.Box, error) {
+	side := 1
+	for side*side < n {
+		side++
+	}
+	meta := storeGridMeta(int64(4*side + 8))
+	s := semstore.New(storage.NewDB())
+	at := time.Unix(1700000000, 0)
+	coords := make([][2]int64, 0, n)
+	for i := 0; i < n; i++ {
+		x := int64(i%side) * 4
+		y := int64(i/side) * 4
+		b := region.NewBox(region.Interval{Lo: x, Hi: x + 2}, region.Interval{Lo: y, Hi: y + 2})
+		row := value.Row{value.NewInt(x), value.NewInt(y), value.NewFloat(float64(x))}
+		if _, err := s.Record(meta, b, []value.Row{row}, at); err != nil {
+			return nil, nil, nil, region.Box{}, err
+		}
+		coords = append(coords, [2]int64{x, y})
+	}
+	c := int64(side/2) * 4
+	q := region.NewBox(region.Interval{Lo: c, Hi: c + 6}, region.Interval{Lo: c, Hi: c + 6})
+	return s, meta, coords, q, nil
+}
+
+// FigStore sweeps the store size and reports microseconds per lookup for the
+// indexed Remainder/RowsIn paths against their pre-index baselines (collect
+// every box and subtract; scan every materialised row).
+func FigStore(p StoreParams) (*Figure, error) {
+	if len(p.Sizes) == 0 {
+		p = DefaultStoreParams()
+	}
+	if p.Iters <= 0 {
+		p.Iters = DefaultStoreParams().Iters
+	}
+	fig := &Figure{
+		ID:     "FigStore",
+		Title:  "Semantic store lookup cost vs. live entries (µs/op)",
+		XLabel: "entries",
+	}
+	remIdx := Series{System: "Remainder indexed"}
+	remNaive := Series{System: "Remainder naive"}
+	rowsIdx := Series{System: "RowsIn indexed"}
+	rowsNaive := Series{System: "RowsIn scan"}
+	for _, n := range p.Sizes {
+		s, meta, coords, q, err := tiledStore(n)
+		if err != nil {
+			return nil, err
+		}
+		if got := s.EntryCount(meta.Name); got != n {
+			return nil, fmt.Errorf("tiled store compacted: %d entries, want %d", got, n)
+		}
+		perOp := func(f func()) int64 {
+			start := time.Now()
+			for i := 0; i < p.Iters; i++ {
+				f()
+			}
+			return time.Since(start).Microseconds() / int64(p.Iters)
+		}
+		add := func(ser *Series, us int64) {
+			ser.X = append(ser.X, n)
+			ser.Y = append(ser.Y, us)
+		}
+		add(&remIdx, perOp(func() { s.Remainder(meta.Name, q, time.Time{}) }))
+		add(&remNaive, perOp(func() { region.Subtract(q, s.Boxes(meta.Name, time.Time{})) }))
+		add(&rowsIdx, perOp(func() {
+			if _, err := s.RowsIn(meta, q); err != nil {
+				panic(err)
+			}
+		}))
+		add(&rowsNaive, perOp(func() {
+			count := 0
+			for _, c := range coords {
+				if q.Dims[0].ContainsCoord(c[0]) && q.Dims[1].ContainsCoord(c[1]) {
+					count++
+				}
+			}
+			_ = count
+		}))
+	}
+	fig.Series = []Series{remIdx, remNaive, rowsIdx, rowsNaive}
+	return fig, nil
+}

@@ -131,10 +131,16 @@ func (r *optRun) prepRel(i int) {
 
 	// SemanticRewrite(Ci, V, M) — Algorithm 2, line 4 — applied to each
 	// access box; IN predicates decompose a relation into several boxes.
-	covered := r.o.Store.Boxes(rel.Table.Name, opts.Since)
+	// Coverage prunes the stored boxes to those overlapping each box before
+	// rewriting, and short-circuits when a single stored box contains it.
 	cfg := RewriteConfig(rel.Table, opts)
 	table := rel.Table.Name
 	for _, ab := range boxes {
+		covered, st := r.o.Store.Coverage(table, ab, opts.Since)
+		r.o.Trace.AddStoreLookup(st.Micros, st.Pruned, st.FastPath)
+		if st.FastPath {
+			continue // fully covered: no remainder, nothing enumerated
+		}
 		pl := rewrite.Remainders(ab, covered, cfg, func(b region.Box) float64 {
 			return r.o.Stats.Estimate(table, b)
 		})

@@ -44,7 +44,11 @@ func specsForBoxes(meta *catalog.Table, boxes []region.Box) ([]callSpec, error) 
 // covered, against the store's current coverage snapshot. It issues no
 // calls itself.
 func (e *Engine) planRemainder(meta *catalog.Table, box region.Box) ([]callSpec, error) {
-	covered := e.Store.Boxes(meta.Name, e.Options.Since)
+	covered, st := e.Store.Coverage(meta.Name, box, e.Options.Since)
+	e.Trace.AddStoreLookup(st.Micros, st.Pruned, st.FastPath)
+	if st.FastPath {
+		return nil, nil // a single stored box contains the access: nothing to buy
+	}
 	cfg := core.RewriteConfig(meta, &e.Options)
 	plan := rewrite.Remainders(box, covered, cfg, e.estimator(meta.Name))
 	specs := make([]callSpec, 0, len(plan.Boxes))
@@ -156,11 +160,11 @@ func (e *Engine) runBatch(ctx context.Context, specs []callSpec, report *Report)
 		}
 		e.account(report, *res)
 		e.feedback(spec.meta, spec.box, int64(res.Records))
-		added := 0
+		added, compacted := 0, 0
 		recorded := spec.record && e.Store != nil
 		if recorded {
-			n, err := e.Store.Record(spec.meta, spec.box, res.Rows, e.now())
-			added = n
+			rr, err := e.Store.Record(spec.meta, spec.box, res.Rows, e.now())
+			added, compacted = rr.Added, rr.Compacted()
 			if err != nil && mergeErr == nil {
 				mergeErr = err
 			}
@@ -172,6 +176,7 @@ func (e *Engine) runBatch(ctx context.Context, specs []callSpec, report *Report)
 			rec.Price = res.Price
 			rec.Recorded = recorded
 			rec.NewRows = added
+			rec.Compacted = compacted
 			e.Trace.AddCall(*rec)
 		}
 	}

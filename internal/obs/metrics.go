@@ -108,6 +108,13 @@ type Metrics struct {
 	storeHits    int64
 	storeHitRows int64
 
+	storeLookups      int64
+	storeLookupMicros int64
+	storePrunedBoxes  int64
+	storeFastPath     int64
+	storeDropped      int64
+	storeCompacted    int64
+
 	queryLatency    histogram
 	callLatency     histogram
 	optimizeLatency histogram
@@ -161,6 +168,38 @@ func (m *Metrics) ObserveTrace(t *Trace) {
 	m.storeHitRows += t.StoreHitRows
 }
 
+// ObserveStoreLookup folds one semantic-store coverage lookup into the
+// registry. Fed directly by the store (not via traces), so it counts every
+// lookup whether or not the query was traced.
+func (m *Metrics) ObserveStoreLookup(micros int64, pruned int, fastPath bool) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.storeLookups++
+	m.storeLookupMicros += micros
+	m.storePrunedBoxes += int64(pruned)
+	if fastPath {
+		m.storeFastPath++
+	}
+}
+
+// ObserveStoreCompaction folds one Record's compaction outcome into the
+// registry: whether the new entry was dropped as redundant, and how many
+// stored entries it absorbed or merged away.
+func (m *Metrics) ObserveStoreCompaction(dropped bool, absorbed, merged int) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if dropped {
+		m.storeDropped++
+	}
+	m.storeCompacted += int64(absorbed + merged)
+}
+
 // ObserveCall folds one served market call into the registry — the
 // seller-side entry point used by Market.Execute.
 func (m *Metrics) ObserveCall(latency time.Duration, records, transactions int64, price float64) {
@@ -192,6 +231,17 @@ type Snapshot struct {
 	// store; StoreHitRows the rows served locally instead of bought.
 	StoreHits    int64
 	StoreHitRows int64
+	// StoreLookups counts indexed coverage lookups, StoreLookupMicros their
+	// cumulative duration, StorePrunedBoxes the stored boxes index pruning
+	// skipped, and StoreFastPathHits lookups answered by a single containing
+	// box. StoreDroppedEntries and StoreCompactedEntries count compaction:
+	// new entries dropped as redundant and stored entries absorbed/merged.
+	StoreLookups          int64
+	StoreLookupMicros     int64
+	StorePrunedBoxes      int64
+	StoreFastPathHits     int64
+	StoreDroppedEntries   int64
+	StoreCompactedEntries int64
 
 	QueryLatency    HistogramSnapshot
 	CallLatency     HistogramSnapshot
@@ -206,18 +256,24 @@ func (m *Metrics) Snapshot() Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return Snapshot{
-		Queries:         m.queries,
-		QueryErrors:     m.queryErrors,
-		Calls:           m.calls,
-		Records:         m.records,
-		Transactions:    m.transactions,
-		Price:           m.price,
-		Retries:         m.retries,
-		StoreHits:       m.storeHits,
-		StoreHitRows:    m.storeHitRows,
-		QueryLatency:    m.queryLatency.snapshot(),
-		CallLatency:     m.callLatency.snapshot(),
-		OptimizeLatency: m.optimizeLatency.snapshot(),
+		Queries:               m.queries,
+		QueryErrors:           m.queryErrors,
+		Calls:                 m.calls,
+		Records:               m.records,
+		Transactions:          m.transactions,
+		Price:                 m.price,
+		Retries:               m.retries,
+		StoreHits:             m.storeHits,
+		StoreHitRows:          m.storeHitRows,
+		StoreLookups:          m.storeLookups,
+		StoreLookupMicros:     m.storeLookupMicros,
+		StorePrunedBoxes:      m.storePrunedBoxes,
+		StoreFastPathHits:     m.storeFastPath,
+		StoreDroppedEntries:   m.storeDropped,
+		StoreCompactedEntries: m.storeCompacted,
+		QueryLatency:          m.queryLatency.snapshot(),
+		CallLatency:           m.callLatency.snapshot(),
+		OptimizeLatency:       m.optimizeLatency.snapshot(),
 	}
 }
 
@@ -244,6 +300,12 @@ func (m *Metrics) WritePrometheus(w io.Writer, prefix string) {
 	counter("call_retries_total", "Extra transport attempts beyond the first.", s.Retries)
 	counter("store_hits_total", "Plan accesses served entirely from the semantic store.", s.StoreHits)
 	counter("store_hit_rows_total", "Rows served from the semantic store instead of bought.", s.StoreHitRows)
+	counter("store_lookups_total", "Indexed semantic-store coverage lookups.", s.StoreLookups)
+	counter("store_lookup_micros_total", "Cumulative coverage-lookup wall-clock microseconds.", s.StoreLookupMicros)
+	counter("store_pruned_boxes_total", "Stored boxes skipped by index pruning before subtraction.", s.StorePrunedBoxes)
+	counter("store_fastpath_total", "Coverage lookups answered by a single containing box.", s.StoreFastPathHits)
+	counter("store_dropped_entries_total", "New coverage entries dropped as redundant on Record.", s.StoreDroppedEntries)
+	counter("store_compacted_entries_total", "Stored coverage entries absorbed or merged by compaction.", s.StoreCompactedEntries)
 	hist := func(name, help string, h HistogramSnapshot) {
 		fmt.Fprintf(w, "# HELP %s_%s %s\n# TYPE %s_%s histogram\n", prefix, name, help, prefix, name)
 		for _, b := range h.Buckets {

@@ -49,6 +49,9 @@ type CallRecord struct {
 	// (the SQR path); NewRows is how many were new, i.e. not already owned.
 	Recorded bool
 	NewRows  int
+	// Compacted is how many stored coverage entries recording this call
+	// removed (absorbed by the new box or merged into a wider one).
+	Compacted int
 }
 
 // Trace is the execution trace of one query. It is populated by a single
@@ -81,6 +84,15 @@ type Trace struct {
 	// rows served from the store rather than bought, across all accesses.
 	StoreHits    int
 	StoreHitRows int64
+	// StoreLookups counts indexed coverage lookups during planning and
+	// execution; StoreLookupMicros their cumulative wall-clock micros,
+	// StorePrunedBoxes the stored boxes the index skipped before
+	// subtraction, and StoreFastPathHits the lookups answered by a single
+	// containing box.
+	StoreLookups      int
+	StoreLookupMicros int64
+	StorePrunedBoxes  int64
+	StoreFastPathHits int
 }
 
 // NewTrace starts a trace for one statement.
@@ -119,6 +131,21 @@ func (t *Trace) AddStoreHit(rows int64) {
 	}
 	t.StoreHits++
 	t.StoreHitRows += rows
+}
+
+// AddStoreLookup records one indexed coverage lookup: its duration, how
+// many stored boxes the index pruned, and whether the single-containing-box
+// fast path answered it.
+func (t *Trace) AddStoreLookup(micros int64, pruned int, fastPath bool) {
+	if t == nil {
+		return
+	}
+	t.StoreLookups++
+	t.StoreLookupMicros += micros
+	t.StorePrunedBoxes += int64(pruned)
+	if fastPath {
+		t.StoreFastPathHits++
+	}
 }
 
 // AddStoreRows records rows served from the store within a partially
@@ -238,6 +265,10 @@ func (t *Trace) Describe() string {
 	}
 	fmt.Fprintf(&b, "  store: %d access(es) served locally, ~%d rows reused\n",
 		t.StoreHits, t.StoreHitRows)
+	if t.StoreLookups > 0 {
+		fmt.Fprintf(&b, "  store index: %d lookup(s) in %dµs, %d boxes pruned, %d fast-path\n",
+			t.StoreLookups, t.StoreLookupMicros, t.StorePrunedBoxes, t.StoreFastPathHits)
+	}
 	if t.Total > 0 {
 		fmt.Fprintf(&b, "  total: %v\n", t.Total)
 	}

@@ -197,29 +197,71 @@ func subtractOne(p, c Box) []Box {
 	return out
 }
 
+// DefaultMaxPieces bounds the number of elementary boxes Subtract produces.
+// Subtracting n covered boxes from a d-dimensional query can blow up to
+// O((2d)^n) pieces in the worst case; past this cap the decomposition stops
+// refining and conservatively keeps the coarser pieces (see SubtractBounded).
+const DefaultMaxPieces = 2048
+
 // Subtract decomposes q minus the union of covered into a set of disjoint
 // boxes — the paper's elementary boxes E of the uncovered region V. The
 // result is empty when q is fully covered. Covered boxes with mismatched
-// dimensionality are ignored.
+// dimensionality are ignored. The decomposition is bounded at
+// DefaultMaxPieces pieces; see SubtractBounded for the fallback guarantee.
 func Subtract(q Box, covered []Box) []Box {
+	pieces, _ := SubtractBounded(q, covered, DefaultMaxPieces)
+	return pieces
+}
+
+// SubtractBounded is Subtract with an explicit piece cap. Covered boxes are
+// processed largest-overlap-first (stable on ties), which shrinks the
+// remainder fastest and keeps intermediate piece counts low. If subtracting
+// a covered box would push the piece count past maxPieces, that box is
+// skipped and truncated is reported true: the result then over-covers the
+// true remainder (the skipped box's overlap stays in some piece) but never
+// under-covers it — callers may re-fetch data they already own, but a
+// "covered" verdict from an exact (non-truncated) empty result is always
+// sound. maxPieces <= 0 means unbounded.
+func SubtractBounded(q Box, covered []Box, maxPieces int) (pieces []Box, truncated bool) {
 	if q.Empty() {
-		return nil
+		return nil, false
 	}
-	pieces := []Box{q}
+	// Keep only boxes that actually overlap q, ordered by overlap volume
+	// descending. Sorting is stable on the original order so the
+	// decomposition stays deterministic across runs.
+	type cand struct {
+		box Box
+		vol float64
+	}
+	cands := make([]cand, 0, len(covered))
 	for _, c := range covered {
 		if c.Empty() || len(c.Dims) != len(q.Dims) {
 			continue
 		}
+		x, ok := q.Intersect(c)
+		if !ok {
+			continue
+		}
+		cands = append(cands, cand{box: c, vol: x.Volume()})
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].vol > cands[j].vol })
+
+	pieces = []Box{q}
+	for _, c := range cands {
 		next := pieces[:0:0]
 		for _, p := range pieces {
-			next = append(next, subtractOne(p, c)...)
+			next = append(next, subtractOne(p, c.box)...)
+		}
+		if maxPieces > 0 && len(next) > maxPieces {
+			truncated = true
+			continue // keep the coarser pieces: over-fetch, never under-cover
 		}
 		pieces = next
 		if len(pieces) == 0 {
-			return nil
+			return nil, truncated
 		}
 	}
-	return pieces
+	return pieces, truncated
 }
 
 // CoveredBy reports whether q is fully covered by the union of the boxes.

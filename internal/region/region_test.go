@@ -320,3 +320,102 @@ func TestVolumeMatchesSubtractPieces(t *testing.T) {
 		t.Errorf("remainder volume %v, want %v", vol, want)
 	}
 }
+
+func TestSubtractBoundedCapIsConservative(t *testing.T) {
+	// A staircase of small boxes against a wide query forces many pieces;
+	// with a tiny cap the decomposition must stop refining but still
+	// over-cover the true remainder (every truly uncovered point stays in
+	// some piece) and stay inside q.
+	q := NewBox(Interval{0, 40}, Interval{0, 40})
+	var covered []Box
+	for i := int64(0); i < 20; i++ {
+		covered = append(covered, NewBox(Interval{2 * i, 2*i + 1}, Interval{2 * i, 2*i + 1}))
+	}
+	pieces, truncated := SubtractBounded(q, covered, 4)
+	if !truncated {
+		t.Fatal("expected truncation with cap 4")
+	}
+	if len(pieces) == 0 || len(pieces) > 4 {
+		t.Fatalf("pieces=%d, want 1..4", len(pieces))
+	}
+	exact, exTrunc := SubtractBounded(q, covered, 0)
+	if exTrunc {
+		t.Fatal("unbounded subtraction reported truncation")
+	}
+	// Over-fetch, never under-cover: every exact remainder piece must be
+	// covered by the truncated piece set, and every truncated piece stays
+	// inside q.
+	for _, e := range exact {
+		if !CoveredBy(e, pieces) {
+			t.Fatalf("exact remainder piece %v not covered by truncated pieces", e)
+		}
+	}
+	for _, p := range pieces {
+		if !q.Contains(p) {
+			t.Fatalf("piece %v escapes q", p)
+		}
+	}
+}
+
+func TestSubtractBoundedDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	randIv := func(span int64) Interval {
+		lo := rng.Int63n(span)
+		hi := lo + rng.Int63n(span-lo) + 1
+		return Interval{lo, hi}
+	}
+	for trial := 0; trial < 100; trial++ {
+		q := NewBox(randIv(60), randIv(60))
+		var covered []Box
+		for i := 0; i < 2+rng.Intn(8); i++ {
+			covered = append(covered, NewBox(randIv(60), randIv(60)))
+		}
+		a, at := SubtractBounded(q, covered, DefaultMaxPieces)
+		b, bt := SubtractBounded(q, covered, DefaultMaxPieces)
+		if at != bt || len(a) != len(b) {
+			t.Fatalf("trial %d: nondeterministic result", trial)
+		}
+		for i := range a {
+			if !a[i].Equal(b[i]) {
+				t.Fatalf("trial %d: piece %d differs: %v vs %v", trial, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestSubtractLargestOverlapFirstShrinksPieceCount(t *testing.T) {
+	// One big box covering most of q plus slivers: processing the big box
+	// first keeps intermediate piece counts low; the result must still be
+	// the exact remainder regardless of the input order.
+	q := NewBox(Interval{0, 100}, Interval{0, 100})
+	big := NewBox(Interval{0, 90}, Interval{0, 100})
+	var covered []Box
+	for i := int64(0); i < 10; i++ {
+		covered = append(covered, NewBox(Interval{90, 100}, Interval{10 * i, 10*i + 5}))
+	}
+	covered = append(covered, big) // big box last on purpose
+	rem, truncated := SubtractBounded(q, covered, DefaultMaxPieces)
+	if truncated {
+		t.Fatal("unexpected truncation")
+	}
+	// Exact remainder is the right strip minus the slivers.
+	want := []Box{}
+	for i := int64(0); i < 10; i++ {
+		want = append(want, NewBox(Interval{90, 100}, Interval{10*i + 5, 10*i + 10}))
+	}
+	if !CoveredBy(q, append(append([]Box{}, covered...), rem...)) {
+		t.Fatal("remainder plus covered does not cover q")
+	}
+	for _, w := range want {
+		if !CoveredBy(w, rem) {
+			t.Fatalf("uncovered region %v missing from remainder", w)
+		}
+	}
+	for _, r := range rem {
+		for _, c := range covered {
+			if r.Overlaps(c) {
+				t.Fatalf("remainder piece %v overlaps covered %v", r, c)
+			}
+		}
+	}
+}

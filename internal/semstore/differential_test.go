@@ -1,0 +1,201 @@
+package semstore
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"payless/internal/catalog"
+	"payless/internal/region"
+	"payless/internal/storage"
+	"payless/internal/value"
+)
+
+// naiveStore replicates the pre-index, pre-compaction semantic store: one
+// entry per recorded call forever, remainders via full-scan subtraction,
+// RowsIn via a linear coordinate scan. It is the differential oracle's
+// ground truth.
+type naiveStore struct {
+	boxes  []region.Box
+	ats    []time.Time
+	rows   []value.Row
+	coords [][]int64
+	seen   map[string]struct{}
+}
+
+func newNaiveStore() *naiveStore {
+	return &naiveStore{seen: make(map[string]struct{})}
+}
+
+func (n *naiveStore) record(meta *catalog.Table, b region.Box, rows []value.Row, at time.Time) error {
+	if !b.Empty() {
+		n.boxes = append(n.boxes, b.Clone())
+		n.ats = append(n.ats, at)
+	}
+	for _, r := range rows {
+		k := r.Key()
+		if _, dup := n.seen[k]; dup {
+			continue
+		}
+		rb, err := RowBox(meta, r)
+		if err != nil {
+			return err
+		}
+		cs := make([]int64, rb.D())
+		for i, iv := range rb.Dims {
+			cs[i] = iv.Lo
+		}
+		n.seen[k] = struct{}{}
+		n.rows = append(n.rows, r.Clone())
+		n.coords = append(n.coords, cs)
+	}
+	return nil
+}
+
+func (n *naiveStore) covered(q region.Box, since time.Time) []region.Box {
+	var out []region.Box
+	for i, b := range n.boxes {
+		if !since.IsZero() && n.ats[i].Before(since) {
+			continue
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+func (n *naiveStore) remainder(q region.Box, since time.Time) []region.Box {
+	rem, _ := region.SubtractBounded(q, n.covered(q, since), 0)
+	return rem
+}
+
+func (n *naiveStore) rowsIn(q region.Box) []value.Row {
+	var out []value.Row
+	d := q.D()
+scan:
+	for i, cs := range n.coords {
+		if len(cs) != d {
+			continue
+		}
+		for k := 0; k < d; k++ {
+			if !q.Dims[k].ContainsCoord(cs[k]) {
+				continue scan
+			}
+		}
+		out = append(out, n.rows[i])
+	}
+	return out
+}
+
+// semanticallyEqual reports that two box sets cover exactly the same region.
+func semanticallyEqual(a, b []region.Box) bool {
+	for _, x := range a {
+		if !region.CoveredBy(x, b) {
+			return false
+		}
+	}
+	for _, x := range b {
+		if !region.CoveredBy(x, a) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDifferentialOracle drives the indexed+compacted store and the naive
+// reference through the same randomized workload and asserts they agree on
+// Remainder (semantically — decompositions may differ in geometry, never in
+// the region they describe), Covered, CountIn and the exact RowsIn output.
+func TestDifferentialOracle(t *testing.T) {
+	const (
+		trials   = 20
+		records  = 60
+		probes   = 8
+		span     = 120
+		maxWidth = 30
+	)
+	rng := rand.New(rand.NewSource(99))
+	base := time.Unix(1700000000, 0)
+	randBox := func() region.Box {
+		x := rng.Int63n(span)
+		y := rng.Int63n(span)
+		return box2(x, x+1+rng.Int63n(maxWidth), y, y+1+rng.Int63n(maxWidth))
+	}
+	for trial := 0; trial < trials; trial++ {
+		meta := gridMeta(span + maxWidth + 2)
+		idx := New(storage.NewDB())
+		ref := newNaiveStore()
+		var times []time.Time
+		for rec := 0; rec < records; rec++ {
+			b := randBox()
+			// Mostly advancing timestamps with occasional out-of-order
+			// arrivals, exercising drop-new vs. absorb decisions.
+			at := base.Add(time.Duration(rec) * time.Minute)
+			if rng.Intn(5) == 0 {
+				at = base.Add(time.Duration(rng.Intn(records)) * time.Minute)
+			}
+			times = append(times, at)
+			// Sample a few grid points inside the box as result rows.
+			var rows []value.Row
+			for i := 0; i < rng.Intn(4); i++ {
+				x := b.Dims[0].Lo + rng.Int63n(b.Dims[0].Width())
+				y := b.Dims[1].Lo + rng.Int63n(b.Dims[1].Width())
+				rows = append(rows, gridRow(x, y))
+			}
+			if _, err := idx.Record(meta, b, rows, at); err != nil {
+				t.Fatalf("trial %d rec %d: %v", trial, rec, err)
+			}
+			if err := ref.record(meta, b, rows, at); err != nil {
+				t.Fatalf("trial %d rec %d (naive): %v", trial, rec, err)
+			}
+
+			for p := 0; p < probes; p++ {
+				q := randBox()
+				if p == 0 {
+					q = b // always probe the box just recorded
+				}
+				var since time.Time
+				if rng.Intn(3) == 0 && len(times) > 0 {
+					since = times[rng.Intn(len(times))]
+				}
+				gotRem := idx.Remainder("Grid", q, since)
+				wantRem := ref.remainder(q, since)
+				if !semanticallyEqual(gotRem, wantRem) {
+					t.Fatalf("trial %d rec %d: Remainder(%v, since=%v) disagrees:\nindexed %v\nnaive   %v",
+						trial, rec, q, since, gotRem, wantRem)
+				}
+				if got, want := idx.Covered("Grid", q, since), len(wantRem) == 0; got != want {
+					t.Fatalf("trial %d rec %d: Covered(%v, since=%v) = %v, naive %v",
+						trial, rec, q, since, got, want)
+				}
+				gotRows, err := idx.RowsIn(meta, q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantRows := ref.rowsIn(q)
+				if len(gotRows.Rows) != len(wantRows) {
+					t.Fatalf("trial %d rec %d: RowsIn(%v) = %d rows, naive %d",
+						trial, rec, q, len(gotRows.Rows), len(wantRows))
+				}
+				for i := range wantRows {
+					if gotRows.Rows[i].Key() != wantRows[i].Key() {
+						t.Fatalf("trial %d rec %d: RowsIn(%v) row %d differs (order must match the naive scan)",
+							trial, rec, q, i)
+					}
+				}
+				gotN, err := idx.CountIn(meta, q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gotN != int64(len(wantRows)) {
+					t.Fatalf("trial %d rec %d: CountIn(%v) = %d, naive %d", trial, rec, q, gotN, len(wantRows))
+				}
+			}
+		}
+		// The whole point: compaction keeps live entries at or below the
+		// naive one-entry-per-call count.
+		if idx.EntryCount("Grid") > len(ref.boxes) {
+			t.Fatalf("trial %d: compacted store has %d entries, naive %d",
+				trial, idx.EntryCount("Grid"), len(ref.boxes))
+		}
+	}
+}

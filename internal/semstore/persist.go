@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"time"
 
@@ -37,10 +38,15 @@ type persistEntry struct {
 	Rows int64      `json:"rows"`
 }
 
-const persistVersion = 1
+// persistVersion is the current on-disk format. Version 2 persists the
+// compacted coverage (tombstoned entries are omitted) with tables sorted by
+// name so snapshots are byte-deterministic; version 1 files are still
+// loadable (their entries are compacted on load).
+const persistVersion = 2
 
 // Save writes the store's full contents (stored calls and materialised
-// rows) as JSON.
+// rows) as JSON. Output is deterministic: tables are sorted by name and
+// entries keep their (compacted) store order, so snapshots diff cleanly.
 func (s *Store) Save(w io.Writer) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -51,6 +57,9 @@ func (s *Store) Save(w io.Writer) error {
 			pt.Kinds = append(pt.Kinds, c.Type.String())
 		}
 		for _, e := range ts.entries {
+			if e.dead {
+				continue
+			}
 			pe := persistEntry{At: e.at, Rows: e.rows}
 			for _, iv := range e.box.Dims {
 				pe.Dims = append(pe.Dims, [2]int64{iv.Lo, iv.Hi})
@@ -66,6 +75,7 @@ func (s *Store) Save(w io.Writer) error {
 		}
 		out.Tables = append(out.Tables, pt)
 	}
+	sort.Slice(out.Tables, func(i, j int) bool { return out.Tables[i].Table < out.Tables[j].Table })
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)
 }
@@ -79,7 +89,7 @@ func (s *Store) Load(r io.Reader, lookup func(table string) (*catalog.Table, boo
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
 		return fmt.Errorf("semstore: decode: %w", err)
 	}
-	if in.Version != persistVersion {
+	if in.Version != 1 && in.Version != persistVersion {
 		return fmt.Errorf("semstore: unsupported version %d", in.Version)
 	}
 	for _, pt := range in.Tables {
@@ -126,8 +136,18 @@ func (s *Store) Load(r io.Reader, lookup func(table string) (*catalog.Table, boo
 }
 
 // loadTable installs saved entries and rows for one table, bypassing the
-// per-call Record bookkeeping.
+// per-call Record bookkeeping. Row coordinates are validated before any
+// state mutates, and entries go through the same compaction path Record
+// uses, so a loaded version-1 file comes up compacted and indexed.
 func (s *Store) loadTable(meta *catalog.Table, entries []persistEntry, rows []value.Row) error {
+	coords := make([][]int64, len(rows))
+	for i, row := range rows {
+		cs, err := rowCoords(meta, row)
+		if err != nil {
+			return err
+		}
+		coords[i] = cs
+	}
 	tbl, err := s.db.Ensure(LocalTableName(meta.Name), meta.Schema)
 	if err != nil {
 		return err
@@ -143,24 +163,27 @@ func (s *Store) loadTable(meta *catalog.Table, entries []persistEntry, rows []va
 		for i, d := range pe.Dims {
 			dims[i] = region.Interval{Lo: d[0], Hi: d[1]}
 		}
-		ts.entries = append(ts.entries, entry{box: region.Box{Dims: dims}, at: pe.At, rows: pe.Rows})
+		b := region.Box{Dims: dims}
+		if b.Empty() {
+			continue
+		}
+		dropped, absorbed, merged := ts.insertEntry(b, pe.At, pe.Rows)
+		if dropped {
+			s.dropped.Add(1)
+		}
+		s.absorbed.Add(int64(absorbed))
+		s.merged.Add(int64(merged))
+		if ts.maybeRebuild() {
+			s.rebuilds.Add(1)
+		}
 	}
-	for _, row := range rows {
+	for i, row := range rows {
 		k := row.Key()
 		if _, dup := ts.seen[k]; dup {
 			continue
 		}
-		rb, err := RowBox(meta, row)
-		if err != nil {
-			return err
-		}
-		cs := make([]int64, rb.D())
-		for i, iv := range rb.Dims {
-			cs[i] = iv.Lo
-		}
 		ts.seen[k] = struct{}{}
-		ts.rows = append(ts.rows, row.Clone())
-		ts.coords = append(ts.coords, cs)
+		ts.addRow(row.Clone(), coords[i])
 	}
 	return nil
 }

@@ -75,7 +75,7 @@ func TestLoadErrors(t *testing.T) {
 	}
 	cases := []string{
 		"not json",
-		`{"version":2}`,
+		`{"version":99}`,
 		`{"version":1,"tables":[{"table":"Ghost"}]}`,
 		`{"version":1,"tables":[{"table":"Pollution","kinds":["int"]}]}`,
 		`{"version":1,"tables":[{"table":"Pollution","kinds":["int","int","float"]}]}`,
@@ -110,5 +110,186 @@ func TestLoadMergesIntoExistingStore(t *testing.T) {
 	}
 	if s2.EntryCount("Pollution") != 2 || s2.StoredRowCount("Pollution") != 2 {
 		t.Errorf("merge: entries=%d rows=%d", s2.EntryCount("Pollution"), s2.StoredRowCount("Pollution"))
+	}
+}
+
+// TestSaveDeterministic pins the satellite fix for map-ordered Save output:
+// a store with several tables must serialise byte-identically every time.
+func TestSaveDeterministic(t *testing.T) {
+	build := func() *Store {
+		s := New(storage.NewDB())
+		at := time.Unix(1700000000, 0).UTC()
+		metas := []*catalog.Table{gridMeta(1000), pollutionMeta()}
+		if _, err := s.Record(metas[0], box2(0, 10, 0, 10), []value.Row{gridRow(1, 2)}, at); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Record(metas[1],
+			region.NewBox(region.Point(0), region.Interval{Lo: 1, Hi: 51}),
+			[]value.Row{row("A", 10, 1.5)}, at); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	var first string
+	for i := 0; i < 20; i++ {
+		var buf bytes.Buffer
+		if err := build().Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = buf.String()
+			if !strings.Contains(first, `"version":2`) {
+				t.Fatalf("Save should emit version 2: %s", first)
+			}
+			// Tables must appear sorted by name: Grid before Pollution.
+			if g, p := strings.Index(first, `"Grid"`), strings.Index(first, `"Pollution"`); g < 0 || p < 0 || g > p {
+				t.Fatalf("tables not sorted by name in: %s", first)
+			}
+			continue
+		}
+		if got := buf.String(); got != first {
+			t.Fatalf("Save output differs across runs:\n%s\nvs\n%s", got, first)
+		}
+	}
+}
+
+// kindsMeta exercises every value kind through persistence: a categorical
+// string axis whose members look like numbers and like "null", a numeric
+// axis, and float/string/null output columns.
+func kindsMeta() *catalog.Table {
+	dom := []value.Value{
+		value.NewString("12"), value.NewString("null"), value.NewString(""),
+		value.NewString("1.5e3"), value.NewString("plain"),
+	}
+	return &catalog.Table{
+		Dataset: "Synth",
+		Name:    "Kinds",
+		Schema: value.Schema{
+			{Name: "Tag", Type: value.String},
+			{Name: "N", Type: value.Int},
+			{Name: "F", Type: value.Float},
+			{Name: "S", Type: value.String},
+			{Name: "Z", Type: value.Null},
+		},
+		Attrs: []catalog.Attribute{
+			{Name: "Tag", Type: value.String, Binding: catalog.Free, Class: catalog.CategoricalAttr, Domain: dom},
+			{Name: "N", Type: value.Int, Binding: catalog.Free, Class: catalog.NumericAttr, Min: -1000, Max: 1000},
+			{Name: "F", Type: value.Float, Binding: catalog.Output},
+			{Name: "S", Type: value.String, Binding: catalog.Output},
+			{Name: "Z", Type: value.Null, Binding: catalog.Output},
+		},
+	}
+}
+
+// TestSaveLoadRoundTripAllKinds round-trips rows across every value kind —
+// awkward floats that need full precision, strings that look like numbers
+// or like "null", negative ints, empty strings — plus an entry-less empty
+// table, and checks the reloaded store answers identically.
+func TestSaveLoadRoundTripAllKinds(t *testing.T) {
+	meta := kindsMeta()
+	s1 := New(storage.NewDB())
+	at := time.Unix(1700000000, 0).UTC()
+	rows := []value.Row{
+		{value.NewString("12"), value.NewInt(-999), value.NewFloat(0.1), value.NewString("null"), value.NewNull()},
+		{value.NewString("null"), value.NewInt(0), value.NewFloat(1.0 / 3.0), value.NewString("12"), value.NewNull()},
+		{value.NewString(""), value.NewInt(7), value.NewFloat(-2.5e-17), value.NewString(""), value.NewNull()},
+		{value.NewString("1.5e3"), value.NewInt(1000), value.NewFloat(12345678.9012345), value.NewString("x\"y,z"), value.NewNull()},
+	}
+	full := meta.FullBox()
+	if _, err := s1.Record(meta, full, rows, at); err != nil {
+		t.Fatal(err)
+	}
+	// An empty table (known to the catalog, no entries, no rows) must
+	// survive the trip too.
+	empty := gridMeta(10)
+	if _, err := s1.Record(empty, box2(0, 1, 0, 1), nil, at); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s1.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lookup := func(table string) (*catalog.Table, bool) {
+		switch table {
+		case "Kinds":
+			return meta, true
+		case "Grid":
+			return empty, true
+		}
+		return nil, false
+	}
+	s2 := New(storage.NewDB())
+	if err := s2.Load(bytes.NewReader(buf.Bytes()), lookup); err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Covered("Kinds", full, time.Time{}) {
+		t.Error("coverage lost in round trip")
+	}
+	got, err := s2.RowsIn(meta, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != len(rows) {
+		t.Fatalf("round trip returned %d rows, want %d", len(got.Rows), len(rows))
+	}
+	want := map[string]bool{}
+	for _, r := range rows {
+		want[r.Key()] = true
+	}
+	for _, r := range got.Rows {
+		if !want[r.Key()] {
+			t.Errorf("row %v corrupted in round trip", r)
+		}
+		// Float cells must survive with full precision.
+		if r[2].K != value.Float {
+			t.Errorf("float column came back as %v", r[2].K)
+		}
+	}
+	// A second save must be byte-identical to the first (deterministic and
+	// stable under reload).
+	var buf2 bytes.Buffer
+	if err := s2.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Errorf("save -> load -> save is not a fixed point:\n%s\nvs\n%s", buf.String(), buf2.String())
+	}
+}
+
+// TestLoadVersion1ForwardCompat pins that v1 files written before the
+// persistVersion bump still load, and come up compacted.
+func TestLoadVersion1ForwardCompat(t *testing.T) {
+	meta := gridMeta(1000)
+	// A hand-written v1 file: two adjacent boxes (mergeable) plus one
+	// contained duplicate, with rows.
+	v1 := `{"version":1,"tables":[{"table":"Grid","kinds":["int","int","float"],` +
+		`"entries":[` +
+		`{"dims":[[0,10],[0,10]],"at":"2024-01-01T00:00:00Z","rows":1},` +
+		`{"dims":[[10,20],[0,10]],"at":"2024-01-01T00:00:00Z","rows":1},` +
+		`{"dims":[[2,8],[2,8]],"at":"2023-12-31T00:00:00Z","rows":0}],` +
+		`"rows":[["1","2","0.5"],["11","3","1.5"]]}]}`
+	s := New(storage.NewDB())
+	lookup := func(string) (*catalog.Table, bool) { return meta, true }
+	if err := s.Load(strings.NewReader(v1), lookup); err != nil {
+		t.Fatalf("v1 file must still load: %v", err)
+	}
+	if !s.Covered("Grid", box2(0, 20, 0, 10), time.Time{}) {
+		t.Error("v1 coverage lost")
+	}
+	// The adjacent pair merges and the contained stale box is dropped: one
+	// live entry.
+	if got := s.EntryCount("Grid"); got != 1 {
+		t.Errorf("v1 entries should compact on load: %d live entries, want 1", got)
+	}
+	if got := s.StoredRowCount("Grid"); got != 2 {
+		t.Errorf("v1 rows = %d, want 2", got)
+	}
+	// Saving it re-emits the current version.
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"version":2`) {
+		t.Errorf("resave should upgrade to version 2: %s", buf.String())
 	}
 }

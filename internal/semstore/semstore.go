@@ -9,14 +9,35 @@
 // region V of §4.2), and what rows does the store hold inside a box. Entries
 // are timestamped so the client's consistency level (§4.3) can restrict
 // reuse to results younger than a window.
+//
+// The store stays fast at tens of thousands of recorded calls:
+//
+//   - Coverage entries are compacted on Record — a new box fully covered by
+//     equally-fresh stored coverage is dropped, stored boxes absorbed by a
+//     newer box are pruned, and axis-adjacent boxes differing on a single
+//     dimension are merged (at the older of the two timestamps, so a
+//     consistency window can only ever exclude more, never less).
+//   - Lookups are indexed: per-table per-dimension edge indexes prune the
+//     stored boxes to those overlapping the query before any subtraction,
+//     with a fast path when a single stored box contains the query outright.
+//   - RowsIn/CountIn use per-dimension sorted coordinate indexes instead of
+//     scanning every materialised row.
+//
+// Compaction and indexing never change answers: the union of stored
+// coverage is preserved exactly, and freshness is only ever lost downward
+// (a merged box carries the older timestamp), so the worst case is an
+// over-fetch of already-owned data — never an under-covered reuse.
 package semstore
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"payless/internal/catalog"
+	"payless/internal/obs"
 	"payless/internal/region"
 	"payless/internal/storage"
 	"payless/internal/value"
@@ -29,36 +50,95 @@ const tablePrefix = "market_"
 // of the given market table.
 func LocalTableName(table string) string { return tablePrefix + table }
 
+// bigBoxLimit is how many of the largest stored boxes are kept in the
+// containment fast-path list checked before any index walk.
+const bigBoxLimit = 8
+
+// rebuildMinDead and rebuildDeadFraction control when a table's entry slice
+// is compacted in memory: once tombstones outnumber rebuildDeadFraction of
+// the slice (and at least rebuildMinDead exist), indexes are rebuilt over
+// the survivors.
+const (
+	rebuildMinDead      = 16
+	rebuildDeadFraction = 2 // rebuild when dead*rebuildDeadFraction > len(entries)
+)
+
 type entry struct {
 	box region.Box
 	at  time.Time
 	// rows is the exact number of market rows inside box at fetch time;
 	// it gives the optimizer exact (not estimated) prices for covered space.
 	rows int64
+	// dead marks an entry absorbed or merged away by compaction. Tombstones
+	// keep entry ids stable between index rebuilds.
+	dead bool
+}
+
+// dimIdx holds, for one queryable dimension, the entry ids ordered by their
+// box's low edge on that axis, plus an upper bound on any stored box's
+// width there. A box overlaps the query on the axis only if its Lo falls in
+// [q.Lo - maxWidth, q.Hi), so the candidate set is a contiguous byLo
+// segment found by two binary searches — the lookup walks whichever
+// dimension yields the shortest segment.
+type dimIdx struct {
+	byLo []int // entry ids sorted by (Dims[d].Lo, id)
+	// maxWidth bounds the width of every indexed (live or dead) box on this
+	// axis; tombstoning never shrinks it, rebuilds recompute it.
+	maxWidth int64
+}
+
+// rowDim is the sorted coordinate index of the materialised rows on one
+// queryable dimension: coords is sorted ascending with ids parallel to it.
+type rowDim struct {
+	coords []int64
+	ids    []int
 }
 
 type tableStore struct {
 	meta    *catalog.Table
 	entries []entry
+	alive   int
+	dead    int
+	// dims index entries whose box dimensionality matches the table's
+	// queryable space; misc holds the (rare) rest, always scanned.
+	dims []dimIdx
+	misc []int
+	// big lists up to bigBoxLimit largest live boxes by volume — the O(1)
+	// containment fast path for queries inside a large stored region.
+	big []int
 	// rows mirrors the deduplicated materialised rows with their queryable
-	// coordinates precomputed, so RowsIn is a cheap integer scan instead of
-	// re-deriving coordinates per call.
+	// coordinates precomputed; rowIdx indexes them per dimension.
 	rows   []value.Row
 	coords [][]int64
 	seen   map[string]struct{}
+	rowIdx []rowDim
 }
 
 // Store is the semantic store. It is safe for concurrent use.
 type Store struct {
-	mu     sync.RWMutex
-	db     *storage.DB
-	tables map[string]*tableStore
+	mu      sync.RWMutex
+	db      *storage.DB
+	tables  map[string]*tableStore
+	metrics *obs.Metrics
+
+	// lifetime counters; atomics so read-path lookups stay under RLock.
+	lookups      atomic.Int64
+	fastPathHits atomic.Int64
+	prunedBoxes  atomic.Int64
+	dropped      atomic.Int64
+	absorbed     atomic.Int64
+	merged       atomic.Int64
+	rebuilds     atomic.Int64
 }
 
 // New returns a semantic store materialising rows into db.
 func New(db *storage.DB) *Store {
 	return &Store{db: db, tables: make(map[string]*tableStore)}
 }
+
+// SetMetrics attaches a metrics sink; lookup and compaction events are
+// reported to it. Call before the store is shared across goroutines.
+func (s *Store) SetMetrics(m *obs.Metrics) { s.metrics = m }
 
 // DB exposes the underlying local DBMS (PayLess offloads final query
 // processing to it).
@@ -68,55 +148,493 @@ func (s *Store) tableFor(meta *catalog.Table) *tableStore {
 	key := LocalTableName(meta.Name)
 	ts, ok := s.tables[key]
 	if !ok {
-		ts = &tableStore{meta: meta, seen: make(map[string]struct{})}
+		d := len(meta.QueryableAttrs())
+		ts = &tableStore{
+			meta:   meta,
+			seen:   make(map[string]struct{}),
+			dims:   make([]dimIdx, d),
+			rowIdx: make([]rowDim, d),
+		}
 		s.tables[key] = ts
 	}
 	return ts
 }
 
+// RecordResult reports what one Record call did to the store.
+type RecordResult struct {
+	// Added is how many result rows were new — not already materialised
+	// from an earlier call — the trace's measure of how much of the bill
+	// bought data the buyer did not yet own.
+	Added int
+	// Dropped reports that the call's coverage entry was not stored because
+	// existing, at-least-as-fresh coverage already contains its box.
+	Dropped bool
+	// Absorbed counts stored entries pruned because the new box contains
+	// them and is at least as fresh.
+	Absorbed int
+	// Merged counts merge steps that fused the new box with an axis-adjacent
+	// stored box.
+	Merged int
+}
+
+// Compacted is the total number of stored entries the call removed.
+func (r RecordResult) Compacted() int { return r.Absorbed + r.Merged }
+
 // Record stores the outcome of an executed call: its box, its exact row
-// count, and the rows themselves (deduplicated into the local DBMS). It
-// returns how many rows were new — not already materialised from an earlier
-// call — which is the trace's measure of how much of the bill bought data
-// the buyer did not yet own.
-func (s *Store) Record(meta *catalog.Table, b region.Box, rows []value.Row, at time.Time) (added int, err error) {
+// count, and the rows themselves (deduplicated into the local DBMS).
+//
+// Record is atomic with respect to the coverage index: every row's
+// coordinates are validated up front, and only when all of them resolve are
+// entries/rows/coords mutated. A mid-batch bad row therefore leaves the
+// store exactly as it was — it can never claim coverage for rows it failed
+// to materialise.
+func (s *Store) Record(meta *catalog.Table, b region.Box, rows []value.Row, at time.Time) (RecordResult, error) {
+	var res RecordResult
 	if b.Empty() && len(rows) > 0 {
-		return 0, fmt.Errorf("semstore: non-empty result for empty box on %s", meta.Name)
+		return res, fmt.Errorf("semstore: non-empty result for empty box on %s", meta.Name)
+	}
+	// Validate every row before touching any state.
+	coords := make([][]int64, len(rows))
+	for i, row := range rows {
+		if len(row) != len(meta.Schema) {
+			return res, fmt.Errorf("semstore: %s: row has %d values, schema has %d",
+				meta.Name, len(row), len(meta.Schema))
+		}
+		cs, err := rowCoords(meta, row)
+		if err != nil {
+			return res, err
+		}
+		coords[i] = cs
 	}
 	tbl, err := s.db.Ensure(LocalTableName(meta.Name), meta.Schema)
 	if err != nil {
-		return 0, err
+		return res, err
 	}
 	if _, err := tbl.Insert(rows); err != nil {
-		return 0, err
+		return res, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ts := s.tableFor(meta)
-	ts.entries = append(ts.entries, entry{box: b.Clone(), at: at, rows: int64(len(rows))})
-	for _, row := range rows {
+	for i, row := range rows {
 		k := row.Key()
 		if _, dup := ts.seen[k]; dup {
 			continue
 		}
-		rb, err := RowBox(meta, row)
-		if err != nil {
-			return added, err
-		}
-		cs := make([]int64, rb.D())
-		for i, iv := range rb.Dims {
-			cs[i] = iv.Lo
-		}
 		ts.seen[k] = struct{}{}
-		ts.rows = append(ts.rows, row.Clone())
-		ts.coords = append(ts.coords, cs)
-		added++
+		ts.addRow(row.Clone(), coords[i])
+		res.Added++
 	}
-	return added, nil
+	if !b.Empty() {
+		res.Dropped, res.Absorbed, res.Merged = ts.insertEntry(b.Clone(), at, int64(len(rows)))
+		if res.Dropped {
+			s.dropped.Add(1)
+		}
+		s.absorbed.Add(int64(res.Absorbed))
+		s.merged.Add(int64(res.Merged))
+		if ts.maybeRebuild() {
+			s.rebuilds.Add(1)
+		}
+		if m := s.metrics; m != nil {
+			m.ObserveStoreCompaction(res.Dropped, res.Absorbed, res.Merged)
+		}
+	}
+	return res, nil
 }
 
-// Boxes returns the stored boxes of the table fetched at or after since.
-// A zero since returns everything.
+// addRow appends a validated, deduplicated row and indexes its coordinates.
+func (ts *tableStore) addRow(row value.Row, cs []int64) {
+	id := len(ts.rows)
+	ts.rows = append(ts.rows, row)
+	ts.coords = append(ts.coords, cs)
+	if len(cs) != len(ts.rowIdx) {
+		return // dimensionality drift; such rows are only found by full scans
+	}
+	for d := range ts.rowIdx {
+		ri := &ts.rowIdx[d]
+		pos := sort.Search(len(ri.coords), func(i int) bool { return ri.coords[i] > cs[d] })
+		ri.coords = append(ri.coords, 0)
+		copy(ri.coords[pos+1:], ri.coords[pos:])
+		ri.coords[pos] = cs[d]
+		ri.ids = append(ri.ids, 0)
+		copy(ri.ids[pos+1:], ri.ids[pos:])
+		ri.ids[pos] = id
+	}
+}
+
+// insertEntry adds a coverage box, compacting as it goes. Caller holds the
+// write lock and passes an owned (cloned) box.
+func (ts *tableStore) insertEntry(b region.Box, at time.Time, rows int64) (dropped bool, absorbed, merged int) {
+	if b.D() != len(ts.dims) {
+		// Mismatched dimensionality: store un-indexed, skip compaction.
+		id := len(ts.entries)
+		ts.entries = append(ts.entries, entry{box: b, at: at, rows: rows})
+		ts.alive++
+		ts.misc = append(ts.misc, id)
+		return false, 0, 0
+	}
+	// Drop-new: if a stored box at least as fresh already contains the new
+	// box, the new entry adds no coverage and no freshness.
+	for _, id := range ts.candidates(b) {
+		e := &ts.entries[id]
+		if !e.dead && !e.at.Before(at) && e.box.Contains(b) {
+			return true, 0, 0
+		}
+	}
+	// Absorb: stored boxes contained in the new box and no fresher than it
+	// are now redundant.
+	for _, id := range ts.candidates(b) {
+		e := &ts.entries[id]
+		if !e.dead && !at.Before(e.at) && b.Contains(e.box) {
+			ts.tombstone(id)
+			absorbed++
+		}
+	}
+	cur := ts.addEntry(b, at, rows)
+	// Merge cascade: fuse with axis-adjacent boxes (equal on all dimensions
+	// but one, touching on that one) until no neighbour fits. The merged
+	// entry keeps the older timestamp — freshness is only ever understated.
+	for {
+		e := ts.entries[cur]
+		found := -1
+		var mergedBox region.Box
+		for _, id := range ts.candidates(expand(e.box)) {
+			o := &ts.entries[id]
+			if id == cur || o.dead {
+				continue
+			}
+			if mb, ok := mergeBoxes(e.box, o.box); ok {
+				found, mergedBox = id, mb
+				break
+			}
+		}
+		if found < 0 {
+			return dropped, absorbed, merged
+		}
+		o := ts.entries[found]
+		mergedAt := e.at
+		if o.at.Before(mergedAt) {
+			mergedAt = o.at
+		}
+		ts.tombstone(cur)
+		ts.tombstone(found)
+		cur = ts.addEntry(mergedBox, mergedAt, e.rows+o.rows)
+		merged++
+	}
+}
+
+// mergeBoxes returns the union of a and b when they differ on exactly one
+// dimension and touch on it (disjoint, axis-adjacent). Identical boxes
+// merge trivially.
+func mergeBoxes(a, b region.Box) (region.Box, bool) {
+	if a.D() != b.D() {
+		return region.Box{}, false
+	}
+	diff := -1
+	for i := range a.Dims {
+		if a.Dims[i] == b.Dims[i] {
+			continue
+		}
+		if diff >= 0 {
+			return region.Box{}, false
+		}
+		diff = i
+	}
+	if diff < 0 {
+		return a.Clone(), true
+	}
+	x, y := a.Dims[diff], b.Dims[diff]
+	if x.Hi != y.Lo && y.Hi != x.Lo {
+		return region.Box{}, false
+	}
+	out := a.Clone()
+	out.Dims[diff] = region.Interval{Lo: min64(x.Lo, y.Lo), Hi: max64(x.Hi, y.Hi)}
+	return out, true
+}
+
+// expand grows a box by one coordinate on every edge (saturating), so an
+// overlap query against it also finds boxes that merely touch b.
+func expand(b region.Box) region.Box {
+	out := b.Clone()
+	for i := range out.Dims {
+		if out.Dims[i].Lo > -1<<62 {
+			out.Dims[i].Lo--
+		}
+		if out.Dims[i].Hi < 1<<62 {
+			out.Dims[i].Hi++
+		}
+	}
+	return out
+}
+
+// addEntry appends a live entry and indexes it. Caller holds the write lock.
+func (ts *tableStore) addEntry(b region.Box, at time.Time, rows int64) int {
+	id := len(ts.entries)
+	ts.entries = append(ts.entries, entry{box: b, at: at, rows: rows})
+	ts.alive++
+	for d := range ts.dims {
+		di := &ts.dims[d]
+		di.byLo = insertSorted(di.byLo, id, func(o int) int64 { return ts.entries[o].box.Dims[d].Lo })
+		if w := b.Dims[d].Width(); w > di.maxWidth {
+			di.maxWidth = w
+		}
+	}
+	// Maintain the big-box fast-path list.
+	vol := b.Volume()
+	pos := len(ts.big)
+	for i, bid := range ts.big {
+		if vol > ts.entries[bid].box.Volume() {
+			pos = i
+			break
+		}
+	}
+	if pos < bigBoxLimit {
+		ts.big = append(ts.big, 0)
+		copy(ts.big[pos+1:], ts.big[pos:])
+		ts.big[pos] = id
+		if len(ts.big) > bigBoxLimit {
+			ts.big = ts.big[:bigBoxLimit]
+		}
+	}
+	return id
+}
+
+// insertSorted inserts id into ids keeping them ordered by (key, id).
+func insertSorted(ids []int, id int, key func(int) int64) []int {
+	k := key(id)
+	pos := sort.Search(len(ids), func(i int) bool {
+		ki := key(ids[i])
+		return ki > k || (ki == k && ids[i] > id)
+	})
+	ids = append(ids, 0)
+	copy(ids[pos+1:], ids[pos:])
+	ids[pos] = id
+	return ids
+}
+
+func (ts *tableStore) tombstone(id int) {
+	if !ts.entries[id].dead {
+		ts.entries[id].dead = true
+		ts.alive--
+		ts.dead++
+		for i, bid := range ts.big {
+			if bid == id {
+				ts.big = append(ts.big[:i], ts.big[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// maybeRebuild compacts the entry slice and rebuilds the edge indexes once
+// tombstones dominate. Reports whether a rebuild happened.
+func (ts *tableStore) maybeRebuild() bool {
+	if ts.dead < rebuildMinDead || ts.dead*rebuildDeadFraction <= len(ts.entries) {
+		return false
+	}
+	live := make([]entry, 0, ts.alive)
+	for _, e := range ts.entries {
+		if !e.dead {
+			live = append(live, e)
+		}
+	}
+	ts.entries = live
+	ts.dead = 0
+	ts.alive = len(live)
+	for d := range ts.dims {
+		ts.dims[d] = dimIdx{}
+	}
+	ts.misc = nil
+	ts.big = nil
+	for id := range ts.entries {
+		e := &ts.entries[id]
+		if e.box.D() != len(ts.dims) {
+			ts.misc = append(ts.misc, id)
+			continue
+		}
+		for d := range ts.dims {
+			di := &ts.dims[d]
+			di.byLo = insertSorted(di.byLo, id, func(o int) int64 { return ts.entries[o].box.Dims[d].Lo })
+			if w := e.box.Dims[d].Width(); w > di.maxWidth {
+				di.maxWidth = w
+			}
+		}
+	}
+	// Recompute the big-box list over the survivors.
+	type bv struct {
+		id  int
+		vol float64
+	}
+	var bigs []bv
+	for id := range ts.entries {
+		if ts.entries[id].box.D() == len(ts.dims) {
+			bigs = append(bigs, bv{id, ts.entries[id].box.Volume()})
+		}
+	}
+	sort.SliceStable(bigs, func(i, j int) bool { return bigs[i].vol > bigs[j].vol })
+	if len(bigs) > bigBoxLimit {
+		bigs = bigs[:bigBoxLimit]
+	}
+	for _, b := range bigs {
+		ts.big = append(ts.big, b.id)
+	}
+	return true
+}
+
+// candidates returns live-or-dead entry ids whose box could overlap q, by
+// walking the cheapest (dimension, edge) segment of the per-dimension
+// indexes. Callers must still check dead flags and true overlap. The
+// returned ids never include misc (dimension-mismatched) entries.
+func (ts *tableStore) candidates(q region.Box) []int {
+	d := len(ts.dims)
+	if q.D() != d || d == 0 {
+		// No usable index: every indexed entry is a candidate.
+		out := make([]int, 0, len(ts.entries))
+		for id := range ts.entries {
+			if ts.entries[id].box.D() == d {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+	// On each axis an overlapping box must have Lo < q.Hi and Lo > q.Lo -
+	// maxWidth (else even the widest stored box would end at or before
+	// q.Lo). That is a contiguous byLo segment; pick the smallest one.
+	bestLen := -1
+	var bestSeg []int
+	for k := 0; k < d; k++ {
+		di := &ts.dims[k]
+		qd := q.Dims[k]
+		start := 0
+		if loMin := qd.Lo - di.maxWidth; loMin <= qd.Lo { // no underflow
+			start = sort.Search(len(di.byLo), func(i int) bool {
+				return ts.entries[di.byLo[i]].box.Dims[k].Lo > loMin
+			})
+		}
+		end := sort.Search(len(di.byLo), func(i int) bool {
+			return ts.entries[di.byLo[i]].box.Dims[k].Lo >= qd.Hi
+		})
+		if end < start {
+			end = start
+		}
+		if n := end - start; bestLen < 0 || n < bestLen {
+			bestLen, bestSeg = n, di.byLo[start:end]
+		}
+	}
+	out := make([]int, 0, bestLen)
+	for _, id := range bestSeg {
+		if boxesOverlap(ts.entries[id].box, q) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// boxesOverlap is an allocation-free Box.Overlaps for same-dimensionality,
+// non-empty boxes (an empty interval fails its own check).
+func boxesOverlap(a, b region.Box) bool {
+	for i := range a.Dims {
+		if a.Dims[i].Lo >= b.Dims[i].Hi || b.Dims[i].Lo >= a.Dims[i].Hi {
+			return false
+		}
+	}
+	return true
+}
+
+// LookupStats describes one indexed coverage lookup.
+type LookupStats struct {
+	// Entries is the number of live stored entries for the table.
+	Entries int
+	// Candidates is how many survived index pruning (the boxes actually
+	// handed to subtraction).
+	Candidates int
+	// Pruned is Entries - Candidates.
+	Pruned int
+	// FastPath reports that a single stored box contains the query — the
+	// lookup returned just that box and the remainder is empty.
+	FastPath bool
+	// Micros is the lookup's wall-clock duration.
+	Micros int64
+}
+
+// Coverage returns the stored boxes (cloned) that overlap q and were
+// fetched at or after since — the pruned covered set the rewriter needs —
+// together with lookup statistics. When a single stored box contains q
+// outright, only that box is returned and stats.FastPath is set: q's
+// remainder is empty.
+func (s *Store) Coverage(table string, q region.Box, since time.Time) ([]region.Box, LookupStats) {
+	start := time.Now()
+	var st LookupStats
+	s.mu.RLock()
+	ts, ok := s.tables[LocalTableName(table)]
+	var out []region.Box
+	if ok {
+		st.Entries = ts.alive
+		// Big-box fast path first: a handful of containment checks against
+		// the largest stored regions.
+		for _, id := range ts.big {
+			e := &ts.entries[id]
+			if e.dead || (!since.IsZero() && e.at.Before(since)) {
+				continue
+			}
+			if e.box.Contains(q) {
+				st.FastPath = true
+				st.Candidates = 1
+				out = []region.Box{e.box.Clone()}
+				break
+			}
+		}
+		if !st.FastPath {
+			for _, id := range ts.candidates(q) {
+				e := &ts.entries[id]
+				if e.dead || (!since.IsZero() && e.at.Before(since)) {
+					continue
+				}
+				if e.box.Contains(q) {
+					st.FastPath = true
+					st.Candidates = 1
+					out = []region.Box{e.box.Clone()}
+					break
+				}
+				out = append(out, e.box.Clone())
+			}
+			if !st.FastPath {
+				// Misc entries bypass the index; mismatched dimensionality
+				// is ignored by subtraction but kept for faithfulness.
+				for _, id := range ts.misc {
+					e := &ts.entries[id]
+					if e.dead || (!since.IsZero() && e.at.Before(since)) {
+						continue
+					}
+					if e.box.Overlaps(q) {
+						out = append(out, e.box.Clone())
+					}
+				}
+				st.Candidates = len(out)
+			}
+		}
+		st.Pruned = st.Entries - st.Candidates
+		if st.Pruned < 0 {
+			st.Pruned = 0
+		}
+	}
+	m := s.metrics
+	s.mu.RUnlock()
+	s.lookups.Add(1)
+	if st.FastPath {
+		s.fastPathHits.Add(1)
+	}
+	s.prunedBoxes.Add(int64(st.Pruned))
+	st.Micros = time.Since(start).Microseconds()
+	if m != nil {
+		m.ObserveStoreLookup(st.Micros, st.Pruned, st.FastPath)
+	}
+	return out, st
+}
+
+// Boxes returns clones of the stored boxes of the table fetched at or after
+// since. A zero since returns everything. Callers own the result — mutating
+// it cannot corrupt recorded coverage.
 func (s *Store) Boxes(table string, since time.Time) []region.Box {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -126,15 +644,20 @@ func (s *Store) Boxes(table string, since time.Time) []region.Box {
 	}
 	var out []region.Box
 	for _, e := range ts.entries {
+		if e.dead {
+			continue
+		}
 		if !since.IsZero() && e.at.Before(since) {
 			continue
 		}
-		out = append(out, e.box)
+		out = append(out, e.box.Clone())
 	}
 	return out
 }
 
-// EntryCount returns how many calls have been recorded for the table.
+// EntryCount returns how many live coverage entries the table has. With
+// compaction this is at most — typically far below — the number of calls
+// recorded.
 func (s *Store) EntryCount(table string) int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -142,14 +665,19 @@ func (s *Store) EntryCount(table string) int {
 	if !ok {
 		return 0
 	}
-	return len(ts.entries)
+	return ts.alive
 }
 
 // Remainder returns the part of box q not covered by the table's stored
 // boxes fetched at or after since — the region V of §4.2, decomposed into
-// disjoint elementary boxes.
+// disjoint elementary boxes. The stored boxes are pruned through the
+// coverage index first.
 func (s *Store) Remainder(table string, q region.Box, since time.Time) []region.Box {
-	return region.Subtract(q, s.Boxes(table, since))
+	boxes, st := s.Coverage(table, q, since)
+	if st.FastPath {
+		return nil
+	}
+	return region.Subtract(q, boxes)
 }
 
 // Covered reports whether box q is fully covered by stored results —
@@ -158,29 +686,95 @@ func (s *Store) Covered(table string, q region.Box, since time.Time) bool {
 	return len(s.Remainder(table, q, since)) == 0
 }
 
-// RowBox maps a row of the table onto its point box in queryable space.
-func RowBox(meta *catalog.Table, row value.Row) (region.Box, error) {
+// rowCoords maps a row onto its queryable-space coordinates.
+func rowCoords(meta *catalog.Table, row value.Row) ([]int64, error) {
 	qidx := meta.QueryableIdx()
 	qa := meta.QueryableAttrs()
-	dims := make([]region.Interval, len(qa))
+	cs := make([]int64, len(qa))
 	for i, a := range qa {
 		c, err := a.Coord(row[qidx[i]])
 		if err != nil {
-			return region.Box{}, err
+			return nil, err
 		}
+		cs[i] = c
+	}
+	return cs, nil
+}
+
+// RowBox maps a row of the table onto its point box in queryable space.
+func RowBox(meta *catalog.Table, row value.Row) (region.Box, error) {
+	cs, err := rowCoords(meta, row)
+	if err != nil {
+		return region.Box{}, err
+	}
+	dims := make([]region.Interval, len(cs))
+	for i, c := range cs {
 		dims[i] = region.Point(c)
 	}
 	return region.Box{Dims: dims}, nil
 }
 
+// rowMatches reports whether row id's coordinates fall inside q (which must
+// have the table's dimensionality).
+func (ts *tableStore) rowMatches(id int, q region.Box) bool {
+	cs := ts.coords[id]
+	if len(cs) != q.D() {
+		return false
+	}
+	for k := range cs {
+		if !q.Dims[k].ContainsCoord(cs[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+// rowCandidates returns the ids of materialised rows inside q, in insertion
+// order, using the narrowest per-dimension coordinate range. ok is false
+// when the row index is unusable for q (fall back to a full scan).
+func (ts *tableStore) rowCandidates(q region.Box) (ids []int, ok bool) {
+	d := len(ts.rowIdx)
+	if q.D() != d || d == 0 {
+		return nil, false
+	}
+	best := -1
+	var seg *rowDim
+	var lo, hi int
+	for k := 0; k < d; k++ {
+		ri := &ts.rowIdx[k]
+		qd := q.Dims[k]
+		l := sort.Search(len(ri.coords), func(i int) bool { return ri.coords[i] >= qd.Lo })
+		h := sort.Search(len(ri.coords), func(i int) bool { return ri.coords[i] >= qd.Hi })
+		if best < 0 || h-l < best {
+			best, seg, lo, hi = h-l, ri, l, h
+		}
+	}
+	if best < 0 {
+		return nil, false
+	}
+	for _, id := range seg.ids[lo:hi] {
+		if ts.rowMatches(id, q) {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids) // emit in insertion order, as a full scan would
+	return ids, true
+}
+
 // RowsIn returns the materialised rows of the table whose queryable
-// coordinates fall inside box q.
+// coordinates fall inside box q, in insertion order.
 func (s *Store) RowsIn(meta *catalog.Table, q region.Box) (storage.Relation, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := storage.Relation{Schema: meta.Schema.Clone()}
 	ts, ok := s.tables[LocalTableName(meta.Name)]
 	if !ok {
+		return out, nil
+	}
+	if ids, usable := ts.rowCandidates(q); usable {
+		for _, id := range ids {
+			out.Rows = append(out.Rows, ts.rows[id])
+		}
 		return out, nil
 	}
 	d := q.D()
@@ -202,11 +796,30 @@ scan:
 // CountIn returns the number of materialised rows inside box q. When q is
 // fully covered by stored boxes this is the exact market-side count.
 func (s *Store) CountIn(meta *catalog.Table, q region.Box) (int64, error) {
-	rel, err := s.RowsIn(meta, q)
-	if err != nil {
-		return 0, err
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ts, ok := s.tables[LocalTableName(meta.Name)]
+	if !ok {
+		return 0, nil
 	}
-	return int64(rel.Len()), nil
+	if ids, usable := ts.rowCandidates(q); usable {
+		return int64(len(ids)), nil
+	}
+	var n int64
+	d := q.D()
+scan:
+	for _, cs := range ts.coords {
+		if len(cs) != d {
+			continue
+		}
+		for k := 0; k < d; k++ {
+			if !q.Dims[k].ContainsCoord(cs[k]) {
+				continue scan
+			}
+		}
+		n++
+	}
+	return n, nil
 }
 
 // StoredRowCount returns the total number of materialised rows for a table.
@@ -216,4 +829,58 @@ func (s *Store) StoredRowCount(table string) int {
 		return 0
 	}
 	return tbl.Len()
+}
+
+// Stats is a point-in-time snapshot of the store's size and its lifetime
+// lookup/compaction activity.
+type Stats struct {
+	Tables      int
+	Entries     int // live coverage entries across all tables
+	DeadEntries int // tombstoned, awaiting rebuild
+	Rows        int // materialised deduplicated rows
+
+	Lookups      int64
+	FastPathHits int64
+	PrunedBoxes  int64
+
+	DroppedEntries  int64 // new entries dropped: already covered
+	AbsorbedEntries int64 // stored entries absorbed by newer boxes
+	MergedEntries   int64 // merge steps performed
+	Rebuilds        int64
+}
+
+// Stats returns a snapshot of store size and activity counters.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{
+		Tables:          len(s.tables),
+		Lookups:         s.lookups.Load(),
+		FastPathHits:    s.fastPathHits.Load(),
+		PrunedBoxes:     s.prunedBoxes.Load(),
+		DroppedEntries:  s.dropped.Load(),
+		AbsorbedEntries: s.absorbed.Load(),
+		MergedEntries:   s.merged.Load(),
+		Rebuilds:        s.rebuilds.Load(),
+	}
+	for _, ts := range s.tables {
+		st.Entries += ts.alive
+		st.DeadEntries += ts.dead
+		st.Rows += len(ts.rows)
+	}
+	return st
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }

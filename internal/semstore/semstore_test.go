@@ -59,13 +59,22 @@ func TestRecordDedup(t *testing.T) {
 	meta := pollutionMeta()
 	b := region.NewBox(region.Interval{Lo: 0, Hi: 3}, region.Interval{Lo: 1, Hi: 101})
 	rows := []value.Row{row("A", 10, 1), row("B", 20, 2)}
-	s.Record(meta, b, rows, time.Now())
-	s.Record(meta, b, rows, time.Now())
+	now := time.Now()
+	s.Record(meta, b, rows, now)
+	rr, err := s.Record(meta, b, rows, now.Add(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got := s.StoredRowCount("Pollution"); got != 2 {
 		t.Errorf("dedup: %d rows", got)
 	}
-	if s.EntryCount("Pollution") != 2 {
-		t.Error("each call is remembered even when rows dedup away")
+	// Compaction: the identical re-record absorbs the older entry (the new
+	// one is fresher), so live coverage stays a single box.
+	if s.EntryCount("Pollution") != 1 {
+		t.Errorf("re-recording the same box should compact to one entry, got %d", s.EntryCount("Pollution"))
+	}
+	if rr.Added != 0 || rr.Absorbed != 1 || rr.Dropped {
+		t.Errorf("RecordResult = %+v, want Added=0 Absorbed=1 Dropped=false", rr)
 	}
 }
 

@@ -242,14 +242,17 @@ func Open(cfg Config, opts ...Option) (*Client, error) {
 		}
 	}
 	db := storage.NewDB()
+	store := semstore.New(db)
+	metrics := obs.NewMetrics()
+	store.SetMetrics(metrics)
 	return &Client{
 		cat:     cat,
 		db:      db,
-		store:   semstore.New(db),
+		store:   store,
 		stats:   st,
 		caller:  cfg.Caller,
 		cfg:     cfg,
-		metrics: obs.NewMetrics(),
+		metrics: metrics,
 	}, nil
 }
 
@@ -467,6 +470,15 @@ func (c *Client) SearchEffort() (core.Counters, int) {
 // StoredRows reports how many rows of a market table are materialised in
 // the semantic store.
 func (c *Client) StoredRows(table string) int { return c.store.StoredRowCount(table) }
+
+// StoreStats is the semantic store's size and activity snapshot: live and
+// tombstoned coverage entries, materialised rows, lookup/fast-path/pruning
+// counters and compaction totals.
+type StoreStats = semstore.Stats
+
+// StoreStats reports the semantic store's current size and its lifetime
+// lookup and compaction activity.
+func (c *Client) StoreStats() StoreStats { return c.store.Stats() }
 
 // TableInfo summarises one catalog entry for introspection (the CLI's
 // \tables command).
