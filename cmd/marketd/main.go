@@ -15,7 +15,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
 	"strings"
 
 	"payless/internal/market"
@@ -75,5 +74,7 @@ func main() {
 	}
 
 	fmt.Printf("marketd listening on %s (t=%d, price=%.2f)\n", *addr, *t, *price)
-	log.Fatal(http.ListenAndServe(*addr, m.Handler()))
+	// m.Server applies the market's timeout defaults; a bare
+	// http.ListenAndServe would serve with none at all.
+	log.Fatal(m.Server(*addr).ListenAndServe())
 }

@@ -20,7 +20,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 10, 11, 12, 13, 14, 15, conc, store or all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 10, 11, 12, 13, 14, 15, conc, store, faults or all")
 		dataset  = flag.String("dataset", "all", "dataset: real, tpch, tpch-skew or all")
 		qReal    = flag.Int("qreal", 40, "query instances per template (real data)")
 		qTPCH    = flag.Int("qtpch", 10, "query instances per template (TPC-H)")
@@ -39,7 +39,7 @@ func main() {
 	p.Seed = *seed
 	p.SampleEvery = *sample
 
-	figures := []string{"10", "11", "12", "13", "14", "15", "conc", "store"}
+	figures := []string{"10", "11", "12", "13", "14", "15", "conc", "store", "faults"}
 	if *fig != "all" {
 		figures = []string{*fig}
 	}
@@ -102,6 +102,11 @@ func one(f, ds string, req bench.Request) (*bench.Figure, error) {
 			return nil, nil // the store sweep uses its own synthetic grid
 		}
 		return bench.FigStore(bench.DefaultStoreParams())
+	case "faults":
+		if ds != "real" && ds != "all" {
+			return nil, nil // the fault sweep runs on the real workload only
+		}
+		return bench.FigFaults(bench.DefaultFaultParams())
 	default:
 		return nil, fmt.Errorf("unknown figure %q", f)
 	}

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"payless/internal/connector"
+	"payless/internal/engine"
 )
 
 // The error taxonomy. Every failure a Client returns is matchable with
@@ -16,7 +17,11 @@ import (
 //   - ErrOverBudget (budget.go) means the optimizer's estimate exceeded
 //     the configured spending budget before any money was spent;
 //   - *StatusError surfaces a non-2xx HTTP response from the market
-//     through the execute stage (errors.As).
+//     through the execute stage (errors.As);
+//   - *PartialError surfaces a query that died part-way through its market
+//     fan-out, carrying what it billed and salvaged (errors.As);
+//   - ErrCircuitOpen means a dataset's circuit breaker short-circuited the
+//     call (only with Config.BreakerThreshold > 0).
 var (
 	// ErrParse marks a SQL syntax error.
 	ErrParse = errors.New("payless: parse error")
@@ -36,6 +41,20 @@ var (
 //	var se *payless.StatusError
 //	if errors.As(err, &se) && se.Code == 429 { ... }
 type StatusError = connector.StatusError
+
+// PartialError is a query that failed part-way through its market fan-out,
+// re-exported from the engine. It carries the spend the failed query
+// actually billed (already folded into TotalSpend) and how many calls were
+// salvaged into the semantic store — a re-run pays only for the remainder:
+//
+//	var pe *payless.PartialError
+//	if errors.As(err, &pe) { log.Printf("banked $%.2f", pe.Billed.Price) }
+type PartialError = engine.PartialError
+
+// ErrCircuitOpen marks a call short-circuited by an open per-dataset
+// circuit breaker (see Config.BreakerThreshold). It surfaces wrapped in the
+// execute stage's PartialError.
+var ErrCircuitOpen = engine.ErrCircuitOpen
 
 // Stage names the query-processing phase an error belongs to.
 type Stage string

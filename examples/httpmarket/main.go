@@ -13,7 +13,6 @@ import (
 	"fmt"
 	"log"
 	"net"
-	"net/http"
 	"time"
 
 	payless "payless"
@@ -38,7 +37,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := &http.Server{Handler: m.Handler()}
+	srv := market.NewServer("", m.Handler()) // timeout defaults included
 	go srv.Serve(ln)
 	defer srv.Close()
 	baseURL := "http://" + ln.Addr().String()

@@ -67,10 +67,12 @@ func newConcurrencyEnv(p ConcurrencyParams) (*concurrencyEnv, error) {
 		return nil, err
 	}
 	inner := m.Handler()
-	srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+	srv := httptest.NewUnstartedServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
 		time.Sleep(p.CallLatency)
 		inner.ServeHTTP(rw, r)
 	}))
+	market.ConfigureServer(srv.Config) // market timeout defaults, as in production
+	srv.Start()
 	// An IN over every country decomposes the access region into one
 	// disjoint box per country — one independent market call each, the
 	// engine's fan-out unit.

@@ -47,6 +47,14 @@ type AccessQuery struct {
 	Dataset string
 	Table   string
 	Preds   []Pred
+	// CallID, when non-empty, identifies this logical call across transport
+	// retries. The market keeps a bounded per-account replay ledger keyed by
+	// it: a retried call with the same ID replays the already-billed result
+	// instead of billing again, so a response lost after billing never
+	// double-charges the buyer. Transports assign it once per logical call,
+	// before their retry loop; it is not a predicate and takes no part in
+	// matching or box geometry.
+	CallID string
 }
 
 // Pred returns the predicate on the named attribute, if any.

@@ -1,0 +1,59 @@
+package chaos
+
+import (
+	"context"
+	"time"
+
+	"payless/internal/catalog"
+	"payless/internal/market"
+)
+
+// Caller wraps a market.Caller with fault injection for the in-process
+// (zero-copy) transport. The event key is the access query's canonical
+// string, so Target rules can pin faults onto specific calls.
+//
+// Billing semantics mirror the HTTP wrapper: Reject and ServerError fail
+// before the inner call runs (nothing billed); Drop and Truncate run the
+// inner call first — the market bills it — and then lose the result.
+type Caller struct {
+	Inner    market.Caller
+	Schedule *Schedule
+}
+
+// Call implements market.Caller.
+func (c Caller) Call(q catalog.AccessQuery) (market.Result, error) {
+	return c.CallContext(context.Background(), q)
+}
+
+// CallContext implements market.ContextCaller.
+func (c Caller) CallContext(ctx context.Context, q catalog.AccessQuery) (market.Result, error) {
+	key := q.String()
+	kind, delay, ok := c.Schedule.next(key)
+	if !ok {
+		return market.Do(ctx, c.Inner, q)
+	}
+	switch kind {
+	case Latency:
+		if delay > 0 {
+			t := time.NewTimer(delay)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return market.Result{}, ctx.Err()
+			case <-t.C:
+			}
+		}
+		return market.Do(ctx, c.Inner, q)
+	case Reject, ServerError:
+		// Pre-billing failure: the market never sees the call.
+		return market.Result{}, &InjectedError{Kind: kind, Key: key}
+	default: // Drop, Truncate
+		// Post-billing failure: the call executes and bills, the result is
+		// lost on the way back. This is the fault the idempotency ledger
+		// exists for.
+		if _, err := market.Do(ctx, c.Inner, q); err != nil {
+			return market.Result{}, err
+		}
+		return market.Result{}, &InjectedError{Kind: kind, Key: key}
+	}
+}

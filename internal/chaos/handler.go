@@ -1,0 +1,116 @@
+package chaos
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Handler wraps a market HTTP handler with fault injection. Only data-call
+// requests (paths under /v1/data/) are faulted: catalog and meter fetches
+// pass through clean, so a chaos run exercises billing recovery rather than
+// client bootstrap.
+//
+// The event key is the request path plus raw query, so Target rules can pin
+// faults onto specific calls or pages.
+//
+// Fault mapping:
+//
+//   - Reject  → HTTP 429 with Retry-After: 0, before the inner handler runs
+//   - ServerError → HTTP 500, before the inner handler runs
+//   - Drop    → the inner handler runs (billing the call), then the
+//     connection is severed without writing any of the response
+//   - Truncate → the inner handler runs, then only half the response body
+//     is written before the connection is severed
+//   - Latency → the configured delay, then a clean pass-through
+func Handler(inner http.Handler, s *Schedule) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/v1/data/") {
+			inner.ServeHTTP(w, r)
+			return
+		}
+		key := r.URL.Path
+		if r.URL.RawQuery != "" {
+			key += "?" + r.URL.RawQuery
+		}
+		kind, delay, ok := s.next(key)
+		if !ok {
+			inner.ServeHTTP(w, r)
+			return
+		}
+		switch kind {
+		case Latency:
+			if delay > 0 {
+				select {
+				case <-r.Context().Done():
+					return
+				case <-time.After(delay):
+				}
+			}
+			inner.ServeHTTP(w, r)
+		case Reject:
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, `{"Error":"chaos: injected 429"}`, http.StatusTooManyRequests)
+		case ServerError:
+			http.Error(w, `{"Error":"chaos: injected 500"}`, http.StatusInternalServerError)
+		case Drop:
+			// Let the market execute — and bill — the call, capturing the
+			// response it would have sent, then abort the connection so the
+			// client sees a transport error instead of a response.
+			rec := &recorder{header: make(http.Header)}
+			inner.ServeHTTP(rec, r)
+			panic(http.ErrAbortHandler)
+		case Truncate:
+			rec := &recorder{header: make(http.Header)}
+			inner.ServeHTTP(rec, r)
+			for k, vs := range rec.header {
+				if k == "Content-Length" {
+					continue // the advertised length would no longer be true
+				}
+				for _, v := range vs {
+					w.Header().Add(k, v)
+				}
+			}
+			w.WriteHeader(rec.status())
+			body := rec.body.Bytes()
+			w.Write(body[:len(body)/2])
+			if f, ok := w.(http.Flusher); ok {
+				f.Flush()
+			}
+			// Sever the connection so the client cannot mistake the half
+			// body for a short-but-complete response.
+			panic(http.ErrAbortHandler)
+		}
+	})
+}
+
+// recorder is a minimal in-memory http.ResponseWriter for capturing the
+// inner handler's response before deciding how much of it to deliver.
+type recorder struct {
+	header http.Header
+	code   int
+	body   bytes.Buffer
+}
+
+func (r *recorder) Header() http.Header { return r.header }
+
+func (r *recorder) WriteHeader(code int) {
+	if r.code == 0 {
+		r.code = code
+	}
+}
+
+func (r *recorder) Write(p []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	return r.body.Write(p)
+}
+
+func (r *recorder) status() int {
+	if r.code == 0 {
+		return http.StatusOK
+	}
+	return r.code
+}

@@ -7,10 +7,18 @@
 // in-flight calls.
 //
 // Every attempt runs under a per-call deadline derived from the caller's
-// context. Transport failures, per-attempt timeouts and retryable HTTP
-// statuses (5xx, 429) are retried with exponential backoff plus jitter;
-// permanent HTTP 4xx responses fail fast — a malformed call must never be
+// context. Transport failures, per-attempt timeouts, truncated or
+// undecodable response bodies and retryable HTTP statuses (5xx, 429) are
+// retried with exponential backoff plus jitter — a 429/503 carrying a
+// Retry-After header is honoured instead, capped by the backoff maximum.
+// Permanent HTTP 4xx responses fail fast: a malformed call must never be
 // re-issued, since every accepted call costs money.
+//
+// Retrying a data call is safe because every logical call carries a unique
+// idempotency ID (the X-Call-Id header), assigned once above the retry
+// loop. The market bills an ID at most once and replays the billed result
+// on retry, so even the worst failure — the connection dropping after the
+// server billed but before the response arrived — never double-charges.
 package connector
 
 import (
@@ -35,6 +43,9 @@ import (
 type StatusError struct {
 	Code int
 	Msg  string
+	// RetryAfter is the server's requested wait before retrying (from the
+	// Retry-After header on 429/503 responses); 0 when absent.
+	RetryAfter time.Duration
 }
 
 func (e *StatusError) Error() string {
@@ -64,6 +75,10 @@ type Client struct {
 	// attempts: base<<attempt capped at max, then jittered to 50–100%.
 	backoffBase time.Duration
 	backoffMax  time.Duration
+	// noCallIDs disables per-call idempotency IDs; retried calls may then
+	// be billed again by the market (the pre-ledger behaviour, kept for the
+	// fault-overhead ablation).
+	noCallIDs bool
 	// sleep waits between attempts; replaced in tests.
 	sleep func(ctx context.Context, d time.Duration) error
 }
@@ -90,6 +105,13 @@ func WithPerCallTimeout(d time.Duration) Option {
 // WithBackoff sets the exponential backoff shape between retry attempts.
 func WithBackoff(base, max time.Duration) Option {
 	return func(c *Client) { c.backoffBase = base; c.backoffMax = max }
+}
+
+// WithoutCallIDs disables the per-call idempotency IDs, so a retried call
+// may be billed again. Only the fault-overhead ablation wants this; leave
+// IDs on everywhere else.
+func WithoutCallIDs() Option {
+	return func(c *Client) { c.noCallIDs = true }
 }
 
 // New returns a client for the market at baseURL authenticating with key.
@@ -136,20 +158,34 @@ func (c *Client) backoffDelay(attempt int) time.Duration {
 }
 
 // get fetches one path with retries. Retryable failures (transport errors,
-// per-attempt timeouts, HTTP 5xx/429) back off exponentially; permanent 4xx
-// responses and parent-context cancellation return immediately.
-func (c *Client) get(ctx context.Context, path string, out any) error {
+// per-attempt timeouts, undecodable bodies, HTTP 5xx/429) back off
+// exponentially — unless the response named a Retry-After, which is honoured
+// capped at backoffMax; permanent 4xx responses and parent-context
+// cancellation return immediately. callID, when non-empty, travels as the
+// X-Call-Id idempotency header on every attempt.
+func (c *Client) get(ctx context.Context, path, callID string, out any) error {
 	var lastErr error
+	var retryAfter time.Duration
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
 			// Annotate the in-flight call's trace record (if the engine
 			// attached one) before the backoff sleep.
 			obs.CallFromContext(ctx).AddRetry()
-			if err := c.sleep(ctx, c.backoffDelay(attempt)); err != nil {
+			delay := c.backoffDelay(attempt)
+			if retryAfter > 0 {
+				// The server told us when to come back; trust it over our
+				// own schedule, but never wait longer than backoffMax.
+				delay = retryAfter
+				if delay > c.backoffMax {
+					delay = c.backoffMax
+				}
+				retryAfter = 0
+			}
+			if err := c.sleep(ctx, delay); err != nil {
 				return fmt.Errorf("market call aborted after %d attempts: %w (last error: %v)", attempt, err, lastErr)
 			}
 		}
-		body, code, err := c.attempt(ctx, path)
+		body, code, hdr, err := c.attempt(ctx, path, callID)
 		if err != nil {
 			if ctx.Err() != nil {
 				// The caller's context expired or was cancelled: the engine
@@ -160,7 +196,7 @@ func (c *Client) get(ctx context.Context, path string, out any) error {
 			continue
 		}
 		if code != http.StatusOK {
-			se := &StatusError{Code: code}
+			se := &StatusError{Code: code, RetryAfter: parseRetryAfter(hdr)}
 			var we market.WireError
 			if json.Unmarshal(body, &we) == nil && we.Error != "" {
 				se.Msg = we.Error
@@ -168,16 +204,44 @@ func (c *Client) get(ctx context.Context, path string, out any) error {
 			if se.Permanent() {
 				return se
 			}
+			retryAfter = se.RetryAfter
 			lastErr = se
 			continue
 		}
-		return json.Unmarshal(body, out)
+		if err := json.Unmarshal(body, out); err != nil {
+			// A 200 with an undecodable body is a corrupted or truncated
+			// response, not a server verdict: retry it like a transport
+			// error. The idempotency ID makes the retry billing-safe.
+			lastErr = fmt.Errorf("malformed market response: %w", err)
+			continue
+		}
+		return nil
 	}
 	return fmt.Errorf("market unreachable after %d attempts: %w", c.retries+1, lastErr)
 }
 
+// parseRetryAfter reads a Retry-After header: delay-seconds or an HTTP-date.
+func parseRetryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
 // attempt performs one HTTP round-trip under the per-call deadline.
-func (c *Client) attempt(ctx context.Context, path string) ([]byte, int, error) {
+func (c *Client) attempt(ctx context.Context, path, callID string) ([]byte, int, http.Header, error) {
 	actx := ctx
 	cancel := func() {}
 	if c.perCallTimeout > 0 {
@@ -186,19 +250,22 @@ func (c *Client) attempt(ctx context.Context, path string) ([]byte, int, error) 
 	defer cancel()
 	req, err := http.NewRequestWithContext(actx, http.MethodGet, c.baseURL+path, nil)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	req.Header.Set(market.AuthHeader, c.key)
+	if callID != "" {
+		req.Header.Set(market.CallIDHeader, callID)
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
-	return body, resp.StatusCode, nil
+	return body, resp.StatusCode, resp.Header, nil
 }
 
 // Catalog fetches the market's public table metadata — the registration
@@ -210,7 +277,7 @@ func (c *Client) Catalog() ([]*catalog.Table, error) {
 // CatalogContext is Catalog under a caller-supplied context.
 func (c *Client) CatalogContext(ctx context.Context) ([]*catalog.Table, error) {
 	var wire []market.WireTable
-	if err := c.get(ctx, "/v1/catalog", &wire); err != nil {
+	if err := c.get(ctx, "/v1/catalog", "", &wire); err != nil {
 		return nil, err
 	}
 	out := make([]*catalog.Table, 0, len(wire))
@@ -227,7 +294,7 @@ func (c *Client) CatalogContext(ctx context.Context) ([]*catalog.Table, error) {
 // TuplesPerTransaction fetches the page size t of the named dataset.
 func (c *Client) TuplesPerTransaction(dataset string) (int, error) {
 	var wire []market.WireTable
-	if err := c.get(context.Background(), "/v1/catalog", &wire); err != nil {
+	if err := c.get(context.Background(), "/v1/catalog", "", &wire); err != nil {
 		return 0, err
 	}
 	for _, wt := range wire {
@@ -241,7 +308,7 @@ func (c *Client) TuplesPerTransaction(dataset string) (int, error) {
 // Meter fetches the account's current spending.
 func (c *Client) Meter() (market.Meter, error) {
 	var m market.Meter
-	err := c.get(context.Background(), "/v1/meter", &m)
+	err := c.get(context.Background(), "/v1/meter", "", &m)
 	return m, err
 }
 
@@ -254,6 +321,11 @@ func (c *Client) Call(q catalog.AccessQuery) (market.Result, error) {
 // market.ContextCaller: cancelling ctx aborts the in-flight request and any
 // remaining result pages.
 func (c *Client) CallContext(ctx context.Context, q catalog.AccessQuery) (market.Result, error) {
+	if !c.noCallIDs {
+		// One idempotency ID per logical call, shared by every retry of
+		// every page: the market bills it once and replays thereafter.
+		market.EnsureCallID(&q)
+	}
 	params := url.Values{}
 	for _, p := range q.Preds {
 		switch {
@@ -279,7 +351,7 @@ func (c *Client) CallContext(ctx context.Context, q catalog.AccessQuery) (market
 		params.Set("page", strconv.Itoa(page))
 		path := base + "?" + params.Encode()
 		var wr market.WireResult
-		if err := c.get(ctx, path, &wr); err != nil {
+		if err := c.get(ctx, path, q.CallID, &wr); err != nil {
 			return market.Result{}, err
 		}
 		if page == 0 {

@@ -14,6 +14,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -65,6 +66,11 @@ type Engine struct {
 	// plan-merge order) plus semantic-store hit accounting. Nil disables
 	// tracing at the cost of one nil check per instrumentation point.
 	Trace *obs.Trace
+	// Breakers short-circuits calls to datasets whose endpoints keep
+	// failing; nil disables circuit breaking. The set outlives any single
+	// engine — it belongs to the client, so breaker state carries across
+	// queries.
+	Breakers *BreakerSet
 	// Now stamps semantic-store entries; nil means time.Now.
 	Now func() time.Time
 }
@@ -93,6 +99,13 @@ func (e *Engine) ExecuteContext(ctx context.Context, plan *core.Plan) (storage.R
 		rel := b.Rels[step.Rel]
 		fetched, err := e.fetch(ctx, rel, step, cur, b, &report)
 		if err != nil {
+			// A partial batch failure carries the query-level billed totals,
+			// so the caller can account the spend without unpacking Report
+			// out-of-band.
+			var pe *PartialError
+			if errors.As(err, &pe) {
+				pe.Billed = report
+			}
 			return storage.Relation{}, report, err
 		}
 		fetched = applyResidual(fetched, rel)

@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -127,6 +128,16 @@ func (e *Engine) runBatch(ctx context.Context, specs []callSpec, report *Report)
 				<-sem
 				wg.Done()
 			}()
+			// Ask the dataset's circuit breaker before spending anything: an
+			// open circuit fails the call without a network round-trip or a
+			// billable request.
+			release, berr := e.Breakers.Acquire(specs[i].meta.Dataset)
+			if berr != nil {
+				errs[i] = fmt.Errorf("dataset %s: %w", specs[i].meta.Dataset, berr)
+				failed.Store(true)
+				cancel()
+				return
+			}
 			callCtx := cctx
 			var start time.Time
 			if traced {
@@ -142,6 +153,7 @@ func (e *Engine) runBatch(ctx context.Context, specs []callSpec, report *Report)
 			if traced {
 				recs[i].Latency = time.Since(start)
 			}
+			release(err)
 			if err != nil {
 				errs[i] = err
 				failed.Store(true)
@@ -181,7 +193,23 @@ func (e *Engine) runBatch(ctx context.Context, specs []callSpec, report *Report)
 		}
 	}
 	if err := batchError(errs); err != nil {
-		return results, err
+		// Wrap the root cause with the salvage accounting: how many paid-for
+		// results survived into the store, how many calls died, how many
+		// never ran. ExecuteContext fills in the billed totals.
+		pe := &PartialError{Err: err}
+		for i := range specs {
+			switch {
+			case results[i] != nil:
+				pe.Salvaged++
+			case errs[i] != nil && !isContextErr(errs[i]) && !errors.Is(errs[i], ErrCircuitOpen):
+				pe.Failed++
+			default:
+				// Never issued: cancelled before launch, torn down in
+				// flight, or short-circuited by an open breaker.
+				pe.Skipped++
+			}
+		}
+		return results, pe
 	}
 	return results, mergeErr
 }

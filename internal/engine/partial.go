@@ -1,0 +1,33 @@
+package engine
+
+import "fmt"
+
+// PartialError reports a query that failed part-way through its market
+// fan-out, carrying what the failure already cost and what was salvaged.
+// Every salvaged call's rows were recorded into the semantic store before
+// the error surfaced, so re-running the query re-plans against that
+// coverage and pays only for the missing remainder — Billed is spend
+// banked, not spend lost.
+type PartialError struct {
+	// Err is the root cause (the first hard call failure, or ErrCircuitOpen
+	// for a short-circuited dataset).
+	Err error
+	// Billed is what the failed query actually spent before dying.
+	Billed Report
+	// Salvaged counts calls whose paid-for results were merged into the
+	// semantic store despite the failure.
+	Salvaged int
+	// Failed counts calls that errored.
+	Failed int
+	// Skipped counts calls never issued: launched after the batch had
+	// already failed, cancelled in flight, or short-circuited by an open
+	// breaker.
+	Skipped int
+}
+
+func (e *PartialError) Error() string {
+	return fmt.Sprintf("%v (salvaged %d calls, failed %d, skipped %d; billed %d transactions / $%.2f)",
+		e.Err, e.Salvaged, e.Failed, e.Skipped, e.Billed.Transactions, e.Billed.Price)
+}
+
+func (e *PartialError) Unwrap() error { return e.Err }

@@ -48,8 +48,9 @@ type WireResult struct {
 }
 
 // PageRows is the HTTP transport's page size in rows. It is a transport
-// detail independent of the billing page size t.
-const PageRows = 5000
+// detail independent of the billing page size t. It is a variable so tests
+// can shrink it to exercise multi-page fetches with small tables.
+var PageRows = 5000
 
 // WireError is the JSON error envelope.
 type WireError struct {
@@ -219,6 +220,12 @@ func ResultOfWire(wr WireResult) (Result, error) {
 // AuthHeader carries the buyer's account key on every HTTP request.
 const AuthHeader = "X-Account-Key"
 
+// CallIDHeader carries the logical call's idempotency ID on data requests.
+// All pages of one call (including retried pages) send the same ID; the
+// server bills the ID at most once and serves every page from the billed
+// snapshot while the ledger remembers it.
+const CallIDHeader = "X-Call-Id"
+
 // Handler returns the market's RESTful HTTP interface:
 //
 //	GET /v1/catalog                      — public table metadata
@@ -287,6 +294,7 @@ func (m *Market) Handler() http.Handler {
 			httpError(w, http.StatusBadRequest, err.Error())
 			return
 		}
+		q.CallID = r.Header.Get(CallIDHeader)
 		page := 0
 		if p := r.URL.Query().Get("page"); p != "" {
 			page, err = strconv.Atoi(p)
@@ -297,10 +305,12 @@ func (m *Market) Handler() http.Handler {
 		}
 		var res Result
 		if page == 0 {
-			res, err = m.Execute(key, q)
+			res, _, err = m.execute(key, q)
 		} else {
-			// Follow-up pages re-run the scan without re-billing.
-			res, err = m.executeUnbilled(key, q)
+			// Follow-up pages never bill: they are served from the replay
+			// ledger's billed snapshot when the call carries an ID the
+			// ledger still holds, or by re-running the scan unbilled.
+			res, err = m.replayOrUnbilled(key, q)
 		}
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err.Error())

@@ -1,0 +1,86 @@
+package market
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+
+	"payless/internal/catalog"
+)
+
+// DefaultLedgerCap is the default bound on a per-account replay ledger, in
+// remembered calls. It only needs to cover the window between a call being
+// billed and its slowest retry arriving — far shorter than a query — so a
+// few hundred entries is generous even for wide fan-outs.
+const DefaultLedgerCap = 512
+
+// replayLedger remembers the results of recently billed calls by CallID so
+// retries replay instead of re-billing. It is a bounded FIFO: once cap
+// entries are held, recording a new call evicts the oldest. The ledger has
+// no locking of its own — the market's accMu guards it alongside the meter,
+// so a billing increment and its ledger record are one atomic step.
+type replayLedger struct {
+	cap     int
+	entries map[string]Result
+	// order is the insertion ring: ids[head:] then ids[:head] is FIFO order.
+	ids  []string
+	head int
+}
+
+func newReplayLedger(cap int) *replayLedger {
+	if cap <= 0 {
+		cap = DefaultLedgerCap
+	}
+	return &replayLedger{cap: cap, entries: make(map[string]Result)}
+}
+
+// get returns the remembered result for id, if still held.
+func (l *replayLedger) get(id string) (Result, bool) {
+	if l == nil || id == "" {
+		return Result{}, false
+	}
+	res, ok := l.entries[id]
+	return res, ok
+}
+
+// put remembers a billed call's result, evicting the oldest entry at cap.
+func (l *replayLedger) put(id string, res Result) {
+	if l == nil || id == "" {
+		return
+	}
+	if _, dup := l.entries[id]; dup {
+		return
+	}
+	if len(l.ids) < l.cap {
+		l.ids = append(l.ids, id)
+	} else {
+		delete(l.entries, l.ids[l.head])
+		l.ids[l.head] = id
+		l.head = (l.head + 1) % l.cap
+	}
+	l.entries[id] = res
+}
+
+// len reports how many calls the ledger currently remembers.
+func (l *replayLedger) len() int { return len(l.entries) }
+
+// NewCallID returns a fresh unique call identifier. IDs are 128 random bits
+// hex-encoded: collision within a ledger's lifetime is not a practical
+// concern.
+func NewCallID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a zero ID (treated
+		// as "no idempotency") is the safe degradation if it somehow does.
+		return ""
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// EnsureCallID assigns a fresh CallID to the query if it lacks one. Call it
+// once per logical call, above any retry loop, so every retry of the call
+// carries the same ID and replays instead of re-billing.
+func EnsureCallID(q *catalog.AccessQuery) {
+	if q.CallID == "" {
+		q.CallID = NewCallID()
+	}
+}

@@ -1,0 +1,168 @@
+package market
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"payless/internal/catalog"
+	"payless/internal/value"
+)
+
+// ledgerMarket builds a one-table market with n rows of (K int, V int) and
+// one registered account.
+func ledgerMarket(t *testing.T, n int) (*Market, *catalog.Table) {
+	t.Helper()
+	m := New()
+	ds, err := m.AddDataset("DS", 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := &catalog.Table{
+		Name:   "T",
+		Schema: value.Schema{{Name: "K", Type: value.Int}, {Name: "V", Type: value.Int}},
+		Attrs: []catalog.Attribute{
+			{Name: "K", Type: value.Int, Binding: catalog.Free, Class: catalog.NumericAttr, Min: 0, Max: int64(n)},
+			{Name: "V", Type: value.Int, Binding: catalog.Output, Class: catalog.NumericAttr},
+		},
+	}
+	rows := make([]value.Row, n)
+	for i := range rows {
+		rows[i] = value.Row{value.NewInt(int64(i)), value.NewInt(int64(i * 7))}
+	}
+	if err := ds.AddTable(meta, rows); err != nil {
+		t.Fatal(err)
+	}
+	m.RegisterAccount("acct")
+	return m, meta
+}
+
+func rangeQuery(lo, hi int64) catalog.AccessQuery {
+	return catalog.AccessQuery{Dataset: "DS", Table: "T",
+		Preds: []catalog.Pred{{Attr: "K", Lo: &lo, Hi: &hi}}}
+}
+
+func TestReplayLedgerBillsOnce(t *testing.T) {
+	m, _ := ledgerMarket(t, 50)
+	q := rangeQuery(0, 24)
+	q.CallID = NewCallID()
+
+	first, err := m.Execute("acct", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Transactions != 3 { // ceil(25/10)
+		t.Fatalf("transactions = %d, want 3", first.Transactions)
+	}
+	// The same logical call retried: replayed, not re-billed.
+	for i := 0; i < 3; i++ {
+		res, err := m.Execute("acct", q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Records != first.Records || res.Transactions != first.Transactions {
+			t.Fatalf("replay diverged: %+v vs %+v", res, first)
+		}
+	}
+	meter, _ := m.MeterOf("acct")
+	if meter.Calls != 1 || meter.Transactions != 3 {
+		t.Fatalf("meter billed retries: %+v", meter)
+	}
+	if got := m.Metrics().ReplayedCalls; got != 3 {
+		t.Fatalf("replayed calls = %d, want 3", got)
+	}
+	// A different ID for the same predicates is a new logical call: billed.
+	q2 := rangeQuery(0, 24)
+	q2.CallID = NewCallID()
+	if _, err := m.Execute("acct", q2); err != nil {
+		t.Fatal(err)
+	}
+	meter, _ = m.MeterOf("acct")
+	if meter.Calls != 2 || meter.Transactions != 6 {
+		t.Fatalf("distinct call not billed: %+v", meter)
+	}
+}
+
+func TestReplayLedgerWithoutIDBillsEveryCall(t *testing.T) {
+	m, _ := ledgerMarket(t, 50)
+	q := rangeQuery(0, 24)
+	for i := 0; i < 3; i++ {
+		if _, err := m.Execute("acct", q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	meter, _ := m.MeterOf("acct")
+	if meter.Calls != 3 || meter.Transactions != 9 {
+		t.Fatalf("ID-less calls must bill each time: %+v", meter)
+	}
+}
+
+func TestReplayLedgerBounded(t *testing.T) {
+	m, _ := ledgerMarket(t, 50)
+	m.SetReplayLedgerCap(4)
+	m.RegisterAccount("b")
+	ids := make([]string, 6)
+	for i := range ids {
+		q := rangeQuery(int64(i), int64(i))
+		ids[i] = NewCallID()
+		q.CallID = ids[i]
+		if _, err := m.Execute("b", q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.accMu.RLock()
+	held := m.accounts["b"].ledger.len()
+	m.accMu.RUnlock()
+	if held != 4 {
+		t.Fatalf("ledger holds %d entries, want cap 4", held)
+	}
+	// The two oldest IDs were evicted: retrying them re-bills (at-most-once
+	// degrades gracefully to the pre-ledger behaviour, never to double
+	// replay of the wrong result).
+	meterBefore, _ := m.MeterOf("b")
+	q := rangeQuery(0, 0)
+	q.CallID = ids[0]
+	if _, err := m.Execute("b", q); err != nil {
+		t.Fatal(err)
+	}
+	meterAfter, _ := m.MeterOf("b")
+	if meterAfter.Calls != meterBefore.Calls+1 {
+		t.Fatalf("evicted ID should re-bill: %+v -> %+v", meterBefore, meterAfter)
+	}
+	// The newest ID still replays.
+	q = rangeQuery(5, 5)
+	q.CallID = ids[5]
+	if _, err := m.Execute("b", q); err != nil {
+		t.Fatal(err)
+	}
+	final, _ := m.MeterOf("b")
+	if final.Calls != meterAfter.Calls {
+		t.Fatalf("fresh ID should replay, not bill: %+v -> %+v", meterAfter, final)
+	}
+}
+
+func TestReplayLedgerConcurrentDuplicatesBillOnce(t *testing.T) {
+	m, _ := ledgerMarket(t, 50)
+	for round := 0; round < 20; round++ {
+		q := rangeQuery(0, 39)
+		q.CallID = fmt.Sprintf("dup-%d", round)
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, err := m.Execute("acct", q); err != nil {
+					t.Error(err)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	meter, _ := m.MeterOf("acct")
+	if meter.Calls != 20 {
+		t.Fatalf("concurrent duplicates double-billed: %d billed calls, want 20", meter.Calls)
+	}
+	if meter.Transactions != 20*4 { // ceil(40/10) each
+		t.Fatalf("transactions = %d, want %d", meter.Transactions, 20*4)
+	}
+}

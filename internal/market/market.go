@@ -102,15 +102,25 @@ type marketTable struct {
 	eqIndex map[string]map[string][]int
 }
 
+// account is one registered buyer: its spending meter and the replay
+// ledger backing idempotent calls. Both are guarded by the market's accMu.
+type account struct {
+	meter  Meter
+	ledger *replayLedger
+}
+
 // Market hosts datasets and bills registered accounts.
 type Market struct {
 	// mu guards the datasets map; accMu guards the accounts map and every
-	// meter behind it, so billing increments never contend with catalog
-	// lookups from parallel callers.
+	// meter and replay ledger behind it, so billing increments never contend
+	// with catalog lookups from parallel callers.
 	mu       sync.RWMutex
 	datasets map[string]*Dataset
 	accMu    sync.RWMutex
-	accounts map[string]*Meter
+	accounts map[string]*account
+	// ledgerCap bounds each account's replay ledger (entries, FIFO eviction);
+	// applied to accounts registered after it is set.
+	ledgerCap int
 	// metrics aggregates seller-side observability across all accounts:
 	// calls served, records, transactions billed and scan latency. It is
 	// internally locked and exposed at GET /metrics by the HTTP server.
@@ -120,9 +130,10 @@ type Market struct {
 // New returns an empty market.
 func New() *Market {
 	return &Market{
-		datasets: make(map[string]*Dataset),
-		accounts: make(map[string]*Meter),
-		metrics:  obs.NewMetrics(),
+		datasets:  make(map[string]*Dataset),
+		accounts:  make(map[string]*account),
+		ledgerCap: DefaultLedgerCap,
+		metrics:   obs.NewMetrics(),
 	}
 }
 
@@ -256,22 +267,33 @@ func (m *Market) Dataset(name string) (*Dataset, bool) {
 	return ds, ok
 }
 
+// SetReplayLedgerCap bounds the replay ledgers of accounts registered from
+// now on; n <= 0 restores the default.
+func (m *Market) SetReplayLedgerCap(n int) {
+	if n <= 0 {
+		n = DefaultLedgerCap
+	}
+	m.accMu.Lock()
+	defer m.accMu.Unlock()
+	m.ledgerCap = n
+}
+
 // RegisterAccount creates (or resets) a buyer account identified by key.
 func (m *Market) RegisterAccount(key string) {
 	m.accMu.Lock()
 	defer m.accMu.Unlock()
-	m.accounts[key] = &Meter{}
+	m.accounts[key] = &account{ledger: newReplayLedger(m.ledgerCap)}
 }
 
 // MeterOf returns a snapshot of the account's spending.
 func (m *Market) MeterOf(key string) (Meter, bool) {
 	m.accMu.RLock()
 	defer m.accMu.RUnlock()
-	mt, ok := m.accounts[key]
+	acc, ok := m.accounts[key]
 	if !ok {
 		return Meter{}, false
 	}
-	return *mt, true
+	return acc.meter, true
 }
 
 // lookup finds a table across datasets. Dataset may be empty, in which case
@@ -335,24 +357,46 @@ func (m *Market) ExportCatalog() []*catalog.Table {
 // Execute runs one RESTful call on behalf of the account, enforcing the
 // table's binding pattern and billing the meter. This is the market-side
 // entry point shared by the in-process caller and the HTTP server.
+//
+// When the call carries a CallID, billing is at-most-once by construction:
+// the result of the first billed execution is remembered in the account's
+// bounded replay ledger, and any retry of the same ID replays it without
+// touching the meter. A response lost after billing — the expensive failure
+// mode — therefore costs the buyer nothing extra on retry.
 func (m *Market) Execute(accountKey string, q catalog.AccessQuery) (Result, error) {
+	res, _, err := m.execute(accountKey, q)
+	return res, err
+}
+
+// execute is Execute plus a flag reporting whether the result was replayed
+// from the ledger instead of freshly billed.
+func (m *Market) execute(accountKey string, q catalog.AccessQuery) (Result, bool, error) {
 	start := time.Now()
 	m.accMu.RLock()
-	_, authed := m.accounts[accountKey]
+	acc := m.accounts[accountKey]
+	var prev Result
+	replayed := false
+	if acc != nil && q.CallID != "" {
+		prev, replayed = acc.ledger.get(q.CallID)
+	}
 	m.accMu.RUnlock()
-	if !authed {
-		return Result{}, fmt.Errorf("unknown account key %q", accountKey)
+	if acc == nil {
+		return Result{}, false, fmt.Errorf("unknown account key %q", accountKey)
+	}
+	if replayed {
+		m.metrics.ObserveReplayedCall()
+		return prev, true, nil
 	}
 	ds, mt, err := m.lookup(q.Dataset, q.Table)
 	if err != nil {
-		return Result{}, err
+		return Result{}, false, err
 	}
 	// The shared per-table lock lets parallel buyer calls scan concurrently
 	// while still excluding owner-side appends mid-scan.
 	mt.mu.RLock()
 	if err := catalog.ValidateBinding(mt.meta, q); err != nil {
 		mt.mu.RUnlock()
-		return Result{}, err
+		return Result{}, false, err
 	}
 	rows := mt.scan(q)
 	schema := mt.meta.Schema.Clone()
@@ -363,28 +407,61 @@ func (m *Market) Execute(accountKey string, q catalog.AccessQuery) (Result, erro
 		trans = int64((records + ds.TuplesPerTransaction - 1) / ds.TuplesPerTransaction)
 	}
 	price := float64(trans) * ds.PricePerTransaction
-
-	// Re-resolve the meter under the write lock: billing must hit the
-	// account's current meter even if it was re-registered mid-call, and the
-	// increment block is atomic so no concurrent call can interleave a
-	// partial update (Calls bumped, Transactions not yet).
-	m.accMu.Lock()
-	if meter := m.accounts[accountKey]; meter != nil {
-		meter.Calls++
-		meter.Records += int64(records)
-		meter.Transactions += trans
-		meter.Price += price
-	}
-	m.accMu.Unlock()
-	m.metrics.ObserveCall(time.Since(start), int64(records), trans, price)
-
-	return Result{
+	res := Result{
 		Schema:       schema,
 		Rows:         rows,
 		Records:      records,
 		Transactions: trans,
 		Price:        price,
-	}, nil
+	}
+
+	// Re-resolve the account under the write lock: billing must hit the
+	// account's current meter even if it was re-registered mid-call, and the
+	// increment block is atomic so no concurrent call can interleave a
+	// partial update (Calls bumped, Transactions not yet). The ledger is
+	// re-checked under the same lock so two concurrent duplicates of one
+	// CallID can never both bill.
+	m.accMu.Lock()
+	if acc := m.accounts[accountKey]; acc != nil {
+		if q.CallID != "" {
+			if prev, ok := acc.ledger.get(q.CallID); ok {
+				m.accMu.Unlock()
+				m.metrics.ObserveReplayedCall()
+				return prev, true, nil
+			}
+		}
+		acc.meter.Calls++
+		acc.meter.Records += int64(records)
+		acc.meter.Transactions += trans
+		acc.meter.Price += price
+		if q.CallID != "" {
+			acc.ledger.put(q.CallID, res)
+		}
+	}
+	m.accMu.Unlock()
+	m.metrics.ObserveCall(time.Since(start), int64(records), trans, price)
+
+	return res, false, nil
+}
+
+// replayOrUnbilled serves the call from the replay ledger when its CallID is
+// known there, falling back to an unbilled re-scan. The HTTP transport uses
+// it for follow-up pages: serving pages out of the billed snapshot keeps a
+// paginated result internally consistent even if the table is appended to
+// between pages.
+func (m *Market) replayOrUnbilled(accountKey string, q catalog.AccessQuery) (Result, error) {
+	if q.CallID != "" {
+		m.accMu.RLock()
+		acc := m.accounts[accountKey]
+		if acc != nil {
+			if prev, ok := acc.ledger.get(q.CallID); ok {
+				m.accMu.RUnlock()
+				return prev, nil
+			}
+		}
+		m.accMu.RUnlock()
+	}
+	return m.executeUnbilled(accountKey, q)
 }
 
 // scan returns the rows matching the call, using a lazily built equality
@@ -486,7 +563,10 @@ func (m *Market) executeUnbilled(accountKey string, q catalog.AccessQuery) (Resu
 }
 
 // AccountCaller binds a Market and an account key into a Caller — the
-// in-process transport used by tests and benchmarks.
+// in-process transport used by tests and benchmarks. It passes the query's
+// CallID through unchanged: a retry wrapper that wants at-most-once billing
+// assigns the ID once (EnsureCallID) before its retry loop, exactly as the
+// HTTP connector does.
 type AccountCaller struct {
 	Market *Market
 	Key    string

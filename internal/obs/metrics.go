@@ -115,6 +115,15 @@ type Metrics struct {
 	storeDropped      int64
 	storeCompacted    int64
 
+	replayedCalls int64
+
+	breakerOpens         int64
+	breakerShortCircuits int64
+	breakerProbes        int64
+
+	failedQuerySpendTransactions int64
+	failedQuerySpendPrice        float64
+
 	queryLatency    histogram
 	callLatency     histogram
 	optimizeLatency histogram
@@ -200,6 +209,71 @@ func (m *Metrics) ObserveStoreCompaction(dropped bool, absorbed, merged int) {
 	m.storeCompacted += int64(absorbed + merged)
 }
 
+// ObserveReplayedCall counts a call served from the replay ledger instead
+// of being billed again — a retry whose first execution had already been
+// charged (seller side).
+func (m *Metrics) ObserveReplayedCall() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.replayedCalls++
+}
+
+// ObserveBreakerOpen counts a circuit breaker tripping open for a dataset.
+func (m *Metrics) ObserveBreakerOpen() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.breakerOpens++
+}
+
+// ObserveBreakerShortCircuit counts a market call refused locally because
+// its dataset's breaker was open — money and latency not spent on a market
+// that is known to be failing.
+func (m *Metrics) ObserveBreakerShortCircuit() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.breakerShortCircuits++
+}
+
+// ObserveBreakerProbe counts a half-open probe call let through after a
+// breaker's cooldown.
+func (m *Metrics) ObserveBreakerProbe() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.breakerProbes++
+}
+
+// ObserveFailedQuerySpend folds the money a FAILED query still spent into
+// the bill counters (its salvage: the rows are in the semantic store, so a
+// retry will not re-buy them). Calls/records/transactions/price join the
+// same cumulative families ObserveQuery feeds on success; the
+// failed-query-specific transaction/price totals are additionally tracked
+// so dashboards can see how much spend sits behind failures.
+func (m *Metrics) ObserveFailedQuerySpend(calls, records, transactions int64, price float64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.calls += calls
+	m.records += records
+	m.transactions += transactions
+	m.price += price
+	m.failedQuerySpendTransactions += transactions
+	m.failedQuerySpendPrice += price
+}
+
 // ObserveCall folds one served market call into the registry — the
 // seller-side entry point used by Market.Execute.
 func (m *Metrics) ObserveCall(latency time.Duration, records, transactions int64, price float64) {
@@ -243,6 +317,20 @@ type Snapshot struct {
 	StoreDroppedEntries   int64
 	StoreCompactedEntries int64
 
+	// ReplayedCalls counts retried calls the replay ledger served without
+	// re-billing (seller side).
+	ReplayedCalls int64
+	// BreakerOpens/BreakerShortCircuits/BreakerProbes count circuit-breaker
+	// activity in the engine's fetch path (buyer side): breakers tripping
+	// open, calls refused while open, and half-open probes let through.
+	BreakerOpens         int64
+	BreakerShortCircuits int64
+	BreakerProbes        int64
+	// FailedQuerySpendTransactions/Price total the spend of queries that
+	// ultimately failed — money salvaged into the semantic store.
+	FailedQuerySpendTransactions int64
+	FailedQuerySpendPrice        float64
+
 	QueryLatency    HistogramSnapshot
 	CallLatency     HistogramSnapshot
 	OptimizeLatency HistogramSnapshot
@@ -271,6 +359,14 @@ func (m *Metrics) Snapshot() Snapshot {
 		StoreFastPathHits:     m.storeFastPath,
 		StoreDroppedEntries:   m.storeDropped,
 		StoreCompactedEntries: m.storeCompacted,
+
+		ReplayedCalls:                m.replayedCalls,
+		BreakerOpens:                 m.breakerOpens,
+		BreakerShortCircuits:         m.breakerShortCircuits,
+		BreakerProbes:                m.breakerProbes,
+		FailedQuerySpendTransactions: m.failedQuerySpendTransactions,
+		FailedQuerySpendPrice:        m.failedQuerySpendPrice,
+
 		QueryLatency:          m.queryLatency.snapshot(),
 		CallLatency:           m.callLatency.snapshot(),
 		OptimizeLatency:       m.optimizeLatency.snapshot(),
@@ -306,6 +402,12 @@ func (m *Metrics) WritePrometheus(w io.Writer, prefix string) {
 	counter("store_fastpath_total", "Coverage lookups answered by a single containing box.", s.StoreFastPathHits)
 	counter("store_dropped_entries_total", "New coverage entries dropped as redundant on Record.", s.StoreDroppedEntries)
 	counter("store_compacted_entries_total", "Stored coverage entries absorbed or merged by compaction.", s.StoreCompactedEntries)
+	counter("replayed_calls_total", "Retried calls served from the replay ledger without re-billing.", s.ReplayedCalls)
+	counter("breaker_opens_total", "Circuit breakers tripped open.", s.BreakerOpens)
+	counter("breaker_short_circuits_total", "Calls refused locally while a dataset's breaker was open.", s.BreakerShortCircuits)
+	counter("breaker_probes_total", "Half-open probe calls let through after a breaker cooldown.", s.BreakerProbes)
+	counter("failed_query_spend_transactions_total", "Transactions billed to queries that ultimately failed.", s.FailedQuerySpendTransactions)
+	counter("failed_query_spend_price_total", "Money billed to queries that ultimately failed.", s.FailedQuerySpendPrice)
 	hist := func(name, help string, h HistogramSnapshot) {
 		fmt.Fprintf(w, "# HELP %s_%s %s\n# TYPE %s_%s histogram\n", prefix, name, help, prefix, name)
 		for _, b := range h.Buckets {

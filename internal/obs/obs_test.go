@@ -146,6 +146,46 @@ func TestMetricsObserveCallSellerSide(t *testing.T) {
 	}
 }
 
+// TestFailureMetricsFamilies pins the Prometheus families the failure-
+// recovery layer exports — CI greps dashboards and alerts against these
+// names, so renaming one is a breaking change.
+func TestFailureMetricsFamilies(t *testing.T) {
+	m := NewMetrics()
+	m.ObserveReplayedCall()
+	m.ObserveBreakerOpen()
+	m.ObserveBreakerShortCircuit()
+	m.ObserveBreakerProbe()
+	m.ObserveFailedQuerySpend(2, 150, 3, 3)
+
+	s := m.Snapshot()
+	if s.ReplayedCalls != 1 || s.BreakerOpens != 1 || s.BreakerShortCircuits != 1 || s.BreakerProbes != 1 {
+		t.Errorf("failure counters: %+v", s)
+	}
+	if s.FailedQuerySpendTransactions != 3 || s.FailedQuerySpendPrice != 3 {
+		t.Errorf("failed-spend counters: %+v", s)
+	}
+
+	// Both deployed prefixes: "payless" on the buyer client, "market" on the
+	// seller handler.
+	for _, prefix := range []string{"payless", "market"} {
+		var b strings.Builder
+		m.WritePrometheus(&b, prefix)
+		out := b.String()
+		for _, want := range []string{
+			prefix + "_replayed_calls_total 1",
+			prefix + "_breaker_opens_total 1",
+			prefix + "_breaker_short_circuits_total 1",
+			prefix + "_breaker_probes_total 1",
+			prefix + "_failed_query_spend_transactions_total 3",
+			prefix + "_failed_query_spend_price_total 3",
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("prometheus output missing %q", want)
+			}
+		}
+	}
+}
+
 func TestNilMetricsIsNoOp(t *testing.T) {
 	var m *Metrics
 	m.ObserveQuery(time.Millisecond, 0, 1, 1, 1, 1)

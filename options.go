@@ -1,5 +1,7 @@
 package payless
 
+import "time"
+
 // Option customises a Config before the Client is built. Options are
 // accepted by both Open and OpenHTTP; zero-value Config fields keep their
 // documented defaults. Because Option is an alias-shaped function type,
@@ -29,6 +31,17 @@ func WithFetchConcurrency(n int) Option {
 // tracing at near-zero cost.
 func WithTracer(t Tracer) Option {
 	return func(c *Config) { c.Tracer = t }
+}
+
+// WithBreaker enables per-dataset circuit breaking: after threshold
+// consecutive call failures against one dataset, calls to it short-circuit
+// with ErrCircuitOpen until cooldown elapses and a probe call succeeds.
+// cooldown 0 defaults to 5s.
+func WithBreaker(threshold int, cooldown time.Duration) Option {
+	return func(c *Config) {
+		c.BreakerThreshold = threshold
+		c.BreakerCooldown = cooldown
+	}
 }
 
 // WithStatistics selects the updatable statistic implementation.

@@ -105,6 +105,18 @@ type Config struct {
 	// &CollectTracer{} traces every query and attaches the trace to
 	// Result.Trace.
 	Tracer Tracer
+	// BreakerThreshold enables per-dataset circuit breaking: after this many
+	// consecutive call failures against one dataset, further calls to it
+	// short-circuit with ErrCircuitOpen until BreakerCooldown elapses and a
+	// probe call succeeds. 0 (the default) disables breaking — a retried
+	// query then re-attempts the failed dataset immediately, which is the
+	// right default for transient faults; enable the breaker when a down
+	// seller should fail queries fast instead of stalling them through
+	// retries. Breaker state is shared across the client's queries.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit waits before admitting a
+	// probe call; 0 defaults to 5s. Only meaningful with BreakerThreshold>0.
+	BreakerCooldown time.Duration
 }
 
 // fetchConcurrency resolves the configured FetchConcurrency to an
@@ -199,6 +211,9 @@ type Client struct {
 	caller  market.Caller
 	cfg     Config
 	metrics *obs.Metrics
+	// breakers holds per-dataset circuit-breaker state across queries; nil
+	// when breaking is disabled.
+	breakers *engine.BreakerSet
 
 	mu    sync.Mutex
 	audit io.Writer
@@ -246,13 +261,14 @@ func Open(cfg Config, opts ...Option) (*Client, error) {
 	metrics := obs.NewMetrics()
 	store.SetMetrics(metrics)
 	return &Client{
-		cat:     cat,
-		db:      db,
-		store:   store,
-		stats:   st,
-		caller:  cfg.Caller,
-		cfg:     cfg,
-		metrics: metrics,
+		cat:      cat,
+		db:       db,
+		store:    store,
+		stats:    st,
+		caller:   cfg.Caller,
+		cfg:      cfg,
+		metrics:  metrics,
+		breakers: engine.NewBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown).WithMetrics(metrics),
 	}, nil
 }
 
@@ -412,11 +428,23 @@ func (c *Client) run(ctx context.Context, sql string, tr *obs.Trace) (*Result, e
 		Options:     opts,
 		Concurrency: c.cfg.fetchConcurrency(),
 		Trace:       tr,
+		Breakers:    c.breakers,
 	}
 	endExec := tr.StartSpan("execute")
 	rel, report, err := eng.ExecuteContext(ctx, plan)
 	endExec(err)
 	if err != nil {
+		// A failed query may still have spent money before dying. That spend
+		// is real — and not wasted: every salvaged call's rows were recorded
+		// into the semantic store, so a re-run pays only the remainder. Fold
+		// it into the client totals and the failed-spend metrics so the bill
+		// never under-reports.
+		if report != (engine.Report{}) {
+			c.mu.Lock()
+			c.total.Add(report)
+			c.mu.Unlock()
+			c.metrics.ObserveFailedQuerySpend(report.Calls, report.Records, report.Transactions, report.Price)
+		}
 		return nil, stageErr(StageExecute, err)
 	}
 	c.mu.Lock()
