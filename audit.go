@@ -34,8 +34,10 @@ func (c *Client) SetAuditLog(w io.Writer) {
 	c.audit = w
 }
 
-// writeAudit appends one record; errors are ignored (auditing must never
-// fail a query).
+// writeAudit appends one record. Auditing must never fail a query, so
+// writer errors are swallowed — but not silently: every record that fails
+// to marshal or to reach the sink in full is counted in the
+// payless_audit_dropped_total metric (Metrics().AuditDropped).
 func (c *Client) writeAudit(sql string, res *Result) {
 	c.mu.Lock()
 	w := c.audit
@@ -62,9 +64,14 @@ func (c *Client) writeAudit(sql string, res *Result) {
 	}
 	line, err := json.Marshal(rec)
 	if err != nil {
+		c.metrics.ObserveAuditDrop()
 		return
 	}
+	line = append(line, '\n')
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	w.Write(append(line, '\n'))
+	n, err := w.Write(line)
+	c.mu.Unlock()
+	if err != nil || n != len(line) {
+		c.metrics.ObserveAuditDrop()
+	}
 }

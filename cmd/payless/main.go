@@ -41,13 +41,21 @@ func main() {
 		seed      = flag.Int64("seed", 1, "data generator seed (must match the server)")
 		noSQR     = flag.Bool("no-sqr", false, "disable semantic query rewriting")
 		minCalls  = flag.Bool("min-calls", false, "optimize for number of calls instead of price")
+		store     = flag.String("store", "", "durable store directory: purchases are WAL-logged and snapshotted there, and recovered on startup")
+		storeSync = flag.String("store-sync", "per-call", "durable store WAL fsync policy: per-call, batched or off")
 		execute   = flag.String("e", "", "execute one statement and exit")
 	)
 	flag.Parse()
 
-	client, err := buildClient(*marketURL, *key, *local, *demo, *seed, *noSQR, *minCalls)
+	client, err := buildClient(*marketURL, *key, *local, *demo, *seed, *noSQR, *minCalls, *store, *storeSync)
 	if err != nil {
 		log.Fatal(err)
+	}
+	defer client.Close()
+	if *store != "" {
+		info := client.StoreRecovery()
+		fmt.Printf("durable store %s: recovered %d records (snapshot %d + %d replayed)\n",
+			*store, info.SnapshotRecords+int64(info.Replayed), info.SnapshotRecords, info.Replayed)
 	}
 
 	if *execute != "" {
@@ -115,7 +123,7 @@ func main() {
 	}
 }
 
-func buildClient(marketURL, key, local, demo string, seed int64, noSQR, minCalls bool) (*payless.Client, error) {
+func buildClient(marketURL, key, local, demo string, seed int64, noSQR, minCalls bool, store, storeSync string) (*payless.Client, error) {
 	// Trace every statement so \trace can replay the last one.
 	opts := []payless.Option{payless.WithTracer(&payless.CollectTracer{})}
 	if noSQR {
@@ -123,6 +131,19 @@ func buildClient(marketURL, key, local, demo string, seed int64, noSQR, minCalls
 	}
 	if minCalls {
 		opts = append(opts, payless.WithMinimizeCalls())
+	}
+	if store != "" {
+		opts = append(opts, payless.WithDurableStore(store))
+		switch storeSync {
+		case "per-call":
+			opts = append(opts, payless.WithStoreSync(payless.StoreSyncPerCall, 0))
+		case "batched":
+			opts = append(opts, payless.WithStoreSync(payless.StoreSyncBatched, 0))
+		case "off":
+			opts = append(opts, payless.WithStoreSync(payless.StoreSyncOff, 0))
+		default:
+			return nil, fmt.Errorf("unknown -store-sync %q (want per-call, batched or off)", storeSync)
+		}
 	}
 	if demo != "" {
 		return demoClient(demo, seed, opts)

@@ -20,7 +20,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 10, 11, 12, 13, 14, 15, conc, store, faults or all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 10, 11, 12, 13, 14, 15, conc, store, faults, durability or all")
 		dataset  = flag.String("dataset", "all", "dataset: real, tpch, tpch-skew or all")
 		qReal    = flag.Int("qreal", 40, "query instances per template (real data)")
 		qTPCH    = flag.Int("qtpch", 10, "query instances per template (TPC-H)")
@@ -39,7 +39,7 @@ func main() {
 	p.Seed = *seed
 	p.SampleEvery = *sample
 
-	figures := []string{"10", "11", "12", "13", "14", "15", "conc", "store", "faults"}
+	figures := []string{"10", "11", "12", "13", "14", "15", "conc", "store", "faults", "durability"}
 	if *fig != "all" {
 		figures = []string{*fig}
 	}
@@ -107,6 +107,11 @@ func one(f, ds string, req bench.Request) (*bench.Figure, error) {
 			return nil, nil // the fault sweep runs on the real workload only
 		}
 		return bench.FigFaults(bench.DefaultFaultParams())
+	case "durability":
+		if ds != "real" && ds != "all" {
+			return nil, nil // the durability sweep runs on the real workload only
+		}
+		return bench.FigDurability(bench.DefaultDurabilityParams())
 	default:
 		return nil, fmt.Errorf("unknown figure %q", f)
 	}

@@ -1,0 +1,344 @@
+package payless
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"payless/internal/diskfault"
+	"payless/internal/market"
+)
+
+// durableSetup builds a durable client over the WHW market in dir.
+func durableSetup(t *testing.T, m *market.Market, c1 *Client, dir string, mutate func(*Config)) *Client {
+	t.Helper()
+	cfg := Config{Tables: c1.cfg.Tables, Caller: c1.cfg.Caller, StoreDir: dir}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	client, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return client
+}
+
+// TestDurableClientSurvivesRestart pays once, closes, reopens the same
+// store directory, and must answer the same query for free.
+func TestDurableClientSurvivesRestart(t *testing.T) {
+	base, m, w := testSetup(t, nil)
+	dir := filepath.Join(t.TempDir(), "store")
+	sql := fmt.Sprintf("SELECT * FROM Weather WHERE Country = 'United States' AND Date >= %d AND Date <= %d",
+		w.Dates[0], w.Dates[5])
+
+	c1 := durableSetup(t, m, base, dir, nil)
+	if err := c1.LoadLocal("ZipMap", w.ZipMapRows); err != nil {
+		t.Fatal(err)
+	}
+	first, err := c1.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Report.Transactions == 0 {
+		t.Fatal("first run should pay")
+	}
+	s := c1.Metrics()
+	if s.WALAppends == 0 || s.WALSyncedAppends != s.WALAppends {
+		t.Errorf("per-call sync should fsync every append: %+v", s)
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m.RegisterAccount("restart")
+	c2 := durableSetup(t, m, base, dir, func(c *Config) {
+		c.Caller = market.AccountCaller{Market: m, Key: "restart"}
+	})
+	if err := c2.LoadLocal("ZipMap", w.ZipMapRows); err != nil {
+		t.Fatal(err)
+	}
+	if info := c2.StoreRecovery(); info.Replayed == 0 {
+		t.Fatalf("recovery replayed nothing: %+v", info)
+	}
+	res, err := c2.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Transactions != 0 || res.Report.Calls != 0 {
+		t.Errorf("recovered store must answer for free: %+v", res.Report)
+	}
+	if len(res.Rows) != len(first.Rows) {
+		t.Errorf("recovered rows: %d, want %d", len(res.Rows), len(first.Rows))
+	}
+	c2.Close()
+}
+
+// TestDurableClientCheckpointAndReopen exercises the checkpoint path
+// through the client API against the real filesystem.
+func TestDurableClientCheckpointAndReopen(t *testing.T) {
+	base, m, w := testSetup(t, nil)
+	_ = w
+	dir := filepath.Join(t.TempDir(), "store")
+	c1 := durableSetup(t, m, base, dir, nil)
+	if _, err := c1.Query("SELECT * FROM Pollution WHERE Rank >= 1 AND Rank <= 30"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.CheckpointStore(); err != nil {
+		t.Fatal(err)
+	}
+	if c1.Metrics().Checkpoints != 1 {
+		t.Errorf("checkpoint metric: %+v", c1.Metrics().Checkpoints)
+	}
+	if err := c1.SyncStore(); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+
+	m.RegisterAccount("ckpt")
+	c2 := durableSetup(t, m, base, dir, func(c *Config) {
+		c.Caller = market.AccountCaller{Market: m, Key: "ckpt"}
+	})
+	info := c2.StoreRecovery()
+	if info.SnapshotSeq == 0 || info.Replayed != 0 {
+		t.Fatalf("checkpointed recovery: %+v", info)
+	}
+	res, err := c2.Query("SELECT * FROM Pollution WHERE Rank >= 1 AND Rank <= 30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Transactions != 0 {
+		t.Errorf("snapshot recovery must answer for free: %+v", res.Report)
+	}
+	c2.Close()
+}
+
+// TestSaveStoreFileCrashSafe is the satellite regression: a writer failing
+// partway through SaveStoreFile must leave the previous good snapshot
+// byte-identical, and a later save must succeed.
+func TestSaveStoreFileCrashSafe(t *testing.T) {
+	client, _, _ := testSetup(t, nil)
+	if _, err := client.Query("SELECT * FROM Pollution WHERE Rank >= 1 AND Rank <= 20"); err != nil {
+		t.Fatal(err)
+	}
+	fs := diskfault.New()
+	path := "/snaps/store.json"
+	if err := fs.MkdirAll("/snaps", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.saveStoreFile(fs, path); err != nil {
+		t.Fatal(err)
+	}
+	good, err := readAll(fs, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Buy more coverage so the next save has different content, then fail
+	// the snapshot write partway.
+	if _, err := client.Query("SELECT * FROM Pollution WHERE Rank >= 40 AND Rank <= 60"); err != nil {
+		t.Fatal(err)
+	}
+	fs.SetHook(func(idx int, op *diskfault.Op) error {
+		if op.Kind == diskfault.OpWrite && len(op.Data) > 10 {
+			op.Data = op.Data[:len(op.Data)/2]
+			return diskfault.ErrInjected
+		}
+		return nil
+	})
+	if err := client.saveStoreFile(fs, path); !errors.Is(err, diskfault.ErrInjected) {
+		t.Fatalf("partway failure not surfaced: %v", err)
+	}
+	fs.SetHook(nil)
+	after, err := readAll(fs, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, good) {
+		t.Fatal("failed save corrupted the previous snapshot")
+	}
+	// The torn temp file must not linger as a live snapshot target.
+	if _, err := fs.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("temp file left behind: %v", err)
+	}
+	// And a clean save replaces the snapshot with the newer state.
+	if err := client.saveStoreFile(fs, path); err != nil {
+		t.Fatal(err)
+	}
+	newer, err := readAll(fs, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(newer, good) {
+		t.Fatal("second save should carry the extra coverage")
+	}
+
+	// Failing the fsync must also preserve the old snapshot.
+	fs.SetHook(func(idx int, op *diskfault.Op) error {
+		if op.Kind == diskfault.OpSync {
+			return diskfault.ErrInjected
+		}
+		return nil
+	})
+	if err := client.saveStoreFile(fs, path); !errors.Is(err, diskfault.ErrInjected) {
+		t.Fatalf("sync failure not surfaced: %v", err)
+	}
+	fs.SetHook(nil)
+	if got, _ := readAll(fs, path); !bytes.Equal(got, newer) {
+		t.Fatal("failed fsync corrupted the snapshot")
+	}
+}
+
+// readAll reads a diskfault file through the wal.FS surface.
+func readAll(fs *diskfault.FS, path string) ([]byte, error) {
+	f, err := fs.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(f); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// failWriter fails every write after the first n bytes.
+type failWriter struct {
+	n       int
+	written int
+}
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.n {
+		allowed := w.n - w.written
+		if allowed < 0 {
+			allowed = 0
+		}
+		w.written += allowed
+		return allowed, errors.New("sink full")
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+// TestAuditDropCounted is the satellite: audit sink failures stay non-fatal
+// but are counted in payless_audit_dropped_total.
+func TestAuditDropCounted(t *testing.T) {
+	client, _, _ := testSetup(t, nil)
+	client.SetAuditLog(&failWriter{n: 0})
+	if _, err := client.Query("SELECT * FROM Pollution WHERE Rank >= 1 AND Rank <= 5"); err != nil {
+		t.Fatalf("audit failure must not fail the query: %v", err)
+	}
+	if got := client.Metrics().AuditDropped; got != 1 {
+		t.Errorf("AuditDropped = %d, want 1", got)
+	}
+	var out strings.Builder
+	client.WriteMetrics(&out)
+	if !strings.Contains(out.String(), "payless_audit_dropped_total 1") {
+		t.Error("prometheus output missing audit drop family")
+	}
+	// A healthy sink is not counted.
+	var ok bytes.Buffer
+	client.SetAuditLog(&ok)
+	if _, err := client.Query("SELECT * FROM Pollution WHERE Rank >= 1 AND Rank <= 5"); err != nil {
+		t.Fatal(err)
+	}
+	if got := client.Metrics().AuditDropped; got != 1 {
+		t.Errorf("healthy sink counted as drop: %d", got)
+	}
+	if ok.Len() == 0 {
+		t.Error("healthy sink got no audit line")
+	}
+}
+
+// TestLoadStoreFileBadSnapshot is the satellite: wrong files fail fast with
+// the typed ErrBadSnapshot.
+func TestLoadStoreFileBadSnapshot(t *testing.T) {
+	client, _, _ := testSetup(t, nil)
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"garbage.json":  "definitely not json {",
+		"wrongver.json": `{"version":99,"tables":[]}`,
+		"nomagic.json":  `{"version":3,"tables":[]}`,
+		"othermagic":    `{"magic":"some-other-format","version":3}`,
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := client.LoadStoreFile(path); !errors.Is(err, ErrBadSnapshot) {
+			t.Errorf("%s: err = %v, want ErrBadSnapshot", name, err)
+		}
+	}
+	// v1/v2 snapshots (no magic) still load.
+	legacy := filepath.Join(dir, "v1.json")
+	if err := os.WriteFile(legacy, []byte(`{"version":1,"tables":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.LoadStoreFile(legacy); err != nil {
+		t.Errorf("v1 snapshot should load: %v", err)
+	}
+}
+
+// TestLoadStoreAtomicityFuzz is the satellite fuzz: a valid snapshot cut at
+// every byte prefix (and with single-byte corruptions) must never panic and
+// never half-mutate — after any failed Load the store's Save output is
+// byte-identical to before.
+func TestLoadStoreAtomicityFuzz(t *testing.T) {
+	client, _, _ := testSetup(t, nil)
+	if _, err := client.Query("SELECT * FROM Pollution WHERE Rank >= 1 AND Rank <= 10"); err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := client.SaveStore(&snap); err != nil {
+		t.Fatal(err)
+	}
+	data := snap.Bytes()
+
+	baseline := func() string {
+		var b bytes.Buffer
+		if err := client.SaveStore(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	before := baseline()
+
+	tryLoad := func(label string, corrupt []byte) {
+		t.Helper()
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("%s: Load panicked: %v", label, r)
+			}
+		}()
+		err := client.LoadStore(bytes.NewReader(corrupt))
+		after := baseline()
+		if err != nil {
+			if after != before {
+				t.Fatalf("%s: failed Load mutated the store", label)
+			}
+			return
+		}
+		// A corruption that still parses and validates may legitimately
+		// load; the new state becomes the baseline.
+		before = after
+	}
+
+	for cut := 0; cut < len(data); cut++ {
+		tryLoad(fmt.Sprintf("truncate@%d", cut), data[:cut])
+	}
+	// Single-byte corruptions on a stride (every byte on small snapshots).
+	stride := 1
+	if len(data) > 4096 {
+		stride = len(data) / 4096
+	}
+	for i := 0; i < len(data); i += stride {
+		corrupt := append([]byte(nil), data...)
+		corrupt[i] ^= 0x20
+		tryLoad(fmt.Sprintf("flip@%d", i), corrupt)
+	}
+}

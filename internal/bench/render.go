@@ -89,6 +89,16 @@ func RenderAll(req Request, w io.Writer) error {
 			fmt.Fprintf(w, "   (regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
 			continue
 		}
+		if f == "durability" {
+			start := time.Now()
+			fig, err := FigDurability(DefaultDurabilityParams())
+			if err != nil {
+				return fmt.Errorf("fig durability: %w", err)
+			}
+			fmt.Fprint(w, fig.Render())
+			fmt.Fprintf(w, "   (regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+			continue
+		}
 		if f == "conc" {
 			start := time.Now()
 			cp := DefaultConcurrencyParams()

@@ -1,0 +1,265 @@
+package diskfault
+
+import (
+	"errors"
+	"os"
+	"testing"
+
+	"payless/internal/wal"
+)
+
+func TestOpRecordingAndBasicFS(t *testing.T) {
+	fs := New()
+	if err := fs.MkdirAll("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.OpenFile("/d/a", os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/d/a", "/d/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	names, err := fs.ReadDir("/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "b" {
+		t.Fatalf("ReadDir: %v, want [b]", names)
+	}
+	if size, err := fs.Stat("/d/b"); err != nil || size != 5 {
+		t.Fatalf("Stat: %d, %v", size, err)
+	}
+	data, err := wal.ReadAll(fs, "/d/b")
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("ReadAll: %q, %v", data, err)
+	}
+	kinds := []OpKind{OpCreate, OpWrite, OpSync, OpRename, OpSyncDir}
+	ops := fs.Ops()
+	if len(ops) != len(kinds) {
+		t.Fatalf("%d ops recorded, want %d: %v", len(ops), len(kinds), ops)
+	}
+	for i, k := range kinds {
+		if ops[i].Kind != k {
+			t.Errorf("op %d: %v, want %v", i, ops[i].Kind, k)
+		}
+	}
+}
+
+func TestLosePowerRevertsToDurable(t *testing.T) {
+	fs := New()
+	f, _ := fs.OpenFile("/x", os.O_WRONLY|os.O_CREATE, 0o644)
+	f.Write([]byte("synced"))
+	f.Sync()
+	f.Write([]byte("+lost"))
+	f.Close()
+	fs.SyncDir("/") // make the create durable
+	// A renamed-but-not-SyncDir'd file reverts to its old name.
+	g, _ := fs.OpenFile("/y", os.O_WRONLY|os.O_CREATE, 0o644)
+	g.Write([]byte("ephemeral"))
+	g.Close()
+
+	fs.LosePower()
+
+	data, err := wal.ReadAll(fs, "/x")
+	if err != nil || string(data) != "synced" {
+		t.Fatalf("/x after power loss: %q, %v — unsynced tail must vanish", data, err)
+	}
+	if _, err := fs.Stat("/y"); !os.IsNotExist(err) {
+		t.Fatalf("/y survived power loss without SyncDir: %v", err)
+	}
+}
+
+func TestKillFailsEverything(t *testing.T) {
+	fs := New()
+	f, _ := fs.OpenFile("/x", os.O_WRONLY|os.O_CREATE, 0o644)
+	fs.Kill()
+	if _, err := f.Write([]byte("z")); !errors.Is(err, ErrDiskDead) {
+		t.Fatalf("write after kill: %v", err)
+	}
+	if _, err := fs.OpenFile("/y", os.O_CREATE|os.O_WRONLY, 0o644); !errors.Is(err, ErrDiskDead) {
+		t.Fatalf("open after kill: %v", err)
+	}
+	fs.Revive()
+	if _, err := f.Write([]byte("z")); err != nil {
+		t.Fatalf("write after revive: %v", err)
+	}
+}
+
+func TestHookShortWrite(t *testing.T) {
+	fs := New()
+	fs.SetHook(func(idx int, op *Op) error {
+		if op.Kind == OpWrite && len(op.Data) > 3 {
+			op.Data = op.Data[:3]
+			return ErrInjected
+		}
+		return nil
+	})
+	f, _ := fs.OpenFile("/x", os.O_WRONLY|os.O_CREATE, 0o644)
+	if _, err := f.Write([]byte("abcdef")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write not injected: %v", err)
+	}
+	fs.SetHook(nil)
+	data, _ := wal.ReadAll(fs, "/x")
+	if string(data) != "abc" {
+		t.Fatalf("short write left %q, want abc", data)
+	}
+}
+
+func TestHookFailedSync(t *testing.T) {
+	fs := New()
+	fs.SetHook(func(idx int, op *Op) error {
+		if op.Kind == OpSync {
+			return ErrInjected
+		}
+		return nil
+	})
+	f, _ := fs.OpenFile("/x", os.O_WRONLY|os.O_CREATE, 0o644)
+	f.Write([]byte("data"))
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync not injected: %v", err)
+	}
+	fs.SetHook(nil)
+	fs.LosePower()
+	// The failed sync must not have made the contents durable. The create
+	// itself was never SyncDir'd either, so the file is gone entirely.
+	if _, err := fs.Stat("/x"); !os.IsNotExist(err) {
+		t.Fatalf("file durable despite failed sync: %v", err)
+	}
+}
+
+// walWorkload appends frames through the WAL against fs and returns the
+// payloads written.
+func walWorkload(t *testing.T, fs *FS, n int, policy wal.SyncPolicy) [][]byte {
+	t.Helper()
+	w, err := wal.NewWriter(fs, "/d/wal.log", 0, policy, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payloads [][]byte
+	for i := 0; i < n; i++ {
+		p := []byte{byte('a' + i), byte('0' + i), 'x', 'y', byte(i)}
+		if _, err := w.Append(p); err != nil {
+			t.Fatal(err)
+		}
+		payloads = append(payloads, p)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return payloads
+}
+
+// TestImageTornMatrixWAL drives the WAL over the shim, then for every
+// (op, write-prefix) crash point rebuilds the torn image and asserts replay
+// yields a strict prefix of the clean payload sequence.
+func TestImageTornMatrixWAL(t *testing.T) {
+	rec := New()
+	rec.MkdirAll("/d", 0o755)
+	payloads := walWorkload(t, rec, 6, wal.SyncPerCall)
+	ops := rec.Ops()
+	if len(ops) == 0 {
+		t.Fatal("no ops recorded")
+	}
+	points := 0
+	for k := 0; k <= len(ops); k++ {
+		tears := []int{-1}
+		if k < len(ops) && ops[k].Kind == OpWrite {
+			tears = append(tears, WritePrefixes(len(ops[k].Data))...)
+		}
+		for _, tear := range tears {
+			img := Image(ops, k, tear)
+			var got [][]byte
+			res, err := wal.Replay(img, "/d/wal.log", func(p []byte) error {
+				got = append(got, append([]byte(nil), p...))
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("k=%d tear=%d: replay: %v\n%s", k, tear, err, img.Dump())
+			}
+			if res.Records > len(payloads) {
+				t.Fatalf("k=%d tear=%d: %d records > %d written", k, tear, res.Records, len(payloads))
+			}
+			for i, p := range got {
+				if string(p) != string(payloads[i]) {
+					t.Fatalf("k=%d tear=%d: record %d differs from clean run", k, tear, i)
+				}
+			}
+			points++
+		}
+	}
+	if points < len(ops) {
+		t.Fatalf("only %d crash points exercised", points)
+	}
+}
+
+// TestImageStrictWAL checks the adversarial model: with SyncPerCall every
+// append that returned must survive; with SyncOff, nothing has to.
+func TestImageStrictWAL(t *testing.T) {
+	rec := New()
+	rec.MkdirAll("/d", 0o755)
+	payloads := walWorkload(t, rec, 5, wal.SyncPerCall)
+	ops := rec.Ops()
+
+	// Crash after everything: all 5 records must be durable, because the
+	// writer synced each append and the create... the create needs SyncDir.
+	// The WAL layer's contract is that semstore's durable open SyncDirs the
+	// store directory once at setup; emulate that here.
+	rec2 := New()
+	rec2.MkdirAll("/d", 0o755)
+	// Re-run workload but SyncDir after the file exists.
+	w, err := wal.NewWriter(rec2, "/d/wal.log", 0, wal.SyncPerCall, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec2.SyncDir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range payloads {
+		if _, err := w.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	img := ImageStrict(rec2.Ops(), len(rec2.Ops()))
+	res, err := wal.Replay(img, "/d/wal.log", func([]byte) error { return nil })
+	if err != nil {
+		t.Fatalf("strict replay: %v\n%s", err, img.Dump())
+	}
+	if res.Records != len(payloads) {
+		t.Fatalf("strict full-sync image lost records: %d of %d", res.Records, len(payloads))
+	}
+
+	// At every intermediate crash point the recovered records are a prefix.
+	for k := 0; k <= len(ops); k++ {
+		img := ImageStrict(ops, k)
+		var got int
+		if _, err := wal.Replay(img, "/d/wal.log", func([]byte) error { got++; return nil }); err != nil {
+			t.Fatalf("k=%d: strict replay: %v", k, err)
+		}
+		if got > len(payloads) {
+			t.Fatalf("k=%d: phantom records: %d > %d", k, got, len(payloads))
+		}
+	}
+}
+
+func TestWritePrefixes(t *testing.T) {
+	if got := WritePrefixes(0); got != nil {
+		t.Errorf("WritePrefixes(0) = %v", got)
+	}
+	if got := WritePrefixes(100); len(got) != 3 || got[0] != 1 || got[1] != 50 || got[2] != 99 {
+		t.Errorf("WritePrefixes(100) = %v", got)
+	}
+}

@@ -173,10 +173,13 @@ func (e *Engine) runBatch(ctx context.Context, specs []callSpec, report *Report)
 		e.account(report, *res)
 		e.feedback(spec.meta, spec.box, int64(res.Records))
 		added, compacted := 0, 0
+		var walMicros int64
+		var walSynced bool
 		recorded := spec.record && e.Store != nil
 		if recorded {
 			rr, err := e.Store.Record(spec.meta, spec.box, res.Rows, e.now())
 			added, compacted = rr.Added, rr.Compacted()
+			walMicros, walSynced = rr.WALMicros, rr.Synced
 			if err != nil && mergeErr == nil {
 				mergeErr = err
 			}
@@ -189,6 +192,8 @@ func (e *Engine) runBatch(ctx context.Context, specs []callSpec, report *Report)
 			rec.Recorded = recorded
 			rec.NewRows = added
 			rec.Compacted = compacted
+			rec.WALMicros = walMicros
+			rec.WALSynced = walSynced
 			e.Trace.AddCall(*rec)
 		}
 	}

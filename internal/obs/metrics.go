@@ -124,6 +124,22 @@ type Metrics struct {
 	failedQuerySpendTransactions int64
 	failedQuerySpendPrice        float64
 
+	walAppends         int64
+	walAppendBytes     int64
+	walAppendMicros    int64
+	walSyncedAppends   int64
+	walReplays         int64
+	walReplayedRecords int64
+	walSkippedRecords  int64
+	walTornTails       int64
+
+	checkpoints        int64
+	checkpointFailures int64
+	checkpointBytes    int64
+	checkpointMicros   int64
+
+	auditDropped int64
+
 	queryLatency    histogram
 	callLatency     histogram
 	optimizeLatency histogram
@@ -274,6 +290,68 @@ func (m *Metrics) ObserveFailedQuerySpend(calls, records, transactions int64, pr
 	m.failedQuerySpendPrice += price
 }
 
+// ObserveWALAppend folds one write-ahead-log append into the registry:
+// payload bytes, whether the append was fsynced before returning, and how
+// long the append (including any fsync) took.
+func (m *Metrics) ObserveWALAppend(bytes int, synced bool, micros int64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.walAppends++
+	m.walAppendBytes += int64(bytes)
+	m.walAppendMicros += micros
+	if synced {
+		m.walSyncedAppends++
+	}
+}
+
+// ObserveWALReplay folds one recovery replay into the registry: records
+// applied, records skipped as already covered by the loaded snapshot, and
+// whether a torn tail was truncated.
+func (m *Metrics) ObserveWALReplay(replayed, skipped int, torn bool) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.walReplays++
+	m.walReplayedRecords += int64(replayed)
+	m.walSkippedRecords += int64(skipped)
+	if torn {
+		m.walTornTails++
+	}
+}
+
+// ObserveCheckpoint folds one snapshot checkpoint into the registry. Failed
+// checkpoints (ok=false) count separately; bytes/micros are then zero.
+func (m *Metrics) ObserveCheckpoint(bytes, micros int64, ok bool) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !ok {
+		m.checkpointFailures++
+		return
+	}
+	m.checkpoints++
+	m.checkpointBytes += bytes
+	m.checkpointMicros += micros
+}
+
+// ObserveAuditDrop counts an audit record that could not be written to the
+// audit sink. Auditing stays non-fatal; this is how the loss is seen.
+func (m *Metrics) ObserveAuditDrop() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.auditDropped++
+}
+
 // ObserveCall folds one served market call into the registry — the
 // seller-side entry point used by Market.Execute.
 func (m *Metrics) ObserveCall(latency time.Duration, records, transactions int64, price float64) {
@@ -331,6 +409,29 @@ type Snapshot struct {
 	FailedQuerySpendTransactions int64
 	FailedQuerySpendPrice        float64
 
+	// WALAppends/WALAppendBytes/WALAppendMicros count write-ahead-log
+	// appends in durable mode; WALSyncedAppends those fsynced before
+	// Record returned. WALReplays counts recoveries, WALReplayedRecords
+	// and WALSkippedRecords their applied/already-covered frames, and
+	// WALTornTails recoveries that truncated a torn log tail.
+	WALAppends         int64
+	WALAppendBytes     int64
+	WALAppendMicros    int64
+	WALSyncedAppends   int64
+	WALReplays         int64
+	WALReplayedRecords int64
+	WALSkippedRecords  int64
+	WALTornTails       int64
+	// Checkpoints/CheckpointBytes/CheckpointMicros count successful
+	// snapshot checkpoints; CheckpointFailures the attempts that failed
+	// (and left the log intact).
+	Checkpoints        int64
+	CheckpointFailures int64
+	CheckpointBytes    int64
+	CheckpointMicros   int64
+	// AuditDropped counts audit records lost to sink write failures.
+	AuditDropped int64
+
 	QueryLatency    HistogramSnapshot
 	CallLatency     HistogramSnapshot
 	OptimizeLatency HistogramSnapshot
@@ -366,6 +467,20 @@ func (m *Metrics) Snapshot() Snapshot {
 		BreakerProbes:                m.breakerProbes,
 		FailedQuerySpendTransactions: m.failedQuerySpendTransactions,
 		FailedQuerySpendPrice:        m.failedQuerySpendPrice,
+
+		WALAppends:         m.walAppends,
+		WALAppendBytes:     m.walAppendBytes,
+		WALAppendMicros:    m.walAppendMicros,
+		WALSyncedAppends:   m.walSyncedAppends,
+		WALReplays:         m.walReplays,
+		WALReplayedRecords: m.walReplayedRecords,
+		WALSkippedRecords:  m.walSkippedRecords,
+		WALTornTails:       m.walTornTails,
+		Checkpoints:        m.checkpoints,
+		CheckpointFailures: m.checkpointFailures,
+		CheckpointBytes:    m.checkpointBytes,
+		CheckpointMicros:   m.checkpointMicros,
+		AuditDropped:       m.auditDropped,
 
 		QueryLatency:          m.queryLatency.snapshot(),
 		CallLatency:           m.callLatency.snapshot(),
@@ -408,6 +523,19 @@ func (m *Metrics) WritePrometheus(w io.Writer, prefix string) {
 	counter("breaker_probes_total", "Half-open probe calls let through after a breaker cooldown.", s.BreakerProbes)
 	counter("failed_query_spend_transactions_total", "Transactions billed to queries that ultimately failed.", s.FailedQuerySpendTransactions)
 	counter("failed_query_spend_price_total", "Money billed to queries that ultimately failed.", s.FailedQuerySpendPrice)
+	counter("wal_appends_total", "Write-ahead-log appends in durable mode.", s.WALAppends)
+	counter("wal_append_bytes_total", "Payload bytes appended to the write-ahead log.", s.WALAppendBytes)
+	counter("wal_append_micros_total", "Cumulative WAL append wall-clock microseconds (including fsyncs).", s.WALAppendMicros)
+	counter("wal_synced_appends_total", "WAL appends fsynced before Record returned.", s.WALSyncedAppends)
+	counter("wal_replays_total", "Durable-store recoveries that replayed the log.", s.WALReplays)
+	counter("wal_replayed_records_total", "WAL records applied during recovery.", s.WALReplayedRecords)
+	counter("wal_skipped_records_total", "WAL records skipped as already covered by the loaded snapshot.", s.WALSkippedRecords)
+	counter("wal_torn_tails_total", "Recoveries that truncated a torn WAL tail.", s.WALTornTails)
+	counter("checkpoints_total", "Snapshot checkpoints completed.", s.Checkpoints)
+	counter("checkpoint_failures_total", "Snapshot checkpoints that failed (log left intact).", s.CheckpointFailures)
+	counter("checkpoint_bytes_total", "Bytes written by snapshot checkpoints.", s.CheckpointBytes)
+	counter("checkpoint_micros_total", "Cumulative checkpoint wall-clock microseconds.", s.CheckpointMicros)
+	counter("audit_dropped_total", "Audit records lost to sink write failures.", s.AuditDropped)
 	hist := func(name, help string, h HistogramSnapshot) {
 		fmt.Fprintf(w, "# HELP %s_%s %s\n# TYPE %s_%s histogram\n", prefix, name, help, prefix, name)
 		for _, b := range h.Buckets {

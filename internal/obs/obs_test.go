@@ -186,13 +186,67 @@ func TestFailureMetricsFamilies(t *testing.T) {
 	}
 }
 
+// TestDurabilityMetricsFamilies pins the Prometheus families the durable
+// store exports — like the failure families above, renaming one breaks
+// dashboards and the crash-smoke CI greps.
+func TestDurabilityMetricsFamilies(t *testing.T) {
+	m := NewMetrics()
+	m.ObserveWALAppend(100, true, 40)
+	m.ObserveWALAppend(50, false, 10)
+	m.ObserveWALReplay(7, 2, true)
+	m.ObserveCheckpoint(1000, 300, true)
+	m.ObserveCheckpoint(0, 0, false)
+	m.ObserveAuditDrop()
+
+	s := m.Snapshot()
+	if s.WALAppends != 2 || s.WALAppendBytes != 150 || s.WALAppendMicros != 50 || s.WALSyncedAppends != 1 {
+		t.Errorf("wal append counters: %+v", s)
+	}
+	if s.WALReplays != 1 || s.WALReplayedRecords != 7 || s.WALSkippedRecords != 2 || s.WALTornTails != 1 {
+		t.Errorf("wal replay counters: %+v", s)
+	}
+	if s.Checkpoints != 1 || s.CheckpointFailures != 1 || s.CheckpointBytes != 1000 || s.CheckpointMicros != 300 {
+		t.Errorf("checkpoint counters: %+v", s)
+	}
+	if s.AuditDropped != 1 {
+		t.Errorf("audit drop counter: %+v", s)
+	}
+
+	var b strings.Builder
+	m.WritePrometheus(&b, "payless")
+	out := b.String()
+	for _, want := range []string{
+		"payless_wal_appends_total 2",
+		"payless_wal_append_bytes_total 150",
+		"payless_wal_append_micros_total 50",
+		"payless_wal_synced_appends_total 1",
+		"payless_wal_replays_total 1",
+		"payless_wal_replayed_records_total 7",
+		"payless_wal_skipped_records_total 2",
+		"payless_wal_torn_tails_total 1",
+		"payless_checkpoints_total 1",
+		"payless_checkpoint_failures_total 1",
+		"payless_checkpoint_bytes_total 1000",
+		"payless_checkpoint_micros_total 300",
+		"payless_audit_dropped_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q", want)
+		}
+	}
+}
+
 func TestNilMetricsIsNoOp(t *testing.T) {
 	var m *Metrics
 	m.ObserveQuery(time.Millisecond, 0, 1, 1, 1, 1)
 	m.ObserveQueryError()
 	m.ObserveTrace(NewTrace("q"))
 	m.ObserveCall(time.Millisecond, 1, 1, 1)
-	if s := m.Snapshot(); s.Queries != 0 {
+	m.ObserveWALAppend(1, true, 1)
+	m.ObserveWALReplay(1, 0, false)
+	m.ObserveCheckpoint(1, 1, true)
+	m.ObserveAuditDrop()
+	if s := m.Snapshot(); s.Queries != 0 || s.WALAppends != 0 {
 		t.Errorf("nil metrics snapshot: %+v", s)
 	}
 }

@@ -52,6 +52,11 @@ type CallRecord struct {
 	// Compacted is how many stored coverage entries recording this call
 	// removed (absorbed by the new box or merged into a wider one).
 	Compacted int
+	// WALMicros is the time the call's write-ahead-log append took (durable
+	// store only); WALSynced whether that append was fsynced before the
+	// call's rows became billing-visible.
+	WALMicros int64
+	WALSynced bool
 }
 
 // Trace is the execution trace of one query. It is populated by a single
@@ -257,6 +262,12 @@ func (t *Trace) Describe() string {
 		}
 		if c.Recorded {
 			fmt.Fprintf(&b, "  +%d new rows stored", c.NewRows)
+		}
+		if c.WALMicros > 0 {
+			fmt.Fprintf(&b, "  wal %dµs", c.WALMicros)
+			if c.WALSynced {
+				b.WriteString(" (synced)")
+			}
 		}
 		b.WriteByte('\n')
 		if c.Query != "" {

@@ -2,6 +2,7 @@ package semstore
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -10,6 +11,7 @@ import (
 
 	"payless/internal/catalog"
 	"payless/internal/region"
+	"payless/internal/storage"
 	"payless/internal/value"
 )
 
@@ -20,7 +22,16 @@ import (
 
 // persistFile is the on-disk JSON envelope.
 type persistFile struct {
-	Version int            `json:"version"`
+	// Magic identifies the file as a semantic-store snapshot; present from
+	// version 3 on, so a wrong file fails fast with ErrBadSnapshot instead
+	// of a mid-stream garbage error.
+	Magic   string `json:"magic,omitempty"`
+	Version int    `json:"version"`
+	// Records is the cumulative count of Record calls the snapshot covers
+	// (version 3+). Recovery uses it to skip WAL frames already folded into
+	// the snapshot, making replay idempotent across a crash between the
+	// snapshot rename and the log truncation.
+	Records int64          `json:"records,omitempty"`
 	Tables  []persistTable `json:"tables"`
 }
 
@@ -38,11 +49,21 @@ type persistEntry struct {
 	Rows int64      `json:"rows"`
 }
 
-// persistVersion is the current on-disk format. Version 2 persists the
-// compacted coverage (tombstoned entries are omitted) with tables sorted by
-// name so snapshots are byte-deterministic; version 1 files are still
-// loadable (their entries are compacted on load).
-const persistVersion = 2
+// persistVersion is the current on-disk format. Version 3 adds the magic
+// header and the cumulative Records count the durability layer keys replay
+// off. Version 2 persisted the compacted coverage with tables sorted by
+// name; version 1 and 2 files are still loadable (v1 entries are compacted
+// on load).
+const persistVersion = 3
+
+// snapshotMagic marks a version-3+ snapshot file.
+const snapshotMagic = "payless-semstore"
+
+// ErrBadSnapshot is wrapped by Load for files that are not semantic-store
+// snapshots: unparseable JSON, missing or wrong magic, or an unsupported
+// version. Content errors (unknown table, kind mismatch, bad cell) are NOT
+// ErrBadSnapshot — the file is a snapshot, just not one for this catalog.
+var ErrBadSnapshot = errors.New("semstore: bad snapshot")
 
 // Save writes the store's full contents (stored calls and materialised
 // rows) as JSON. Output is deterministic: tables are sorted by name and
@@ -50,7 +71,13 @@ const persistVersion = 2
 func (s *Store) Save(w io.Writer) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	out := persistFile{Version: persistVersion}
+	return s.saveLocked(w, s.recorded.Load())
+}
+
+// saveLocked renders the envelope with the given cumulative record count.
+// Caller holds at least a read lock.
+func (s *Store) saveLocked(w io.Writer, records int64) error {
+	out := persistFile{Magic: snapshotMagic, Version: persistVersion, Records: records}
 	for key, ts := range s.tables {
 		pt := persistTable{Table: strings.TrimPrefix(key, tablePrefix)}
 		for _, c := range ts.meta.Schema {
@@ -80,112 +107,207 @@ func (s *Store) Save(w io.Writer) error {
 	return enc.Encode(out)
 }
 
-// Load restores a saved store. lookup resolves table names to their catalog
-// metadata (needed to recompute row coordinates); tables unknown to the
-// catalog are skipped with an error. Load merges into the current store —
-// loading into a fresh store is the common case.
-func (s *Store) Load(r io.Reader, lookup func(table string) (*catalog.Table, bool)) error {
+// stagedTable is one table's fully validated snapshot content, ready to
+// apply without further failure modes that could half-mutate the store.
+type stagedTable struct {
+	meta    *catalog.Table
+	entries []persistEntry
+	rows    []value.Row
+	coords  [][]int64
+}
+
+// stagedSnapshot is a decoded, fully validated snapshot.
+type stagedSnapshot struct {
+	records int64
+	tables  []stagedTable
+}
+
+// checkHeader validates the envelope's magic and version. Any failure is
+// ErrBadSnapshot.
+func checkHeader(in *persistFile) error {
+	switch in.Version {
+	case 1, 2:
+		// Pre-magic formats; nothing more to check.
+	case persistVersion:
+		if in.Magic != snapshotMagic {
+			return fmt.Errorf("%w: magic %q, want %q", ErrBadSnapshot, in.Magic, snapshotMagic)
+		}
+	default:
+		return fmt.Errorf("%w: unsupported version %d", ErrBadSnapshot, in.Version)
+	}
+	return nil
+}
+
+// decodeSnapshot parses and validates a snapshot against the catalog. It
+// touches no store state: everything that can fail, fails here.
+func decodeSnapshot(data []byte, lookup func(table string) (*catalog.Table, bool)) (*stagedSnapshot, error) {
+	// Header first, so a wrong file fails with a typed error before any
+	// content is interpreted.
+	var hdr struct {
+		Magic   string `json:"magic"`
+		Version int    `json:"version"`
+	}
+	if err := json.Unmarshal(data, &hdr); err != nil {
+		return nil, fmt.Errorf("%w: decode: %v", ErrBadSnapshot, err)
+	}
+	if err := checkHeader(&persistFile{Magic: hdr.Magic, Version: hdr.Version}); err != nil {
+		return nil, err
+	}
 	var in persistFile
-	if err := json.NewDecoder(r).Decode(&in); err != nil {
-		return fmt.Errorf("semstore: decode: %w", err)
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("%w: decode: %v", ErrBadSnapshot, err)
 	}
-	if in.Version != 1 && in.Version != persistVersion {
-		return fmt.Errorf("semstore: unsupported version %d", in.Version)
-	}
+	st := &stagedSnapshot{records: in.Records}
 	for _, pt := range in.Tables {
 		meta, ok := lookup(pt.Table)
 		if !ok {
-			return fmt.Errorf("semstore: table %s not in catalog", pt.Table)
+			return nil, fmt.Errorf("semstore: table %s not in catalog", pt.Table)
 		}
 		if len(pt.Kinds) != len(meta.Schema) {
-			return fmt.Errorf("semstore: table %s: %d columns saved, catalog has %d",
+			return nil, fmt.Errorf("semstore: table %s: %d columns saved, catalog has %d",
 				pt.Table, len(pt.Kinds), len(meta.Schema))
 		}
 		kinds := make([]value.Kind, len(pt.Kinds))
 		for i, k := range pt.Kinds {
 			kind, err := kindOf(k)
 			if err != nil {
-				return fmt.Errorf("semstore: table %s: %w", pt.Table, err)
+				return nil, fmt.Errorf("semstore: table %s: %w", pt.Table, err)
 			}
 			if meta.Schema[i].Type != kind {
-				return fmt.Errorf("semstore: table %s column %d: saved %s, catalog %s",
+				return nil, fmt.Errorf("semstore: table %s column %d: saved %s, catalog %s",
 					pt.Table, i, k, meta.Schema[i].Type)
 			}
 			kinds[i] = kind
 		}
-		rows := make([]value.Row, 0, len(pt.Rows))
-		for _, enc := range pt.Rows {
-			if len(enc) != len(kinds) {
-				return fmt.Errorf("semstore: table %s: row width %d, want %d", pt.Table, len(enc), len(kinds))
-			}
-			row := make(value.Row, len(enc))
-			for i, cell := range enc {
-				v, err := value.Parse(kinds[i], cell)
-				if err != nil {
-					return fmt.Errorf("semstore: table %s: %w", pt.Table, err)
-				}
-				row[i] = v
-			}
-			rows = append(rows, row)
+		rows, err := decodeRows(meta, kinds, pt.Rows)
+		if err != nil {
+			return nil, err
 		}
-		if err := s.loadTable(meta, pt.Entries, rows); err != nil {
+		coords := make([][]int64, len(rows))
+		for i, row := range rows {
+			cs, err := rowCoords(meta, row)
+			if err != nil {
+				return nil, err
+			}
+			coords[i] = cs
+		}
+		st.tables = append(st.tables, stagedTable{meta: meta, entries: pt.Entries, rows: rows, coords: coords})
+	}
+	return st, nil
+}
+
+// decodeRows parses string-encoded rows against the table's kinds.
+func decodeRows(meta *catalog.Table, kinds []value.Kind, enc [][]string) ([]value.Row, error) {
+	rows := make([]value.Row, 0, len(enc))
+	for _, cells := range enc {
+		if len(cells) != len(kinds) {
+			return nil, fmt.Errorf("semstore: table %s: row width %d, want %d", meta.Name, len(cells), len(kinds))
+		}
+		row := make(value.Row, len(cells))
+		for i, cell := range cells {
+			v, err := value.Parse(kinds[i], cell)
+			if err != nil {
+				return nil, fmt.Errorf("semstore: table %s: %w", meta.Name, err)
+			}
+			row[i] = v
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// encodeRows renders rows in the snapshot/WAL string encoding.
+func encodeRows(rows []value.Row) [][]string {
+	out := make([][]string, len(rows))
+	for i, row := range rows {
+		enc := make([]string, len(row))
+		for j, v := range row {
+			enc[j] = v.String()
+		}
+		out[i] = enc
+	}
+	return out
+}
+
+// apply installs a fully validated snapshot. The local-DB inserts run
+// before the in-memory mutation, so a DB failure leaves the store's
+// semantic state (coverage, materialised rows, Save output) untouched.
+func (s *Store) apply(st *stagedSnapshot) error {
+	type pending struct {
+		tbl  *storage.Table
+		rows []value.Row
+	}
+	tabs := make([]pending, len(st.tables))
+	for i, t := range st.tables {
+		tbl, err := s.db.Ensure(LocalTableName(t.meta.Name), t.meta.Schema)
+		if err != nil {
 			return err
+		}
+		tabs[i] = pending{tbl: tbl, rows: t.rows}
+	}
+	for _, p := range tabs {
+		if _, err := p.tbl.Insert(p.rows); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Adopt the snapshot's record history so save -> load -> save is a
+	// fixed point and recovery can key WAL replay off the count.
+	s.recorded.Add(st.records)
+	for _, t := range st.tables {
+		ts := s.tableFor(t.meta)
+		for _, pe := range t.entries {
+			dims := make([]region.Interval, len(pe.Dims))
+			for i, d := range pe.Dims {
+				dims[i] = region.Interval{Lo: d[0], Hi: d[1]}
+			}
+			b := region.Box{Dims: dims}
+			if b.Empty() {
+				continue
+			}
+			dropped, absorbed, merged := ts.insertEntry(b, pe.At, pe.Rows)
+			if dropped {
+				s.dropped.Add(1)
+			}
+			s.absorbed.Add(int64(absorbed))
+			s.merged.Add(int64(merged))
+			if ts.maybeRebuild() {
+				s.rebuilds.Add(1)
+			}
+		}
+		for i, row := range t.rows {
+			k := row.Key()
+			if _, dup := ts.seen[k]; dup {
+				continue
+			}
+			ts.seen[k] = struct{}{}
+			ts.addRow(row.Clone(), t.coords[i])
 		}
 	}
 	return nil
 }
 
-// loadTable installs saved entries and rows for one table, bypassing the
-// per-call Record bookkeeping. Row coordinates are validated before any
-// state mutates, and entries go through the same compaction path Record
-// uses, so a loaded version-1 file comes up compacted and indexed.
-func (s *Store) loadTable(meta *catalog.Table, entries []persistEntry, rows []value.Row) error {
-	coords := make([][]int64, len(rows))
-	for i, row := range rows {
-		cs, err := rowCoords(meta, row)
-		if err != nil {
-			return err
-		}
-		coords[i] = cs
+// Load restores a saved store. lookup resolves table names to their catalog
+// metadata (needed to recompute row coordinates); tables unknown to the
+// catalog fail the load. Load merges into the current store — loading into
+// a fresh store is the common case.
+//
+// Load is atomic with respect to the store's semantic state: the whole file
+// is decoded and validated before anything is applied, so a truncated or
+// corrupt snapshot (any error return) leaves coverage and materialised rows
+// exactly as they were. Files that are not snapshots at all fail with an
+// error matching ErrBadSnapshot.
+func (s *Store) Load(r io.Reader, lookup func(table string) (*catalog.Table, bool)) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("semstore: read snapshot: %w", err)
 	}
-	tbl, err := s.db.Ensure(LocalTableName(meta.Name), meta.Schema)
+	st, err := decodeSnapshot(data, lookup)
 	if err != nil {
 		return err
 	}
-	if _, err := tbl.Insert(rows); err != nil {
-		return err
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ts := s.tableFor(meta)
-	for _, pe := range entries {
-		dims := make([]region.Interval, len(pe.Dims))
-		for i, d := range pe.Dims {
-			dims[i] = region.Interval{Lo: d[0], Hi: d[1]}
-		}
-		b := region.Box{Dims: dims}
-		if b.Empty() {
-			continue
-		}
-		dropped, absorbed, merged := ts.insertEntry(b, pe.At, pe.Rows)
-		if dropped {
-			s.dropped.Add(1)
-		}
-		s.absorbed.Add(int64(absorbed))
-		s.merged.Add(int64(merged))
-		if ts.maybeRebuild() {
-			s.rebuilds.Add(1)
-		}
-	}
-	for i, row := range rows {
-		k := row.Key()
-		if _, dup := ts.seen[k]; dup {
-			continue
-		}
-		ts.seen[k] = struct{}{}
-		ts.addRow(row.Clone(), coords[i])
-	}
-	return nil
+	return s.apply(st)
 }
 
 func kindOf(s string) (value.Kind, error) {

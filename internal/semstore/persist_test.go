@@ -138,8 +138,8 @@ func TestSaveDeterministic(t *testing.T) {
 		}
 		if i == 0 {
 			first = buf.String()
-			if !strings.Contains(first, `"version":2`) {
-				t.Fatalf("Save should emit version 2: %s", first)
+			if !strings.Contains(first, `"version":3`) {
+				t.Fatalf("Save should emit version 3: %s", first)
 			}
 			// Tables must appear sorted by name: Grid before Pollution.
 			if g, p := strings.Index(first, `"Grid"`), strings.Index(first, `"Pollution"`); g < 0 || p < 0 || g > p {
@@ -289,7 +289,7 @@ func TestLoadVersion1ForwardCompat(t *testing.T) {
 	if err := s.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(buf.String(), `"version":2`) {
-		t.Errorf("resave should upgrade to version 2: %s", buf.String())
+	if !strings.Contains(buf.String(), `"version":3`) {
+		t.Errorf("resave should upgrade to version 3: %s", buf.String())
 	}
 }

@@ -121,6 +121,10 @@ type Store struct {
 	tables  map[string]*tableStore
 	metrics *obs.Metrics
 
+	// dur is non-nil when EnableDurability attached a write-ahead log; every
+	// Record then appends to the log before mutating billing-visible state.
+	dur *durState
+
 	// lifetime counters; atomics so read-path lookups stay under RLock.
 	lookups      atomic.Int64
 	fastPathHits atomic.Int64
@@ -129,6 +133,10 @@ type Store struct {
 	absorbed     atomic.Int64
 	merged       atomic.Int64
 	rebuilds     atomic.Int64
+	// recorded counts successful Record calls over the store's lifetime
+	// (including records replayed from the WAL); snapshots embed it so
+	// recovery knows which log frames a snapshot already covers.
+	recorded atomic.Int64
 }
 
 // New returns a semantic store materialising rows into db.
@@ -175,6 +183,16 @@ type RecordResult struct {
 	// Merged counts merge steps that fused the new box with an axis-adjacent
 	// stored box.
 	Merged int
+	// Synced reports that the call's WAL frame (and all before it) was
+	// fsynced before Record returned — always true under a per-call sync
+	// policy, true at batch boundaries under batched, never otherwise.
+	// Meaningful only in durable mode.
+	Synced bool
+	// WALBytes is the appended WAL payload size; 0 when not durable.
+	WALBytes int
+	// WALMicros is the wall-clock time the WAL append (including any fsync)
+	// took; 0 when not durable.
+	WALMicros int64
 }
 
 // Compacted is the total number of stored entries the call removed.
@@ -190,28 +208,51 @@ func (r RecordResult) Compacted() int { return r.Absorbed + r.Merged }
 // to materialise.
 func (s *Store) Record(meta *catalog.Table, b region.Box, rows []value.Row, at time.Time) (RecordResult, error) {
 	var res RecordResult
-	if b.Empty() && len(rows) > 0 {
-		return res, fmt.Errorf("semstore: non-empty result for empty box on %s", meta.Name)
+	coords, err := validateRows(meta, b, rows)
+	if err != nil {
+		return res, err
 	}
-	// Validate every row before touching any state.
+	if d := s.dur; d != nil {
+		return d.record(s, meta, b, rows, coords, at)
+	}
+	if err := s.applyRecord(meta, b, rows, coords, at, &res); err != nil {
+		return res, err
+	}
+	s.recorded.Add(1)
+	return res, nil
+}
+
+// validateRows checks a Record call's shape and resolves every row's
+// queryable coordinates without touching any state: a bad batch fails here
+// or not at all.
+func validateRows(meta *catalog.Table, b region.Box, rows []value.Row) ([][]int64, error) {
+	if b.Empty() && len(rows) > 0 {
+		return nil, fmt.Errorf("semstore: non-empty result for empty box on %s", meta.Name)
+	}
 	coords := make([][]int64, len(rows))
 	for i, row := range rows {
 		if len(row) != len(meta.Schema) {
-			return res, fmt.Errorf("semstore: %s: row has %d values, schema has %d",
+			return nil, fmt.Errorf("semstore: %s: row has %d values, schema has %d",
 				meta.Name, len(row), len(meta.Schema))
 		}
 		cs, err := rowCoords(meta, row)
 		if err != nil {
-			return res, err
+			return nil, err
 		}
 		coords[i] = cs
 	}
+	return coords, nil
+}
+
+// applyRecord installs one validated call — the state-mutating half of
+// Record, also the WAL replay entry point (replay must not re-append).
+func (s *Store) applyRecord(meta *catalog.Table, b region.Box, rows []value.Row, coords [][]int64, at time.Time, res *RecordResult) error {
 	tbl, err := s.db.Ensure(LocalTableName(meta.Name), meta.Schema)
 	if err != nil {
-		return res, err
+		return err
 	}
 	if _, err := tbl.Insert(rows); err != nil {
-		return res, err
+		return err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -239,7 +280,7 @@ func (s *Store) Record(meta *catalog.Table, b region.Box, rows []value.Row, at t
 			m.ObserveStoreCompaction(res.Dropped, res.Absorbed, res.Merged)
 		}
 	}
-	return res, nil
+	return nil
 }
 
 // addRow appends a validated, deduplicated row and indexes its coordinates.

@@ -1,0 +1,237 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeLog(t *testing.T, dir string, policy SyncPolicy, batch int, payloads [][]byte) string {
+	t.Helper()
+	path := filepath.Join(dir, "wal.log")
+	w, err := NewWriter(OS, path, 0, policy, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range payloads {
+		if _, err := w.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func payloadsN(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf(`{"seq":%d,"data":"record-%d-%s"}`, i, i, string(rune('a'+i%26))))
+	}
+	return out
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	payloads := payloadsN(20)
+	path := writeLog(t, t.TempDir(), SyncPerCall, 0, payloads)
+	var got [][]byte
+	res, err := Replay(OS, path, func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Torn {
+		t.Error("clean log reported torn")
+	}
+	if res.Records != len(payloads) {
+		t.Fatalf("replayed %d records, want %d", res.Records, len(payloads))
+	}
+	for i := range payloads {
+		if !bytes.Equal(got[i], payloads[i]) {
+			t.Fatalf("payload %d mismatch", i)
+		}
+	}
+}
+
+func TestReplayMissingLogIsEmpty(t *testing.T) {
+	res, err := Replay(OS, filepath.Join(t.TempDir(), "absent.log"), func([]byte) error {
+		t.Fatal("no frames expected")
+		return nil
+	})
+	if err != nil || res.Records != 0 || res.Torn {
+		t.Fatalf("missing log: %+v, %v", res, err)
+	}
+}
+
+// TestTornTailAtEveryPrefix truncates a valid log at every byte length and
+// asserts replay (a) never fails, (b) yields exactly the frames wholly
+// inside the prefix, and (c) truncates the file so a re-opened writer can
+// append and the log replays clean again.
+func TestTornTailAtEveryPrefix(t *testing.T) {
+	payloads := payloadsN(6)
+	full, err := os.ReadFile(writeLog(t, t.TempDir(), SyncOff, 0, payloads))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frame boundary offsets.
+	bounds := []int64{0}
+	for _, p := range payloads {
+		bounds = append(bounds, bounds[len(bounds)-1]+int64(headerSize+len(p)))
+	}
+	wholeFrames := func(n int64) int {
+		k := 0
+		for k+1 < len(bounds) && bounds[k+1] <= n {
+			k++
+		}
+		return k
+	}
+	for cut := 0; cut <= len(full); cut++ {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "wal.log")
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var got int
+		res, err := Replay(OS, path, func(p []byte) error { got++; return nil })
+		if err != nil {
+			t.Fatalf("cut %d: replay failed: %v", cut, err)
+		}
+		want := wholeFrames(int64(cut))
+		if got != want || res.Records != want {
+			t.Fatalf("cut %d: replayed %d frames, want %d", cut, got, want)
+		}
+		atBoundary := bounds[want] == int64(cut)
+		if res.Torn == atBoundary {
+			t.Fatalf("cut %d: torn=%v, boundary=%v", cut, res.Torn, atBoundary)
+		}
+		if res.Size != bounds[want] {
+			t.Fatalf("cut %d: size %d, want %d", cut, res.Size, bounds[want])
+		}
+		// The torn tail must be gone on disk and the log appendable again.
+		w, err := NewWriter(OS, path, res.Size, SyncPerCall, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Append([]byte("after-recovery")); err != nil {
+			t.Fatalf("cut %d: append after recovery: %v", cut, err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		res2, err := Replay(OS, path, func([]byte) error { return nil })
+		if err != nil || res2.Torn {
+			t.Fatalf("cut %d: second replay torn=%v err=%v", cut, res2.Torn, err)
+		}
+		if res2.Records != want+1 {
+			t.Fatalf("cut %d: second replay %d frames, want %d", cut, res2.Records, want+1)
+		}
+	}
+}
+
+// TestCorruptPayloadStopsReplay flips one payload byte mid-log: replay must
+// keep everything before the corrupt frame and truncate it and its
+// successors away (they are unreachable once framing is broken).
+func TestCorruptPayloadStopsReplay(t *testing.T) {
+	payloads := payloadsN(5)
+	path := writeLog(t, t.TempDir(), SyncOff, 0, payloads)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a byte inside frame 2's payload.
+	off := 0
+	for i := 0; i < 2; i++ {
+		off += headerSize + len(payloads[i])
+	}
+	data[off+headerSize] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Replay(OS, path, func([]byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Torn || res.Records != 2 {
+		t.Fatalf("corrupt frame: records=%d torn=%v, want 2,true", res.Records, res.Torn)
+	}
+	if size, _ := OS.Stat(path); size != res.Size {
+		t.Fatalf("file not truncated: %d != %d", size, res.Size)
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	dir := t.TempDir()
+	for _, tc := range []struct {
+		policy    SyncPolicy
+		batch     int
+		appends   int
+		wantSyncs int64
+	}{
+		{SyncPerCall, 0, 5, 5},
+		{SyncBatched, 2, 5, 3}, // 2 batch syncs + 1 close sync
+		{SyncOff, 0, 5, 0},
+	} {
+		path := filepath.Join(dir, tc.policy.String()+".log")
+		w, err := NewWriter(OS, path, 0, tc.policy, tc.batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var syncedCount int
+		for i := 0; i < tc.appends; i++ {
+			synced, err := w.Append([]byte("x"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if synced {
+				syncedCount++
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		_, syncs := w.Stats()
+		if syncs != tc.wantSyncs {
+			t.Errorf("%v: %d syncs, want %d", tc.policy, syncs, tc.wantSyncs)
+		}
+		switch tc.policy {
+		case SyncPerCall:
+			if syncedCount != tc.appends {
+				t.Errorf("per-call: %d synced appends, want %d", syncedCount, tc.appends)
+			}
+		case SyncBatched:
+			if syncedCount != tc.appends/tc.batch {
+				t.Errorf("batched: %d synced appends, want %d", syncedCount, tc.appends/tc.batch)
+			}
+		case SyncOff:
+			if syncedCount != 0 {
+				t.Errorf("off: %d synced appends, want 0", syncedCount)
+			}
+		}
+	}
+}
+
+func TestResetEmptiesLog(t *testing.T) {
+	path := writeLog(t, t.TempDir(), SyncPerCall, 0, payloadsN(3))
+	w, err := NewWriter(OS, path, 0, SyncPerCall, 0) // size ignored for reset
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append([]byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Replay(OS, path, func([]byte) error { return nil })
+	if err != nil || res.Records != 1 {
+		t.Fatalf("after reset: %d records (err %v), want 1", res.Records, err)
+	}
+}

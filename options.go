@@ -33,6 +33,30 @@ func WithTracer(t Tracer) Option {
 	return func(c *Config) { c.Tracer = t }
 }
 
+// WithDurableStore enables durable mode: the semantic store keeps a
+// write-ahead log and atomic snapshots under dir, and Open recovers
+// whatever a previous process had made durable. See Config.StoreDir.
+func WithDurableStore(dir string) Option {
+	return func(c *Config) { c.StoreDir = dir }
+}
+
+// WithStoreSync selects the durable store's WAL fsync cadence
+// (StoreSyncPerCall, StoreSyncBatched, StoreSyncOff). batchEvery sets the
+// batched cadence; 0 keeps the default (8).
+func WithStoreSync(policy StoreSyncPolicy, batchEvery int) Option {
+	return func(c *Config) {
+		c.StoreSync = policy
+		c.StoreBatchEvery = batchEvery
+	}
+}
+
+// WithCheckpointEvery sets how many recorded calls accumulate in the WAL
+// before an automatic snapshot checkpoint; negative disables automatic
+// checkpoints.
+func WithCheckpointEvery(records int) Option {
+	return func(c *Config) { c.CheckpointEvery = records }
+}
+
 // WithBreaker enables per-dataset circuit breaking: after threshold
 // consecutive call failures against one dataset, calls to it short-circuit
 // with ErrCircuitOpen until cooldown elapses and a probe call succeeds.

@@ -39,6 +39,7 @@ import (
 	"payless/internal/stats"
 	"payless/internal/storage"
 	"payless/internal/value"
+	"payless/internal/wal"
 )
 
 // Consistency selects how stale reused results may be (paper §4.3).
@@ -117,7 +118,51 @@ type Config struct {
 	// BreakerCooldown is how long an open circuit waits before admitting a
 	// probe call; 0 defaults to 5s. Only meaningful with BreakerThreshold>0.
 	BreakerCooldown time.Duration
+	// StoreDir enables durable mode: the semantic store keeps a write-ahead
+	// log and atomic snapshots in this directory, and Open recovers whatever
+	// a previous process (however it died) had made durable. Empty (the
+	// default) keeps the store memory-only; SaveStore/LoadStore remain
+	// available either way.
+	StoreDir string
+	// StoreSync selects when WAL appends are fsynced in durable mode:
+	// StoreSyncPerCall (default, every paid call durable before its rows are
+	// visible), StoreSyncBatched (every StoreBatchEvery appends), or
+	// StoreSyncOff (leave flushing to the OS).
+	StoreSync StoreSyncPolicy
+	// StoreBatchEvery is the StoreSyncBatched fsync cadence (default 8).
+	StoreBatchEvery int
+	// CheckpointEvery is how many recorded calls accumulate in the WAL
+	// before they are folded into a snapshot and the log truncated; 0 uses
+	// the store default (256), negative disables automatic checkpoints
+	// (CheckpointStore still works).
+	CheckpointEvery int
+	// storeFS overrides the durable store's filesystem; nil means the real
+	// one. Unexported: only the crash-injection suites set it.
+	storeFS wal.FS
 }
+
+// StoreSyncPolicy selects the durable store's WAL fsync cadence.
+type StoreSyncPolicy = wal.SyncPolicy
+
+// WAL fsync policies for Config.StoreSync.
+const (
+	// StoreSyncPerCall fsyncs every WAL append: a recorded call is durable
+	// the moment Record returns. Strongest, slowest.
+	StoreSyncPerCall = wal.SyncPerCall
+	// StoreSyncBatched fsyncs every StoreBatchEvery appends: a crash loses
+	// at most the current unsynced batch (already-billed data the WAL had
+	// not flushed — a re-run re-buys only that remainder).
+	StoreSyncBatched = wal.SyncBatched
+	// StoreSyncOff never fsyncs from the client; the OS flushes when it
+	// pleases. A process crash loses nothing; a power cut may lose the
+	// unflushed tail.
+	StoreSyncOff = wal.SyncOff
+)
+
+// StoreRecoveryInfo describes what durable-mode Open found and restored:
+// the snapshot loaded, WAL records replayed or skipped, and whether a torn
+// log tail was truncated.
+type StoreRecoveryInfo = semstore.RecoveryInfo
 
 // fetchConcurrency resolves the configured FetchConcurrency to an
 // effective pool width.
@@ -260,6 +305,22 @@ func Open(cfg Config, opts ...Option) (*Client, error) {
 	store := semstore.New(db)
 	metrics := obs.NewMetrics()
 	store.SetMetrics(metrics)
+	if cfg.StoreDir != "" {
+		// Recovery must see the metrics sink (replay counters) and the full
+		// catalog (to re-derive row coordinates from logged rows).
+		_, err := store.EnableDurability(cfg.StoreDir, semstore.DurableOptions{
+			FS:              cfg.storeFS,
+			Policy:          cfg.StoreSync,
+			BatchEvery:      cfg.StoreBatchEvery,
+			CheckpointEvery: cfg.CheckpointEvery,
+			Lookup: func(table string) (*catalog.Table, bool) {
+				return cat.Lookup(table)
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("payless: durable store: %w", err)
+		}
+	}
 	return &Client{
 		cat:      cat,
 		db:       db,
@@ -271,6 +332,25 @@ func Open(cfg Config, opts ...Option) (*Client, error) {
 		breakers: engine.NewBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown).WithMetrics(metrics),
 	}, nil
 }
+
+// Close flushes and closes the durable store's write-ahead log. Memory-only
+// clients need no Close; calling it anyway is a no-op. After Close the
+// client must not execute further queries in durable mode.
+func (c *Client) Close() error { return c.store.Close() }
+
+// CheckpointStore folds the durable store's WAL into a snapshot (temp file,
+// fsync, atomic rename, directory fsync) and truncates the log. A no-op for
+// memory-only clients; automatic checkpoints run every
+// Config.CheckpointEvery records regardless.
+func (c *Client) CheckpointStore() error { return c.store.Checkpoint() }
+
+// SyncStore forces any batched, unsynced WAL appends to disk — the manual
+// durability barrier for StoreSyncBatched/StoreSyncOff clients.
+func (c *Client) SyncStore() error { return c.store.SyncWAL() }
+
+// StoreRecovery reports what durable-mode Open recovered (zero for
+// memory-only clients): snapshot loaded, WAL records replayed, torn tail.
+func (c *Client) StoreRecovery() StoreRecoveryInfo { return c.store.Recovery() }
 
 // OpenHTTP registers with a market server over HTTP and builds a Client:
 // it fetches the public catalog and per-dataset page sizes automatically.
