@@ -20,7 +20,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 10, 11, 12, 13, 14, 15, conc, store, faults, durability or all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 10, 11, 12, 13, 14, 15, conc, store, faults, durability, plan or all")
 		dataset  = flag.String("dataset", "all", "dataset: real, tpch, tpch-skew or all")
 		qReal    = flag.Int("qreal", 40, "query instances per template (real data)")
 		qTPCH    = flag.Int("qtpch", 10, "query instances per template (TPC-H)")
@@ -39,7 +39,7 @@ func main() {
 	p.Seed = *seed
 	p.SampleEvery = *sample
 
-	figures := []string{"10", "11", "12", "13", "14", "15", "conc", "store", "faults", "durability"}
+	figures := []string{"10", "11", "12", "13", "14", "15", "conc", "store", "faults", "durability", "plan"}
 	if *fig != "all" {
 		figures = []string{*fig}
 	}
@@ -112,6 +112,11 @@ func one(f, ds string, req bench.Request) (*bench.Figure, error) {
 			return nil, nil // the durability sweep runs on the real workload only
 		}
 		return bench.FigDurability(bench.DefaultDurabilityParams())
+	case "plan":
+		if ds != "real" && ds != "all" {
+			return nil, nil // the planning sweep runs on the real schema only
+		}
+		return bench.FigPlan(bench.DefaultPlanParams())
 	default:
 		return nil, fmt.Errorf("unknown figure %q", f)
 	}

@@ -43,6 +43,7 @@ func (c *Client) ExplainContext(ctx context.Context, sql string, opts ...Explain
 		Counters:        plan.Counters,
 		Plan:            plan.String(),
 		OptimizeTime:    plan.Optimized,
+		Planner:         plannerName(plan),
 	}
 	if ec.verbose {
 		res.PlanDetail = plan.Describe()

@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"testing"
+
+	"payless/internal/core"
+)
+
+// planningBenchEnv builds the 1k-template environment once per benchmark.
+func planningBenchEnv(tb testing.TB, n int) *planningEnv {
+	tb.Helper()
+	p := DefaultPlanParams()
+	env, err := newPlanningEnv(p, n)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return env
+}
+
+// BenchmarkDPPlanner is the baseline: full dynamic-program planning.
+func BenchmarkDPPlanner(b *testing.B) {
+	env := planningBenchEnv(b, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.planDP(i % len(env.bound)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGreedyPlanner times the greedy fast path (with DP fallback).
+func BenchmarkGreedyPlanner(b *testing.B) {
+	env := planningBenchEnv(b, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.planGreedy(i % len(env.bound)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanCache times the cache-hit path at 1k cached templates:
+// normalize + lookup + skeleton instantiation.
+func BenchmarkPlanCache(b *testing.B) {
+	env := planningBenchEnv(b, 1000)
+	cache, err := env.warmCache()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.planCached(cache, i%len(env.bound)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestPlanCacheSpeedup is the CI gate on the planning hot path: with 1k
+// cached templates, cache-hit planning must beat the dynamic program by at
+// least 10x per plan. The measured gap is far larger; 10x leaves headroom
+// for noisy CI machines.
+func TestPlanCacheSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison skipped in -short mode")
+	}
+	env := planningBenchEnv(t, 1000)
+	cache, err := env.warmCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := env.planDP(i % len(env.bound)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	hit := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := env.planCached(cache, i%len(env.bound)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	dpNs := float64(dp.NsPerOp())
+	hitNs := float64(hit.NsPerOp())
+	t.Logf("dp %.0f ns/plan, cache hit %.0f ns/plan (%.1fx)", dpNs, hitNs, dpNs/hitNs)
+	if dpNs < 10*hitNs {
+		t.Fatalf("cache-hit planning only %.1fx faster than DP at 1k templates (dp %.0f ns, hit %.0f ns); want >= 10x",
+			dpNs/hitNs, dpNs, hitNs)
+	}
+}
+
+// TestPlanningTemplatesDistinct guards the generator the sweep relies on:
+// every generated template must normalize to its own cache key (otherwise
+// the "1k cached templates" claim would be quietly measuring fewer).
+func TestPlanningTemplatesDistinct(t *testing.T) {
+	env := planningBenchEnv(t, 1000)
+	if got := len(env.parsed); got != 1000 {
+		t.Fatalf("generated %d templates, want 1000", got)
+	}
+	keys := make(map[string]bool, len(env.parsed))
+	for _, q := range env.parsed {
+		keys[core.Normalize(q).Key] = true
+	}
+	if len(keys) != 1000 {
+		t.Fatalf("1000 templates produced %d cache keys — shapes collide", len(keys))
+	}
+}
+
+// TestFigPlan smoke-runs the figure at a small scale.
+func TestFigPlan(t *testing.T) {
+	p := DefaultPlanParams()
+	p.Sizes = []int{20}
+	p.Ops = 40
+	fig, err := FigPlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("series: %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Y) != 1 || s.Y[0] <= 0 {
+			t.Errorf("series %s: %v", s.System, s.Y)
+		}
+	}
+}

@@ -99,6 +99,16 @@ func RenderAll(req Request, w io.Writer) error {
 			fmt.Fprintf(w, "   (regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
 			continue
 		}
+		if f == "plan" {
+			start := time.Now()
+			fig, err := FigPlan(DefaultPlanParams())
+			if err != nil {
+				return fmt.Errorf("fig plan: %w", err)
+			}
+			fmt.Fprint(w, fig.Render())
+			fmt.Fprintf(w, "   (regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+			continue
+		}
 		if f == "conc" {
 			start := time.Now()
 			cp := DefaultConcurrencyParams()

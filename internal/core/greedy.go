@@ -1,0 +1,158 @@
+// Greedy join-ordering fast path. Algorithm 2's dynamic program is exact
+// but costs O(2^n) subsets; for the common case where one ordering clearly
+// dominates, a greedy construction finds the same plan in O(n^2) candidate
+// evaluations. The fast path is only trusted when its estimated spend stays
+// within a configured margin of a per-relation lower bound that also bounds
+// the DP optimum from below — so accepting greedy can never bill more than
+// (1+margin)x the DP plan's estimate. Otherwise it falls back to full DP.
+package core
+
+// Planner labels reported in traces, Explain output and metrics.
+const (
+	// PlannerDP marks a plan produced by the full Algorithm 2 dynamic program.
+	PlannerDP = "dp"
+	// PlannerGreedy marks a plan produced by the greedy fast path.
+	PlannerGreedy = "greedy"
+	// PlannerCached marks a plan instantiated from the plan-template cache.
+	PlannerCached = "cached"
+)
+
+// DefaultGreedyMargin is the accepted relative divergence between the greedy
+// plan's estimated spend and the spend lower bound before the optimizer
+// falls back to the dynamic program.
+const DefaultGreedyMargin = 0.05
+
+// searchGreedy builds a left-deep order greedily: zero-price relations first
+// (Theorem 2 holds for any order), then repeatedly the cheapest remaining
+// (relation, access path) pair. Returns ok=false when some relation has no
+// valid access path at any point — the DP may still find an order, so the
+// caller falls back rather than failing.
+func (r *optRun) searchGreedy() (*Plan, bool) {
+	var local, market []int
+	for i := range r.b.Rels {
+		if r.info[i].zeroPrice {
+			local = append(local, i)
+		} else {
+			market = append(market, i)
+		}
+	}
+	localSteps, localRows := r.localPrefix(local)
+	if len(market) == 0 {
+		return &Plan{Steps: localSteps, EstRows: localRows}, true
+	}
+
+	placed := make([]bool, len(r.b.Rels))
+	for _, l := range local {
+		placed[l] = true
+	}
+	inPlaced := func(rel int) bool { return placed[rel] }
+
+	steps := append([]Step(nil), localSteps...)
+	rows := localRows
+	var total int64
+	for remaining := len(market); remaining > 0; remaining-- {
+		bestRel := -1
+		var bestCand accessCandidate
+		var bestEdges []int
+		for _, i := range market {
+			if placed[i] {
+				continue
+			}
+			edges := r.edgesBetween(i, inPlaced)
+			for _, c := range r.accessCandidates(i, rows, edges) {
+				r.counters.PlansEvaluated++
+				if bestRel < 0 || greedyBetter(c, edges, r.info[i].estRows, i, bestCand, bestEdges, r.info[bestRel].estRows, bestRel) {
+					bestRel, bestCand, bestEdges = i, c, edges
+				}
+			}
+		}
+		if bestRel < 0 {
+			return nil, false
+		}
+		total += bestCand.cost
+		newRows := rows * r.info[bestRel].estRows * r.joinSelectivity(bestEdges)
+		if newRows < 0 {
+			newRows = 0
+		}
+		rows = newRows
+		steps = append(steps, Step{
+			Rel:       bestRel,
+			Kind:      bestCand.kind,
+			BindJoin:  bestCand.bindJoin,
+			Joins:     bestEdges,
+			Remainder: r.info[bestRel].remainder,
+			EstTrans:  bestCand.cost,
+			EstRows:   r.info[bestRel].estRows,
+		})
+		placed[bestRel] = true
+	}
+	return &Plan{Steps: steps, EstTrans: total, EstRows: rows}, true
+}
+
+// greedyBetter orders candidate (relation, access) pairs deterministically:
+// cheaper cost wins; on ties, a join-connected relation beats a cross
+// product, then the smaller estimated cardinality, then the lower relation
+// index (so equal queries always produce byte-equal plans).
+func greedyBetter(c accessCandidate, edges []int, rows float64, rel int,
+	bc accessCandidate, bEdges []int, bRows float64, bRel int) bool {
+	if c.cost != bc.cost {
+		return c.cost < bc.cost
+	}
+	if (len(edges) > 0) != (len(bEdges) > 0) {
+		return len(edges) > 0
+	}
+	if rows != bRows {
+		return rows < bRows
+	}
+	return rel < bRel
+}
+
+// spendLowerBound sums, over the priced relations, the cheapest conceivable
+// single access: the plain remainder scan, or a bind join fed exactly one
+// binding value. Bind cost is linear in the number of binding values, so
+// nb=1 bounds every real bind access from below; hence the sum bounds the
+// cost of ANY complete plan — including the DP optimum — from below.
+// Returns ok=false when some relation has no valid access in isolation.
+func (r *optRun) spendLowerBound() (int64, bool) {
+	var lb int64
+	for i := range r.b.Rels {
+		info := &r.info[i]
+		if info.zeroPrice {
+			continue
+		}
+		best := int64(-1)
+		if info.plainValid {
+			best = info.plainCost
+		}
+		for _, j := range r.b.Joins {
+			var attr string
+			switch {
+			case j.L == i:
+				attr = j.LAttr
+			case j.R == i:
+				attr = j.RAttr
+			default:
+				continue
+			}
+			if c, ok := r.bindCost(i, attr, 1); ok && (best < 0 || c < best) {
+				best = c
+			}
+		}
+		if best < 0 {
+			return 0, false
+		}
+		lb += best
+	}
+	return lb, true
+}
+
+// greedyAcceptable applies the fallback condition: the greedy estimate must
+// stay within (1+margin) of the lower bound. Because the bound also sits
+// below the DP optimum, acceptance implies the greedy plan's estimated
+// spend is within (1+margin) of the DP plan's.
+func greedyAcceptable(greedyCost, bound int64, margin float64) bool {
+	if margin < 0 {
+		margin = 0
+	}
+	return float64(greedyCost) <= float64(bound)*(1+margin)
+}

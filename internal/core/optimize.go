@@ -26,6 +26,14 @@ type Optimizer struct {
 	// Stats estimates row counts per (table, box).
 	Stats   stats.Estimator
 	Options Options
+	// Greedy enables the greedy join-ordering fast path: a plan built in
+	// O(n^2) candidate evaluations, accepted only when its estimated spend
+	// stays within GreedyMargin of a lower bound that also bounds the DP
+	// optimum. Otherwise Optimize falls back to the full dynamic program.
+	Greedy bool
+	// GreedyMargin is the accepted relative divergence; <=0 means
+	// DefaultGreedyMargin.
+	GreedyMargin float64
 	// Trace, when non-nil, receives the optimize span, the chosen plan and
 	// the search-effort counters.
 	Trace *obs.Trace
@@ -60,9 +68,26 @@ func (o *Optimizer) Optimize(b *BoundQuery) (*Plan, error) {
 	}
 	var plan *Plan
 	var err error
-	if o.Options.DisableTheorems {
+	planner := PlannerDP
+	switch {
+	case o.Options.DisableTheorems:
+		// The bushy "Disable All" search is an ablation; the greedy fast
+		// path only reasons about left-deep orders, so it is skipped here.
 		plan, err = run.searchBushy()
-	} else {
+	case o.Greedy:
+		margin := o.GreedyMargin
+		if margin <= 0 {
+			margin = DefaultGreedyMargin
+		}
+		if g, ok := run.searchGreedy(); ok {
+			if bound, ok := run.spendLowerBound(); ok && greedyAcceptable(g.EstTrans, bound, margin) {
+				plan, planner = g, PlannerGreedy
+			}
+		}
+		if plan == nil {
+			plan, err = run.searchLeftDeep()
+		}
+	default:
 		plan, err = run.searchLeftDeep()
 	}
 	if err != nil {
@@ -70,9 +95,11 @@ func (o *Optimizer) Optimize(b *BoundQuery) (*Plan, error) {
 		return nil, err
 	}
 	plan.Bound = b
+	plan.Planner = planner
 	plan.Counters = run.counters
 	plan.Optimized = time.Since(start)
 	endSpan(nil)
+	o.Trace.SetPlanner(planner)
 	o.Trace.SetPlan(plan.String(), plan.EstTrans)
 	o.Trace.SetCounters(plan.Counters.PlansEvaluated, plan.Counters.BoxesEnumerated, plan.Counters.BoxesKept)
 	return plan, nil

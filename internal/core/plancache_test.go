@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"payless/internal/semstore"
+	"payless/internal/sqlparse"
+	"payless/internal/storage"
+)
+
+// bind parses and binds a statement against the fixture's catalog.
+func (f *fixture) bind(t *testing.T, sql string) *BoundQuery {
+	t.Helper()
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Bind(q, f.cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// epochsAt builds an epoch lookup returning one fixed value for every table.
+func epochsAt(e uint64) func(string) uint64 {
+	return func(string) uint64 { return e }
+}
+
+// skeletonFor optimizes sql and captures its skeleton under the given epochs.
+func skeletonFor(t *testing.T, f *fixture, sql, key string, epoch, statsVersion uint64) *PlanSkeleton {
+	t.Helper()
+	plan := f.optimize(t, sql, Options{})
+	return NewSkeleton(key, plan, epochsAt(epoch), statsVersion)
+}
+
+func TestPlanCacheHitReturnsSameSkeleton(t *testing.T) {
+	f := newFixture(t, numTable("R", 1000, "a", "b"))
+	cache := NewPlanCache(4)
+	sk := skeletonFor(t, f, "SELECT * FROM R WHERE a >= 10", "k1", 3, 7)
+	cache.Put(sk)
+	got := cache.Get("k1", epochsAt(3), 7)
+	if got != sk {
+		t.Fatalf("fresh entry must hit: %v", got)
+	}
+	if cache.Get("missing", epochsAt(3), 7) != nil {
+		t.Fatal("unknown key must miss")
+	}
+	st := cache.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Invalidations != 0 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestPlanCacheInvalidatesOnEpochAndStats(t *testing.T) {
+	f := newFixture(t, numTable("R", 1000, "a", "b"))
+	cases := []struct {
+		name         string
+		epoch        uint64
+		statsVersion uint64
+	}{
+		{"epoch-moved", 4, 7},
+		{"stats-moved", 3, 8},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cache := NewPlanCache(4)
+			cache.Put(skeletonFor(t, f, "SELECT * FROM R WHERE a >= 10", "k1", 3, 7))
+			if got := cache.Get("k1", epochsAt(tc.epoch), tc.statsVersion); got != nil {
+				t.Fatalf("stale entry served: %+v", got)
+			}
+			st := cache.Stats()
+			if st.Invalidations != 1 || st.Size != 0 {
+				t.Errorf("stale entry must be dropped: %+v", st)
+			}
+			// The slot is free again: a re-put at the new state hits.
+			cache.Put(skeletonFor(t, f, "SELECT * FROM R WHERE a >= 10", "k1", tc.epoch, tc.statsVersion))
+			if cache.Get("k1", epochsAt(tc.epoch), tc.statsVersion) == nil {
+				t.Error("re-cached entry must hit")
+			}
+		})
+	}
+}
+
+func TestPlanCacheLRUEviction(t *testing.T) {
+	f := newFixture(t, numTable("R", 1000, "a", "b"))
+	cache := NewPlanCache(2)
+	for i := 0; i < 3; i++ {
+		cache.Put(skeletonFor(t, f, "SELECT * FROM R WHERE a >= 10", fmt.Sprintf("k%d", i), 1, 1))
+	}
+	if cache.Len() != 2 {
+		t.Fatalf("capacity 2, holds %d", cache.Len())
+	}
+	if cache.Get("k0", epochsAt(1), 1) != nil {
+		t.Error("oldest entry must be evicted")
+	}
+	if cache.Get("k2", epochsAt(1), 1) == nil || cache.Get("k1", epochsAt(1), 1) == nil {
+		t.Error("recent entries must survive")
+	}
+	// k2 and k1 were both touched; inserting k3 now evicts the least
+	// recently used key, k2.
+	cache.Put(skeletonFor(t, f, "SELECT * FROM R WHERE a >= 10", "k3", 1, 1))
+	if cache.Get("k2", epochsAt(1), 1) != nil {
+		t.Error("LRU order must follow hits, not insertion")
+	}
+	if st := cache.Stats(); st.Evictions != 2 {
+		t.Errorf("evictions: %+v", st)
+	}
+}
+
+// TestSkeletonInstantiateMatchesPlan: instantiating a skeleton onto a fresh
+// binding of another instance reproduces the plan structurally and labels it
+// as cache-served.
+func TestSkeletonInstantiateMatchesPlan(t *testing.T) {
+	f := newFixture(t, numTable("R", 1000, "a", "b"), numTable("S", 500, "a", "c"))
+	sql := "SELECT * FROM R, S WHERE R.a = S.a AND R.b >= 10 AND R.b <= 30"
+	plan := f.optimize(t, sql, Options{})
+	sk := NewSkeleton("k", plan, f.store.Epoch, 1)
+
+	other := f.bind(t, "SELECT * FROM R, S WHERE R.a = S.a AND R.b >= 40 AND R.b <= 55")
+	opts := Options{}
+	got, ok := sk.Instantiate(other, f.store, &opts)
+	if !ok {
+		t.Fatal("same-shape instantiation must succeed")
+	}
+	if got.Planner != PlannerCached {
+		t.Errorf("planner: %q", got.Planner)
+	}
+	if len(got.Steps) != len(plan.Steps) {
+		t.Fatalf("steps: %d vs %d", len(got.Steps), len(plan.Steps))
+	}
+	for i := range got.Steps {
+		if got.Steps[i].Rel != plan.Steps[i].Rel || got.Steps[i].Kind != plan.Steps[i].Kind {
+			t.Errorf("step %d diverged: %+v vs %+v", i, got.Steps[i], plan.Steps[i])
+		}
+	}
+	// A shape with a different relation count must be rejected outright.
+	if _, ok := sk.Instantiate(f.bind(t, "SELECT * FROM R WHERE R.b >= 1"), f.store, &opts); ok {
+		t.Error("arity mismatch must reject")
+	}
+}
+
+// TestSkeletonInstantiateRejectsUncoveredLocalScan: a skeleton whose plan
+// leaned on semantic-store coverage (a zero-price LocalScan over a market
+// table) must refuse to instantiate when the store no longer backs it —
+// otherwise a stale skeleton would silently return incomplete rows.
+func TestSkeletonInstantiateRejectsUncoveredLocalScan(t *testing.T) {
+	r := numTable("R", 1000, "a", "b")
+	s := numTable("S", 1000, "c", "d")
+	f := newFixture(t, r, s)
+	if _, err := f.store.Record(r, r.FullBox(), nil, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	sql := "SELECT * FROM R, S WHERE R.a = S.c"
+	plan := f.optimize(t, sql, Options{})
+	if plan.Steps[0].Kind != LocalScan {
+		t.Fatalf("setup: covered R must plan as LocalScan, got %v", plan.Steps[0].Kind)
+	}
+	sk := NewSkeleton("k", plan, f.store.Epoch, 1)
+	opts := Options{}
+
+	// Same store: fine.
+	if _, ok := sk.Instantiate(f.bind(t, sql), f.store, &opts); !ok {
+		t.Fatal("covered instantiation must succeed")
+	}
+	// Empty store: the LocalScan has nothing behind it.
+	empty := semstore.New(storage.NewDB())
+	if _, ok := sk.Instantiate(f.bind(t, sql), empty, &opts); ok {
+		t.Error("uncovered LocalScan must reject")
+	}
+	// SQR disabled: coverage may not be consulted, so the plan is invalid too.
+	noSQR := Options{DisableSQR: true}
+	if _, ok := sk.Instantiate(f.bind(t, sql), f.store, &noSQR); ok {
+		t.Error("DisableSQR must reject store-backed LocalScan")
+	}
+}

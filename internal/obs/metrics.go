@@ -140,6 +140,14 @@ type Metrics struct {
 
 	auditDropped int64
 
+	planCacheHits          int64
+	planCacheMisses        int64
+	planCacheInvalidations int64
+	planCacheEvictions     int64
+	plansCached            int64
+	plansGreedy            int64
+	plansDP                int64
+
 	queryLatency    histogram
 	callLatency     histogram
 	optimizeLatency histogram
@@ -352,6 +360,53 @@ func (m *Metrics) ObserveAuditDrop() {
 	m.auditDropped++
 }
 
+// ObservePlanCacheLookup folds one plan-template cache lookup into the
+// registry: whether it hit, and whether it found-and-discarded a stale
+// entry (an invalidation, which also counts as a miss).
+func (m *Metrics) ObservePlanCacheLookup(hit, invalidated bool) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if hit {
+		m.planCacheHits++
+	} else {
+		m.planCacheMisses++
+	}
+	if invalidated {
+		m.planCacheInvalidations++
+	}
+}
+
+// ObservePlanCacheEviction counts a cached skeleton displaced by capacity.
+func (m *Metrics) ObservePlanCacheEviction() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.planCacheEvictions++
+}
+
+// ObservePlanner counts which planning strategy produced one query's plan
+// ("cached", "greedy" or anything else, counted as dp).
+func (m *Metrics) ObservePlanner(planner string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch planner {
+	case "cached":
+		m.plansCached++
+	case "greedy":
+		m.plansGreedy++
+	default:
+		m.plansDP++
+	}
+}
+
 // ObserveCall folds one served market call into the registry — the
 // seller-side entry point used by Market.Execute.
 func (m *Metrics) ObserveCall(latency time.Duration, records, transactions int64, price float64) {
@@ -432,6 +487,18 @@ type Snapshot struct {
 	// AuditDropped counts audit records lost to sink write failures.
 	AuditDropped int64
 
+	// PlanCacheHits/Misses count plan-template cache lookups; Invalidations
+	// entries discarded because a coverage epoch or the stats version moved;
+	// Evictions entries displaced by the LRU capacity. PlansCached/Greedy/DP
+	// count queries by the planning strategy that produced their plan.
+	PlanCacheHits          int64
+	PlanCacheMisses        int64
+	PlanCacheInvalidations int64
+	PlanCacheEvictions     int64
+	PlansCached            int64
+	PlansGreedy            int64
+	PlansDP                int64
+
 	QueryLatency    HistogramSnapshot
 	CallLatency     HistogramSnapshot
 	OptimizeLatency HistogramSnapshot
@@ -481,6 +548,14 @@ func (m *Metrics) Snapshot() Snapshot {
 		CheckpointBytes:    m.checkpointBytes,
 		CheckpointMicros:   m.checkpointMicros,
 		AuditDropped:       m.auditDropped,
+
+		PlanCacheHits:          m.planCacheHits,
+		PlanCacheMisses:        m.planCacheMisses,
+		PlanCacheInvalidations: m.planCacheInvalidations,
+		PlanCacheEvictions:     m.planCacheEvictions,
+		PlansCached:            m.plansCached,
+		PlansGreedy:            m.plansGreedy,
+		PlansDP:                m.plansDP,
 
 		QueryLatency:          m.queryLatency.snapshot(),
 		CallLatency:           m.callLatency.snapshot(),
@@ -536,6 +611,13 @@ func (m *Metrics) WritePrometheus(w io.Writer, prefix string) {
 	counter("checkpoint_bytes_total", "Bytes written by snapshot checkpoints.", s.CheckpointBytes)
 	counter("checkpoint_micros_total", "Cumulative checkpoint wall-clock microseconds.", s.CheckpointMicros)
 	counter("audit_dropped_total", "Audit records lost to sink write failures.", s.AuditDropped)
+	counter("plan_cache_hits_total", "Plan-template cache lookups served from cache.", s.PlanCacheHits)
+	counter("plan_cache_misses_total", "Plan-template cache lookups that missed.", s.PlanCacheMisses)
+	counter("plan_cache_invalidations_total", "Cached plan skeletons discarded as stale (coverage epoch or stats version moved).", s.PlanCacheInvalidations)
+	counter("plan_cache_evictions_total", "Cached plan skeletons displaced by the LRU capacity.", s.PlanCacheEvictions)
+	counter("plans_cached_total", "Queries planned from the plan-template cache.", s.PlansCached)
+	counter("plans_greedy_total", "Queries planned by the greedy fast path.", s.PlansGreedy)
+	counter("plans_dp_total", "Queries planned by the full dynamic program.", s.PlansDP)
 	hist := func(name, help string, h HistogramSnapshot) {
 		fmt.Fprintf(w, "# HELP %s_%s %s\n# TYPE %s_%s histogram\n", prefix, name, help, prefix, name)
 		for _, b := range h.Buckets {

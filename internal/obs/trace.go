@@ -71,8 +71,10 @@ type Trace struct {
 	// Total is the end-to-end query duration, set by Finish.
 	Total time.Duration
 	// Plan is the optimizer's chosen plan, EstTransactions its price
-	// estimate.
+	// estimate. Planner names the strategy that produced the plan
+	// ("dp", "greedy" or "cached").
 	Plan            string
+	Planner         string
 	EstTransactions int64
 	// PlansEvaluated/BoxesEnumerated/BoxesKept mirror the optimizer's
 	// search-effort counters (paper Figs. 14–15).
@@ -171,6 +173,14 @@ func (t *Trace) SetPlan(plan string, estTransactions int64) {
 	t.EstTransactions = estTransactions
 }
 
+// SetPlanner records which planning strategy produced the plan.
+func (t *Trace) SetPlanner(planner string) {
+	if t == nil {
+		return
+	}
+	t.Planner = planner
+}
+
 // SetCounters records the optimizer's search-effort counters.
 func (t *Trace) SetCounters(plansEvaluated, boxesEnumerated, boxesKept int) {
 	if t == nil {
@@ -233,6 +243,9 @@ func (t *Trace) Describe() string {
 	}
 	if t.Plan != "" {
 		fmt.Fprintf(&b, "  plan: %s\n", t.Plan)
+	}
+	if t.Planner != "" {
+		fmt.Fprintf(&b, "  planner=%s\n", t.Planner)
 	}
 	if t.PlansEvaluated > 0 || t.BoxesEnumerated > 0 {
 		fmt.Fprintf(&b, "  search: %d plans evaluated, %d boxes enumerated, %d kept\n",

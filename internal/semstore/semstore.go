@@ -112,6 +112,10 @@ type tableStore struct {
 	coords [][]int64
 	seen   map[string]struct{}
 	rowIdx []rowDim
+	// epoch counts the Records applied to this table (including WAL replay).
+	// The plan cache snapshots it at compile time and discards any skeleton
+	// whose tables have moved on — new coverage can flip the winning plan.
+	epoch uint64
 }
 
 // Store is the semantic store. It is safe for concurrent use.
@@ -257,6 +261,7 @@ func (s *Store) applyRecord(meta *catalog.Table, b region.Box, rows []value.Row,
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ts := s.tableFor(meta)
+	ts.epoch++
 	for i, row := range rows {
 		k := row.Key()
 		if _, dup := ts.seen[k]; dup {
@@ -707,6 +712,20 @@ func (s *Store) EntryCount(table string) int {
 		return 0
 	}
 	return ts.alive
+}
+
+// Epoch returns the table's coverage epoch: the number of Records applied
+// to it over the store's lifetime (including WAL replay). It only ever
+// increases; a cached plan skeleton compiled at epoch e is stale once the
+// table's epoch differs. Unknown tables are at epoch 0.
+func (s *Store) Epoch(table string) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ts, ok := s.tables[LocalTableName(table)]
+	if !ok {
+		return 0
+	}
+	return ts.epoch
 }
 
 // Remainder returns the part of box q not covered by the table's stored

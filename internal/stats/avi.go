@@ -3,6 +3,7 @@ package stats
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"payless/internal/region"
 )
@@ -15,8 +16,9 @@ import (
 // mis-estimates correlated attributes — which is exactly the contrast the
 // statistics ablation benchmark measures.
 type AVI struct {
-	mu     sync.RWMutex
-	tables map[string]*aviTable
+	mu      sync.RWMutex
+	tables  map[string]*aviTable
+	version atomic.Uint64
 }
 
 type aviTable struct {
@@ -45,7 +47,11 @@ func (a *AVI) Register(table string, full region.Box, card int64) {
 		t.dims = append(t.dims, []bucket1{{iv: iv, frac: 1}})
 	}
 	a.tables[table] = t
+	a.version.Add(1)
 }
+
+// Version returns the estimator's mutation counter (see Store.Version).
+func (a *AVI) Version() uint64 { return a.version.Load() }
 
 // fracIn returns the estimated fraction of rows whose d-th coordinate lies
 // in iv, assuming uniformity within buckets.
@@ -117,6 +123,7 @@ func (a *AVI) Feedback(table string, b region.Box, n int64) {
 	if !ok || b.Empty() || b.D() != len(t.dims) {
 		return
 	}
+	a.version.Add(1)
 	var constrained []int
 	for d, iv := range b.Dims {
 		if !iv.Equal(t.full.Dims[d]) {

@@ -15,6 +15,7 @@ package stats
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"payless/internal/region"
 )
@@ -52,6 +53,10 @@ type Store struct {
 	// maxBuckets caps the partition size per table; feedback that would
 	// exceed the cap degrades to proportional rescaling without splitting.
 	maxBuckets int
+	// version counts mutations (Register and effective Feedback). The plan
+	// cache snapshots it: a moved version means estimates may have changed
+	// enough to flip the winning plan, so cached skeletons are discarded.
+	version atomic.Uint64
 }
 
 // New returns a learning statistics store (feedback refines estimates).
@@ -74,7 +79,12 @@ func (s *Store) Register(table string, full region.Box, card int64) {
 		full:    full.Clone(),
 		buckets: []bucket{{box: full.Clone(), count: float64(card)}},
 	}
+	s.version.Add(1)
 }
+
+// Version returns the store's mutation counter. NewUniform stores never
+// learn, so their version only moves on Register.
+func (s *Store) Version() uint64 { return s.version.Load() }
 
 // Registered reports whether the table is known to the store.
 func (s *Store) Registered(table string) bool {
@@ -134,6 +144,7 @@ func (s *Store) Feedback(table string, b region.Box, n int64) {
 	if !ok || b.Empty() {
 		return
 	}
+	s.version.Add(1)
 	canSplit := len(t.buckets) < s.maxBuckets
 	var next []bucket
 	var inside []int // indexes into next of pieces inside b

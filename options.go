@@ -1,6 +1,10 @@
 package payless
 
-import "time"
+import (
+	"time"
+
+	"payless/internal/core"
+)
 
 // Option customises a Config before the Client is built. Options are
 // accepted by both Open and OpenHTTP; zero-value Config fields keep their
@@ -100,4 +104,29 @@ func WithoutTheorems() Option {
 // WithoutBoxPruning turns off Algorithm 1's remainder-box pruning rules.
 func WithoutBoxPruning() Option {
 	return func(c *Config) { c.DisableBoxPruning = true }
+}
+
+// WithPlanCache enables the parameterized plan-template cache: optimized
+// plans are cached by normalized query shape and repeated shapes skip
+// optimization entirely, with invalidation on semantic-store and statistics
+// changes. size is the LRU capacity in templates; size <= 0 uses the
+// default (1024).
+func WithPlanCache(size int) Option {
+	return func(c *Config) {
+		if size <= 0 {
+			size = core.DefaultPlanCacheSize
+		}
+		c.PlanCacheSize = size
+	}
+}
+
+// WithGreedyPlanner enables the greedy join-ordering fast path. margin is
+// the accepted relative divergence between the greedy plan's estimated
+// spend and a lower bound on the DP optimum before the optimizer falls back
+// to the full dynamic program; margin <= 0 uses the default (0.05).
+func WithGreedyPlanner(margin float64) Option {
+	return func(c *Config) {
+		c.GreedyPlanner = true
+		c.GreedyMargin = margin
+	}
 }

@@ -85,6 +85,25 @@ type Config struct {
 	DisableTheorems bool
 	// DisableBoxPruning turns off Algorithm 1's pruning rules (Fig. 15).
 	DisableBoxPruning bool
+	// PlanCacheSize enables the parameterized plan-template cache when
+	// positive: optimized plans are cached by normalized query shape (an LRU
+	// of at most this many templates) and repeated shapes skip optimization
+	// entirely. Cached skeletons are invalidated when semantic-store
+	// coverage or statistics change, and coverage-dependent access choices
+	// are re-verified per instantiation, so cached plans never bill more
+	// than a re-optimized run would beyond the shape-reuse assumption
+	// itself. 0 (the default) disables the cache. Queries under a Window
+	// consistency bypass the cache (a moving freshness horizon cannot be
+	// captured by epochs).
+	PlanCacheSize int
+	// GreedyPlanner enables the greedy join-ordering fast path: plans are
+	// built greedily in O(n^2) candidate evaluations and accepted only when
+	// their estimated spend stays within GreedyMargin of a lower bound on
+	// the DP optimum; otherwise the full dynamic program runs as usual.
+	GreedyPlanner bool
+	// GreedyMargin is the accepted relative spend divergence for the greedy
+	// fast path; 0 uses the default (0.05).
+	GreedyMargin float64
 	// UniformStats disables the learning statistics and keeps the textbook
 	// uniform estimator (shorthand for Statistics: StatsUniform).
 	UniformStats bool
@@ -198,6 +217,9 @@ const (
 type statsStore interface {
 	stats.Estimator
 	Register(table string, full region.Box, card int64)
+	// Version is the estimator's mutation counter; the plan cache uses it
+	// to discard skeletons costed under superseded estimates.
+	Version() uint64
 }
 
 // Observability types, re-exported from the internal obs package so users
@@ -240,6 +262,10 @@ type Result struct {
 	PlanDetail string
 	// OptimizeTime is how long optimization took.
 	OptimizeTime time.Duration
+	// Planner names the strategy that produced the plan: "dp" (the full
+	// dynamic program), "greedy" (the fast path) or "cached" (instantiated
+	// from the plan-template cache).
+	Planner string
 	// Trace is the query's execution trace when a Tracer was configured
 	// and chose to trace this query; nil otherwise.
 	Trace *Trace
@@ -259,6 +285,8 @@ type Client struct {
 	// breakers holds per-dataset circuit-breaker state across queries; nil
 	// when breaking is disabled.
 	breakers *engine.BreakerSet
+	// plans is the parameterized plan-template cache; nil when disabled.
+	plans *core.PlanCache
 
 	mu    sync.Mutex
 	audit io.Writer
@@ -321,7 +349,7 @@ func Open(cfg Config, opts ...Option) (*Client, error) {
 			return nil, fmt.Errorf("payless: durable store: %w", err)
 		}
 	}
-	return &Client{
+	c := &Client{
 		cat:      cat,
 		db:       db,
 		store:    store,
@@ -330,7 +358,12 @@ func Open(cfg Config, opts ...Option) (*Client, error) {
 		cfg:      cfg,
 		metrics:  metrics,
 		breakers: engine.NewBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown).WithMetrics(metrics),
-	}, nil
+	}
+	if cfg.PlanCacheSize > 0 {
+		c.plans = core.NewPlanCache(cfg.PlanCacheSize)
+		c.plans.SetMetrics(metrics)
+	}
+	return c, nil
 }
 
 // Close flushes and closes the durable store's write-ahead log. Memory-only
@@ -443,11 +476,28 @@ func (c *Client) finishTrace(tr *obs.Trace) {
 // Explain and QueryBatch: each stage is recorded as a span on tr (which
 // may be nil) and failures come back as typed *QueryError values.
 func (c *Client) compile(sql string, tr *obs.Trace) (*core.Plan, core.Options, error) {
+	return c.compileCached(sql, tr, c.plans)
+}
+
+// compileCached is compile with an explicit plan-template cache (the
+// client's, a statement's private one, or nil for none). On a cache hit the
+// optimize stage is skipped entirely: the cached skeleton is re-bound onto
+// the freshly parsed literals, which is what makes repeated query shapes
+// plan in microseconds.
+func (c *Client) compileCached(sql string, tr *obs.Trace, cache *core.PlanCache) (*core.Plan, core.Options, error) {
 	end := tr.StartSpan("parse")
 	parsed, err := sqlparse.Parse(sql)
 	end(err)
 	if err != nil {
 		return nil, core.Options{}, stageErr(StageParse, err)
+	}
+	opts := c.options()
+	// A moving consistency horizon (Window) makes coverage decisions
+	// time-dependent in a way epochs cannot capture; those queries always
+	// re-optimize.
+	var norm *core.NormalizedQuery
+	if cache != nil && opts.Since.IsZero() {
+		norm = core.Normalize(parsed)
 	}
 	end = tr.StartSpan("bind")
 	bound, err := core.Bind(parsed, c.cat)
@@ -455,11 +505,36 @@ func (c *Client) compile(sql string, tr *obs.Trace) (*core.Plan, core.Options, e
 	if err != nil {
 		return nil, core.Options{}, stageErr(StageBind, err)
 	}
-	opts := c.options()
-	opt := core.Optimizer{Catalog: c.cat, Store: c.store, Stats: c.stats, Options: opts, Trace: tr}
+	if norm != nil {
+		if sk := cache.Get(norm.Key, c.store.Epoch, c.stats.Version()); sk != nil {
+			if plan, ok := sk.Instantiate(bound, c.store, &opts); ok {
+				tr.SetPlanner(core.PlannerCached)
+				tr.SetPlan(plan.String(), plan.EstTrans)
+				c.metrics.ObservePlanner(core.PlannerCached)
+				return plan, opts, nil
+			}
+		}
+	}
+	opt := core.Optimizer{
+		Catalog:      c.cat,
+		Store:        c.store,
+		Stats:        c.stats,
+		Options:      opts,
+		Greedy:       c.cfg.GreedyPlanner,
+		GreedyMargin: c.cfg.GreedyMargin,
+		Trace:        tr,
+	}
 	plan, err := opt.Optimize(bound)
 	if err != nil {
 		return nil, core.Options{}, stageErr(StageOptimize, err)
+	}
+	c.metrics.ObservePlanner(plan.Planner)
+	if norm != nil {
+		// The epochs snapshot is taken here, BEFORE execution: if this very
+		// query buys data, its purchases bump the table epochs and the entry
+		// correctly invalidates — the skeleton describes the store state it
+		// was costed against, nothing newer.
+		cache.Put(core.NewSkeleton(norm.Key, plan, c.store.Epoch, c.stats.Version()))
 	}
 	return plan, opts, nil
 }
@@ -474,9 +549,16 @@ func (c *Client) Query(sql string) (*Result, error) {
 // cancellation stay recorded in the semantic store, so a retry does not
 // re-bill them.
 func (c *Client) QueryContext(ctx context.Context, sql string) (*Result, error) {
+	return c.queryCached(ctx, sql, c.plans)
+}
+
+// queryCached is QueryContext with an explicit plan-template cache —
+// prepared statements route through here with their own cache when the
+// client-wide one is disabled.
+func (c *Client) queryCached(ctx context.Context, sql string, cache *core.PlanCache) (*Result, error) {
 	start := time.Now()
 	tr := c.beginTrace(sql)
-	res, err := c.run(ctx, sql, tr)
+	res, err := c.run(ctx, sql, tr, cache)
 	if err != nil {
 		c.metrics.ObserveQueryError()
 		c.finishTrace(tr)
@@ -492,8 +574,8 @@ func (c *Client) QueryContext(ctx context.Context, sql string) (*Result, error) 
 }
 
 // run executes one statement end to end, recording spans on tr.
-func (c *Client) run(ctx context.Context, sql string, tr *obs.Trace) (*Result, error) {
-	plan, opts, err := c.compile(sql, tr)
+func (c *Client) run(ctx context.Context, sql string, tr *obs.Trace, cache *core.PlanCache) (*Result, error) {
+	plan, opts, err := c.compileCached(sql, tr, cache)
 	if err != nil {
 		return nil, err
 	}
@@ -540,6 +622,7 @@ func (c *Client) run(ctx context.Context, sql string, tr *obs.Trace) (*Result, e
 		Counters:        plan.Counters,
 		Plan:            plan.String(),
 		OptimizeTime:    plan.Optimized,
+		Planner:         plannerName(plan),
 	}
 	for _, row := range rel.Rows {
 		enc := make([]string, len(row))
@@ -549,6 +632,39 @@ func (c *Client) run(ctx context.Context, sql string, tr *obs.Trace) (*Result, e
 		res.Rows = append(res.Rows, enc)
 	}
 	return res, nil
+}
+
+// Planner labels reported in Result.Planner, Trace and Explain output.
+const (
+	// PlannerDP marks a plan produced by the full dynamic program.
+	PlannerDP = core.PlannerDP
+	// PlannerGreedy marks a plan produced by the greedy fast path.
+	PlannerGreedy = core.PlannerGreedy
+	// PlannerCached marks a plan instantiated from the plan-template cache.
+	PlannerCached = core.PlannerCached
+)
+
+// plannerName reports a plan's planning strategy, defaulting to dp for
+// plans built before the label existed.
+func plannerName(p *core.Plan) string {
+	if p.Planner == "" {
+		return core.PlannerDP
+	}
+	return p.Planner
+}
+
+// PlanCacheStats is the plan-template cache's activity snapshot: lookup
+// hits/misses, entries discarded as stale, entries displaced by capacity,
+// and the current number of cached templates.
+type PlanCacheStats = core.PlanCacheStats
+
+// PlanCacheStats reports the client's plan-template cache activity; the
+// zero value when the cache is disabled.
+func (c *Client) PlanCacheStats() PlanCacheStats {
+	if c.plans == nil {
+		return PlanCacheStats{}
+	}
+	return c.plans.Stats()
 }
 
 // Metrics returns a snapshot of the client's cumulative counters and

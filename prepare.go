@@ -1,9 +1,11 @@
 package payless
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"payless/internal/core"
 	"payless/internal/value"
 )
 
@@ -16,6 +18,11 @@ type Stmt struct {
 	// segments are the SQL fragments around the placeholders:
 	// len(segments) == NumParams + 1.
 	segments []string
+	// cache is the plan-template cache executions plan through: the
+	// client-wide cache when one is enabled, otherwise a small private one —
+	// either way a prepared statement optimizes once per template shape
+	// instead of re-running the planner on every Query.
+	cache *core.PlanCache
 }
 
 // Prepare splits a SQL template on its `?` placeholders. Placeholders
@@ -48,7 +55,14 @@ func (c *Client) Prepare(template string) (*Stmt, error) {
 		return nil, fmt.Errorf("payless: unterminated string literal in template")
 	}
 	segments = append(segments, cur.String())
-	return &Stmt{client: c, segments: segments}, nil
+	cache := c.plans
+	if cache == nil {
+		// One template usually normalizes to one shape; a handful of slots
+		// absorbs shape variants (e.g. IN lists of different arity).
+		cache = core.NewPlanCache(8)
+		cache.SetMetrics(c.metrics)
+	}
+	return &Stmt{client: c, segments: segments, cache: cache}, nil
 }
 
 // NumParams returns the number of `?` placeholders.
@@ -100,13 +114,19 @@ func renderArg(arg any) (string, error) {
 	}
 }
 
-// Query executes the statement with the given parameter values.
+// Query executes the statement with the given parameter values. The plan is
+// derived once per template shape and re-bound per execution (see Stmt.cache).
 func (s *Stmt) Query(args ...any) (*Result, error) {
+	return s.QueryContext(context.Background(), args...)
+}
+
+// QueryContext is Query under a caller-supplied context.
+func (s *Stmt) QueryContext(ctx context.Context, args ...any) (*Result, error) {
 	sql, err := s.render(args)
 	if err != nil {
 		return nil, err
 	}
-	return s.client.Query(sql)
+	return s.client.queryCached(ctx, sql, s.cache)
 }
 
 // Explain optimises the instantiated statement without executing it.

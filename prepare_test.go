@@ -105,3 +105,47 @@ func TestPreparePlaceholderInsideLiteral(t *testing.T) {
 		t.Error("unterminated literal should error at Prepare")
 	}
 }
+
+// TestStmtPlansOncePerTemplate asserts the prepared-statement fast path: N
+// executions of one template shape must run the optimizer exactly once. The
+// template's data is bought up front so executions themselves change nothing
+// (no purchase, no epoch bump), and every post-warmup execution re-binds the
+// cached skeleton — zero optimize spans in its trace.
+func TestStmtPlansOncePerTemplate(t *testing.T) {
+	client, _, _ := testSetup(t, func(c *Config) {
+		c.Tracer = &CollectTracer{}
+	})
+	// Cover the whole table first: the statement executions below are then
+	// pure reads and the cached plan stays valid across all of them.
+	if _, err := client.Query("SELECT * FROM Weather WHERE Date >= 20140601 AND Date <= 20140630"); err != nil {
+		t.Fatal(err)
+	}
+	stmt, err := client.Prepare("SELECT * FROM Weather WHERE Date >= ? AND Date <= ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	optimizeSpans := 0
+	for i := 0; i < 10; i++ {
+		res, err := stmt.Query(20140601+i, 20140605+i)
+		if err != nil {
+			t.Fatalf("execution %d: %v", i, err)
+		}
+		if res.Trace == nil {
+			t.Fatalf("execution %d: no trace", i)
+		}
+		for _, sp := range res.Trace.Spans {
+			if sp.Name == "optimize" {
+				optimizeSpans++
+			}
+		}
+		if i > 0 && res.Planner != PlannerCached {
+			t.Errorf("execution %d planned via %q, want %q", i, res.Planner, PlannerCached)
+		}
+		if res.Report.Transactions != 0 {
+			t.Errorf("execution %d billed %d transactions on covered data", i, res.Report.Transactions)
+		}
+	}
+	if optimizeSpans != 1 {
+		t.Errorf("%d optimize spans across 10 executions, want exactly 1", optimizeSpans)
+	}
+}
