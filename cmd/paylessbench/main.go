@@ -20,7 +20,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 10, 11, 12, 13, 14, 15, conc, store, faults, durability, plan or all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 10, 11, 12, 13, 14, 15, conc, shared, store, faults, durability, plan or all")
 		dataset  = flag.String("dataset", "all", "dataset: real, tpch, tpch-skew or all")
 		qReal    = flag.Int("qreal", 40, "query instances per template (real data)")
 		qTPCH    = flag.Int("qtpch", 10, "query instances per template (TPC-H)")
@@ -39,7 +39,7 @@ func main() {
 	p.Seed = *seed
 	p.SampleEvery = *sample
 
-	figures := []string{"10", "11", "12", "13", "14", "15", "conc", "store", "faults", "durability", "plan"}
+	figures := []string{"10", "11", "12", "13", "14", "15", "conc", "shared", "store", "faults", "durability", "plan"}
 	if *fig != "all" {
 		figures = []string{*fig}
 	}
@@ -97,6 +97,11 @@ func one(f, ds string, req bench.Request) (*bench.Figure, error) {
 		cp := bench.DefaultConcurrencyParams()
 		cp.Trace = req.ConcTrace
 		return bench.FigConcurrency(cp)
+	case "shared":
+		if ds != "real" && ds != "all" {
+			return nil, nil // the sharing sweep runs on the real workload only
+		}
+		return bench.FigShared(bench.DefaultSharedParams())
 	case "store":
 		if ds != "real" && ds != "all" {
 			return nil, nil // the store sweep uses its own synthetic grid

@@ -1,6 +1,7 @@
 package payless
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -30,7 +31,7 @@ func (f *flakyCaller) arm(failFrom int) {
 	f.failFrom = failFrom
 }
 
-func (f *flakyCaller) Call(q catalog.AccessQuery) (market.Result, error) {
+func (f *flakyCaller) Call(ctx context.Context, q catalog.AccessQuery) (market.Result, error) {
 	f.mu.Lock()
 	f.calls++
 	down := f.failFrom >= 0 && f.calls >= f.failFrom
@@ -38,7 +39,7 @@ func (f *flakyCaller) Call(q catalog.AccessQuery) (market.Result, error) {
 	if down {
 		return market.Result{}, errMarketDown
 	}
-	return f.inner.Call(q)
+	return f.inner.Call(ctx, q)
 }
 
 func flakySetup(t *testing.T) (*Client, *flakyCaller, *workload.WHW) {

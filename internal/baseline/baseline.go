@@ -11,6 +11,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -82,7 +83,7 @@ func (d *DownloadAll) ensureDownloaded(t *catalog.Table) error {
 	if t.Local || d.downloaded[t.Name] {
 		return nil
 	}
-	res, err := d.caller.Call(catalog.AccessQuery{Dataset: t.Dataset, Table: t.Name})
+	res, err := d.caller.Call(context.Background(), catalog.AccessQuery{Dataset: t.Dataset, Table: t.Name})
 	if err != nil {
 		return err
 	}

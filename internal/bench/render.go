@@ -109,6 +109,16 @@ func RenderAll(req Request, w io.Writer) error {
 			fmt.Fprintf(w, "   (regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
 			continue
 		}
+		if f == "shared" {
+			start := time.Now()
+			fig, err := FigShared(DefaultSharedParams())
+			if err != nil {
+				return fmt.Errorf("fig shared: %w", err)
+			}
+			fmt.Fprint(w, fig.Render())
+			fmt.Fprintf(w, "   (regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+			continue
+		}
 		if f == "conc" {
 			start := time.Now()
 			cp := DefaultConcurrencyParams()

@@ -1,0 +1,243 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	payless "payless"
+
+	"payless/internal/catalog"
+	"payless/internal/market"
+	"payless/internal/storage"
+	"payless/internal/workload"
+)
+
+// SharedParams controls the cross-query sharing experiment: N concurrent
+// client streams replay the same WHW query list through ONE PayLess client,
+// once with the call scheduler and once without, and the figure reports the
+// billed transactions at each N.
+type SharedParams struct {
+	Cfg workload.WHWConfig
+	// Levels are the concurrent-stream counts to sweep.
+	Levels []int
+	// Queries is the number of disjoint queries each stream replays.
+	Queries int
+}
+
+// DefaultSharedParams mirrors the concurrency sweep's scale: 8 countries,
+// disjoint per-round boxes, N in {1, 2, 4, 8}.
+func DefaultSharedParams() SharedParams {
+	cfg := workload.DefaultWHWConfig()
+	cfg.Countries = 8
+	cfg.StationsPerCountry = 10
+	cfg.Days = 20
+	return SharedParams{
+		Cfg:     cfg,
+		Levels:  []int{1, 2, 4, 8},
+		Queries: 6,
+	}
+}
+
+// sharedEnv is one live market plus the disjoint query list every stream
+// replays. The rounds are pairwise disjoint boxes (countries × date chunks)
+// so each round's uncovered remainder is identical for every stream — the
+// duplication is purely cross-stream, which is exactly what the scheduler
+// is supposed to remove.
+type sharedEnv struct {
+	w   *workload.WHW
+	m   *market.Market
+	sql []string
+}
+
+func newSharedEnv(p SharedParams) (*sharedEnv, error) {
+	w := workload.GenerateWHW(p.Cfg)
+	m := market.New()
+	if err := w.Install(m, storage.NewDB(), 100, 1); err != nil {
+		return nil, err
+	}
+	c := len(w.Countries)
+	chunks := (p.Queries + c - 1) / c
+	if chunks > len(w.Dates) {
+		return nil, fmt.Errorf("shared: %d queries need %d date chunks but only %d dates exist",
+			p.Queries, chunks, len(w.Dates))
+	}
+	sqls := make([]string, 0, p.Queries)
+	for i := 0; i < p.Queries; i++ {
+		country := w.Countries[i%c]
+		j := i / c
+		lo := w.Dates[j*len(w.Dates)/chunks]
+		hi := w.Dates[(j+1)*len(w.Dates)/chunks-1]
+		sqls = append(sqls, fmt.Sprintf(
+			"SELECT * FROM Weather WHERE Country = '%s' AND Date >= %d AND Date <= %d", country, lo, hi))
+	}
+	return &sharedEnv{w: w, m: m, sql: sqls}, nil
+}
+
+// sharedGate blocks every wire call on the current gate until the run
+// releases it, counting arrivals. Holding the gate pins the overlap: no
+// stream can record its purchase while another is still planning, so "N
+// concurrent buyers of the same box" is a controlled fact of the experiment
+// rather than a scheduling accident.
+type sharedGate struct {
+	inner   market.Caller
+	arrived atomic.Int64
+	mu      sync.Mutex
+	gate    chan struct{}
+}
+
+func (g *sharedGate) setGate(c chan struct{}) {
+	g.mu.Lock()
+	g.gate = c
+	g.mu.Unlock()
+}
+
+func (g *sharedGate) arrivals() int64 { return g.arrived.Load() }
+
+func (g *sharedGate) Call(ctx context.Context, q catalog.AccessQuery) (market.Result, error) {
+	g.mu.Lock()
+	gate := g.gate
+	g.mu.Unlock()
+	g.arrived.Add(1)
+	if gate != nil {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return market.Result{}, ctx.Err()
+		}
+	}
+	return g.inner.Call(ctx, q)
+}
+
+// runShared replays the query list with n concurrent streams through one
+// fresh client and returns the account's billed transactions.
+func (env *sharedEnv) runShared(acct string, n int, scheduled bool) (int64, error) {
+	env.m.RegisterAccount(acct)
+	gc := &sharedGate{inner: market.AccountCaller{Market: env.m, Key: acct}}
+	var opts []payless.Option
+	if scheduled {
+		opts = append(opts, payless.WithCallScheduler())
+	}
+	client, err := payless.Open(payless.Config{
+		Tables:                      append(env.m.ExportCatalog(), env.w.ZipMap),
+		Caller:                      gc,
+		DefaultTuplesPerTransaction: 100,
+		FetchConcurrency:            4,
+	}, opts...)
+	if err != nil {
+		return 0, err
+	}
+	if err := client.LoadLocal("ZipMap", env.w.ZipMapRows); err != nil {
+		return 0, err
+	}
+
+	for _, sql := range env.sql {
+		if n == 1 {
+			if _, err := client.Query(sql); err != nil {
+				return 0, err
+			}
+			continue
+		}
+		gate := make(chan struct{})
+		gc.setGate(gate)
+		arrBefore := gc.arrivals()
+		hitsBefore := client.Metrics().SchedSingleflightHits
+
+		var wg sync.WaitGroup
+		errs := make([]error, n)
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				_, errs[i] = client.Query(sql)
+			}(i)
+		}
+		// Hold the gate until the overlap is observable: scheduled streams
+		// must have joined the one flight, unscheduled streams must each
+		// have their own wire call in flight.
+		var waitErr error
+		if scheduled {
+			waitErr = waitShared(func() bool {
+				return client.Metrics().SchedSingleflightHits >= hitsBefore+int64(n-1)
+			})
+		} else {
+			waitErr = waitShared(func() bool {
+				return gc.arrivals() >= arrBefore+int64(n)
+			})
+		}
+		close(gate)
+		wg.Wait()
+		if waitErr != nil {
+			for _, err := range errs {
+				if err != nil {
+					return 0, fmt.Errorf("%w (stream error: %v)", waitErr, err)
+				}
+			}
+			return 0, waitErr
+		}
+		for _, err := range errs {
+			if err != nil {
+				return 0, err
+			}
+		}
+	}
+	meter, _ := env.m.MeterOf(acct)
+	return meter.Transactions, nil
+}
+
+func waitShared(cond func() bool) error {
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return fmt.Errorf("shared: timed out waiting for streams to overlap")
+}
+
+// FigShared measures what N concurrent identical query streams cost with
+// and without the global call scheduler. Unscheduled, every stream buys its
+// own copy of every box, so the bill grows linearly in N; scheduled, the
+// single-flight collapses the N concurrent buyers onto one wire call and
+// one bill. Two invariants are checked inline: at N=1 the scheduler must be
+// bill-neutral, and at every N it must never cost more than the
+// unscheduled run.
+func FigShared(p SharedParams) (*Figure, error) {
+	env, err := newSharedEnv(p)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID: "FigShared",
+		Title: fmt.Sprintf("Billed transactions vs. concurrent streams (%d disjoint queries replayed per stream)",
+			len(env.sql)),
+		XLabel: "clients",
+	}
+	unsched := Series{System: "PayLess unscheduled"}
+	sched := Series{System: "PayLess + call scheduler"}
+	for _, n := range p.Levels {
+		bu, err := env.runShared(fmt.Sprintf("unsched-%d", n), n, false)
+		if err != nil {
+			return nil, fmt.Errorf("unscheduled n=%d: %w", n, err)
+		}
+		bs, err := env.runShared(fmt.Sprintf("sched-%d", n), n, true)
+		if err != nil {
+			return nil, fmt.Errorf("scheduled n=%d: %w", n, err)
+		}
+		if n == 1 && bs != bu {
+			return nil, fmt.Errorf("scheduler changed the N=1 bill: %d vs %d transactions", bs, bu)
+		}
+		if bs > bu {
+			return nil, fmt.Errorf("scheduler cost more at n=%d: %d vs %d transactions", n, bs, bu)
+		}
+		unsched.X = append(unsched.X, n)
+		unsched.Y = append(unsched.Y, bu)
+		sched.X = append(sched.X, n)
+		sched.Y = append(sched.Y, bs)
+	}
+	fig.Series = append(fig.Series, unsched, sched)
+	return fig, nil
+}

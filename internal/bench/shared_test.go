@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"testing"
+
+	"payless/internal/workload"
+)
+
+func smallSharedParams() SharedParams {
+	cfg := workload.DefaultWHWConfig()
+	cfg.Countries = 4
+	cfg.StationsPerCountry = 5
+	cfg.CitiesPerCountry = 2
+	cfg.Days = 10
+	cfg.Zips = 20
+	return SharedParams{
+		Cfg:     cfg,
+		Levels:  []int{1, 8},
+		Queries: 3,
+	}
+}
+
+// TestFigSharedSchedulerSavesAtN8 is the bench gate of the scheduler PR:
+// eight concurrent streams replaying the same queries must bill at most
+// 0.7x the unscheduled run (in practice the single-flight collapses them to
+// the serial price), and at N=1 the scheduler must be bill-neutral —
+// FigShared itself errors on an N=1 divergence, and we re-assert both here.
+func TestFigSharedSchedulerSavesAtN8(t *testing.T) {
+	fig, err := FigShared(smallSharedParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series shape: %+v", fig.Series)
+	}
+	unsched, sched := fig.Series[0], fig.Series[1]
+	if len(unsched.Y) != 2 || len(sched.Y) != 2 {
+		t.Fatalf("level shape: unsched %+v sched %+v", unsched, sched)
+	}
+	if sched.Y[0] != unsched.Y[0] {
+		t.Fatalf("N=1 bill diverged: sched %d vs unsched %d", sched.Y[0], unsched.Y[0])
+	}
+	if sched.Y[1]*10 > unsched.Y[1]*7 {
+		t.Fatalf("bench gate: N=8 scheduled bill %d > 0.7 x unscheduled %d",
+			sched.Y[1], unsched.Y[1])
+	}
+	if out := fig.Render(); len(out) == 0 {
+		t.Error("empty render")
+	}
+}

@@ -20,13 +20,8 @@ type Caller struct {
 	Schedule *Schedule
 }
 
-// Call implements market.Caller.
-func (c Caller) Call(q catalog.AccessQuery) (market.Result, error) {
-	return c.CallContext(context.Background(), q)
-}
-
-// CallContext implements market.ContextCaller.
-func (c Caller) CallContext(ctx context.Context, q catalog.AccessQuery) (market.Result, error) {
+// Call implements the unified market.Caller.
+func (c Caller) Call(ctx context.Context, q catalog.AccessQuery) (market.Result, error) {
 	key := q.String()
 	kind, delay, ok := c.Schedule.next(key)
 	if !ok {

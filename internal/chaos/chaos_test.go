@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"context"
 	"errors"
 	"io"
 	"net/http"
@@ -125,7 +126,7 @@ func TestCallerPreVsPostBillingFaults(t *testing.T) {
 	// Reject fires before the market sees the call: nothing billed.
 	s := NewSchedule(1).Target(func(string) bool { return true }, Reject, 1)
 	c := Caller{Inner: market.AccountCaller{Market: m, Key: "acct"}, Schedule: s}
-	_, err := c.Call(q(0, 9))
+	_, err := c.Call(context.Background(), q(0, 9))
 	if !errors.Is(err, ErrInjected) {
 		t.Fatalf("want injected error, got %v", err)
 	}
@@ -135,7 +136,7 @@ func TestCallerPreVsPostBillingFaults(t *testing.T) {
 	}
 	// Drop fires after: the call bills, the result is lost.
 	s.Target(func(string) bool { return true }, Drop, 1)
-	if _, err := c.Call(q(0, 9)); !errors.Is(err, ErrInjected) {
+	if _, err := c.Call(context.Background(), q(0, 9)); !errors.Is(err, ErrInjected) {
 		t.Fatalf("want injected error, got %v", err)
 	}
 	meter, _ = m.MeterOf("acct")

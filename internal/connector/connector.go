@@ -1,7 +1,7 @@
 // Package connector is PayLess's data-market connector (paper §3, step 5):
 // an HTTP client that registers with a market server, exports its public
 // catalog, and issues RESTful data calls carrying the buyer's authentication
-// key. It implements market.Caller and market.ContextCaller, so the
+// key. It implements the unified context-first market.Caller, so the
 // execution engine is oblivious to whether the market is remote (this
 // client) or in-process, and its parallel fetch pipeline can cancel
 // in-flight calls.
@@ -68,8 +68,15 @@ type Client struct {
 	http    *http.Client
 	// retries is the number of extra attempts on retryable errors.
 	retries int
-	// perCallTimeout bounds each individual HTTP attempt; 0 disables the
-	// per-attempt deadline (the caller's context still applies).
+	// perCallTimeout bounds each individual HTTP attempt. The zero value is
+	// explicit: 0 means "no per-attempt deadline — each attempt is bounded
+	// only by the caller's context", it is never silently replaced by the
+	// default. New installs DefaultPerCallTimeout; WithPerCallTimeout(0)
+	// opts out deliberately. Before the caller interface was unified, the
+	// background-context Call wrapper combined with perCallTimeout == 0
+	// produced attempts with no deadline at all; with the context-first
+	// entry the caller's context always travels into every attempt, so an
+	// explicit 0 degrades to "caller-bounded" instead of "unbounded".
 	perCallTimeout time.Duration
 	// backoffBase and backoffMax shape the exponential backoff between
 	// attempts: base<<attempt capped at max, then jittered to 50–100%.
@@ -96,10 +103,21 @@ func WithRetries(n int) Option {
 	return func(c *Client) { c.retries = n }
 }
 
-// WithPerCallTimeout bounds each HTTP attempt; 0 disables the per-attempt
-// deadline.
+// DefaultPerCallTimeout is the per-attempt deadline New installs when
+// WithPerCallTimeout is not given.
+const DefaultPerCallTimeout = 30 * time.Second
+
+// WithPerCallTimeout bounds each HTTP attempt. d == 0 explicitly disables
+// the per-attempt deadline: each attempt is then bounded only by the
+// caller's context (pass a context with a deadline, or accept that a stuck
+// attempt lives as long as the query). Negative values are treated as 0.
 func WithPerCallTimeout(d time.Duration) Option {
-	return func(c *Client) { c.perCallTimeout = d }
+	return func(c *Client) {
+		if d < 0 {
+			d = 0
+		}
+		c.perCallTimeout = d
+	}
 }
 
 // WithBackoff sets the exponential backoff shape between retry attempts.
@@ -121,7 +139,7 @@ func New(baseURL, key string, opts ...Option) *Client {
 		key:            key,
 		http:           &http.Client{},
 		retries:        2,
-		perCallTimeout: 30 * time.Second,
+		perCallTimeout: DefaultPerCallTimeout,
 		backoffBase:    100 * time.Millisecond,
 		backoffMax:     2 * time.Second,
 		sleep: func(ctx context.Context, d time.Duration) error {
@@ -312,15 +330,10 @@ func (c *Client) Meter() (market.Meter, error) {
 	return m, err
 }
 
-// Call executes one RESTful data call. It implements market.Caller.
-func (c *Client) Call(q catalog.AccessQuery) (market.Result, error) {
-	return c.CallContext(context.Background(), q)
-}
-
-// CallContext executes one RESTful data call under ctx. It implements
-// market.ContextCaller: cancelling ctx aborts the in-flight request and any
+// Call executes one RESTful data call under ctx. It implements the unified
+// market.Caller: cancelling ctx aborts the in-flight request and any
 // remaining result pages.
-func (c *Client) CallContext(ctx context.Context, q catalog.AccessQuery) (market.Result, error) {
+func (c *Client) Call(ctx context.Context, q catalog.AccessQuery) (market.Result, error) {
 	if !c.noCallIDs {
 		// One idempotency ID per logical call, shared by every retry of
 		// every page: the market bills it once and replays thereafter.

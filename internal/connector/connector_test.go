@@ -1,6 +1,7 @@
 package connector
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -58,7 +59,7 @@ func TestClientCatalogAndCall(t *testing.T) {
 		t.Fatalf("catalog: %+v", tables)
 	}
 
-	res, err := c.Call(catalog.AccessQuery{Dataset: "WHW", Table: "Station"})
+	res, err := c.Call(context.Background(), catalog.AccessQuery{Dataset: "WHW", Table: "Station"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestClientCatalogAndCall(t *testing.T) {
 	}
 
 	ca := value.NewString("Canada")
-	res2, err := c.Call(catalog.AccessQuery{Dataset: "WHW", Table: "Station", Preds: []catalog.Pred{
+	res2, err := c.Call(context.Background(), catalog.AccessQuery{Dataset: "WHW", Table: "Station", Preds: []catalog.Pred{
 		{Attr: "Country", Eq: &ca},
 		{Attr: "StationID", Lo: catalog.IntPtr(1), Hi: catalog.IntPtr(50)},
 	}})
@@ -97,7 +98,7 @@ func TestClientDatasetlessCall(t *testing.T) {
 	srv := httptest.NewServer(m.Handler())
 	defer srv.Close()
 	c := New(srv.URL, "k")
-	res, err := c.Call(catalog.AccessQuery{Table: "Station"})
+	res, err := c.Call(context.Background(), catalog.AccessQuery{Table: "Station"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestClientServerErrors(t *testing.T) {
 		t.Error("bad key should error")
 	}
 	c := New(srv.URL, "k")
-	if _, err := c.Call(catalog.AccessQuery{Table: "Ghost"}); err == nil {
+	if _, err := c.Call(context.Background(), catalog.AccessQuery{Table: "Ghost"}); err == nil {
 		t.Error("unknown table should error")
 	}
 }
@@ -194,7 +195,7 @@ func TestClientPagination(t *testing.T) {
 	defer srv.Close()
 
 	c := New(srv.URL, "k")
-	res, err := c.Call(catalog.AccessQuery{Dataset: "BIG", Table: "Big"})
+	res, err := c.Call(context.Background(), catalog.AccessQuery{Dataset: "BIG", Table: "Big"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -119,7 +119,7 @@ func TestCancelDuringBackoffSleep(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
 	defer cancel()
 	start := time.Now()
-	_, err := c.CallContext(ctx, catalog.AccessQuery{Dataset: "DS", Table: "T"})
+	_, err := c.Call(ctx, catalog.AccessQuery{Dataset: "DS", Table: "T"})
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("want DeadlineExceeded out of the backoff sleep, got %v", err)
 	}
@@ -173,7 +173,7 @@ func TestCallIDStableAcrossRetriesAndPages(t *testing.T) {
 	defer srv.Close()
 
 	c := New(srv.URL, "k", WithRetries(2), fastBackoff())
-	if _, err := c.Call(catalog.AccessQuery{Dataset: "DS", Table: "T"}); err != nil {
+	if _, err := c.Call(context.Background(), catalog.AccessQuery{Dataset: "DS", Table: "T"}); err != nil {
 		t.Fatal(err)
 	}
 	mu.Lock()
@@ -201,7 +201,7 @@ func TestWithoutCallIDsSendsNoHeader(t *testing.T) {
 	defer srv.Close()
 
 	c := New(srv.URL, "k", WithoutCallIDs(), fastBackoff())
-	if _, err := c.Call(catalog.AccessQuery{Dataset: "DS", Table: "T"}); err != nil {
+	if _, err := c.Call(context.Background(), catalog.AccessQuery{Dataset: "DS", Table: "T"}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -24,7 +24,7 @@ func TestPermanent4xxFailsFastWithoutRetry(t *testing.T) {
 	defer srv.Close()
 
 	c := New(srv.URL, "k", WithRetries(5), fastBackoff())
-	_, err := c.Call(catalog.AccessQuery{Dataset: "DS", Table: "T"})
+	_, err := c.Call(context.Background(), catalog.AccessQuery{Dataset: "DS", Table: "T"})
 	if err == nil {
 		t.Fatal("400 must surface an error")
 	}
@@ -94,7 +94,7 @@ func TestContextCancellationStopsRetrying(t *testing.T) {
 	defer cancel()
 	c := New(srv.URL, "k", WithRetries(5), fastBackoff())
 	start := time.Now()
-	_, err := c.CallContext(ctx, catalog.AccessQuery{Dataset: "DS", Table: "T"})
+	_, err := c.Call(ctx, catalog.AccessQuery{Dataset: "DS", Table: "T"})
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("want DeadlineExceeded, got %v", err)
 	}

@@ -25,6 +25,7 @@ import (
 	"payless/internal/market"
 	"payless/internal/obs"
 	"payless/internal/region"
+	"payless/internal/sched"
 	"payless/internal/semstore"
 	"payless/internal/sqlparse"
 	"payless/internal/stats"
@@ -57,6 +58,11 @@ type Engine struct {
 	Stats stats.Estimator
 	// Caller issues the RESTful calls.
 	Caller market.Caller
+	// Sched, when non-nil, routes market fetches through the global call
+	// scheduler: identical concurrent calls are single-flighted and
+	// adjacent cross-query remainders may be merged. Nil issues every call
+	// directly through Caller.
+	Sched *sched.Scheduler
 	// Options mirrors the optimizer's toggles (SQR, consistency window).
 	Options core.Options
 	// Concurrency bounds the number of in-flight market calls per batch;

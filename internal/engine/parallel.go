@@ -14,6 +14,7 @@ import (
 	"payless/internal/obs"
 	"payless/internal/region"
 	"payless/internal/rewrite"
+	"payless/internal/sched"
 )
 
 // callSpec is one planned market call of a batch: the access query to issue
@@ -109,6 +110,9 @@ func (e *Engine) runBatch(ctx context.Context, specs []callSpec, report *Report)
 	if traced {
 		recs = make([]*obs.CallRecord, len(specs))
 	}
+	// infos holds the scheduler's verdict per call (shared, merged,
+	// recorded-on-our-behalf); zero values when no scheduler is wired.
+	infos := make([]sched.Info, len(specs))
 	var failed atomic.Bool
 	sem := make(chan struct{}, e.concurrency(len(specs)))
 	var wg sync.WaitGroup
@@ -149,7 +153,18 @@ func (e *Engine) runBatch(ctx context.Context, specs []callSpec, report *Report)
 				callCtx = obs.ContextWithCall(cctx, recs[i])
 				start = time.Now()
 			}
-			res, err := market.Do(callCtx, e.Caller, specs[i].q)
+			var res market.Result
+			var err error
+			if e.Sched != nil {
+				res, infos[i], err = e.Sched.Fetch(callCtx, sched.Request{
+					Meta:   specs[i].meta,
+					Box:    specs[i].box,
+					Query:  specs[i].q,
+					Record: specs[i].record && e.Store != nil,
+				})
+			} else {
+				res, err = market.Do(callCtx, e.Caller, specs[i].q)
+			}
 			if traced {
 				recs[i].Latency = time.Since(start)
 			}
@@ -176,7 +191,10 @@ func (e *Engine) runBatch(ctx context.Context, specs []callSpec, report *Report)
 		var walMicros int64
 		var walSynced bool
 		recorded := spec.record && e.Store != nil
-		if recorded {
+		// The scheduler records shared/merged/abandoned calls itself,
+		// exactly once per wire call; recording here again would duplicate
+		// the rows' coverage entry.
+		if recorded && !infos[i].Recorded {
 			rr, err := e.Store.Record(spec.meta, spec.box, res.Rows, e.now())
 			added, compacted = rr.Added, rr.Compacted()
 			walMicros, walSynced = rr.WALMicros, rr.Synced
@@ -190,6 +208,8 @@ func (e *Engine) runBatch(ctx context.Context, specs []callSpec, report *Report)
 			rec.Transactions = res.Transactions
 			rec.Price = res.Price
 			rec.Recorded = recorded
+			rec.Coalesced = infos[i].Shared || infos[i].Merged
+			rec.SharedWith = infos[i].SharedWith
 			rec.NewRows = added
 			rec.Compacted = compacted
 			rec.WALMicros = walMicros

@@ -23,11 +23,7 @@ type poolCaller struct {
 	calls    []string // table names in completion order
 }
 
-func (p *poolCaller) Call(q catalog.AccessQuery) (market.Result, error) {
-	return p.CallContext(context.Background(), q)
-}
-
-func (p *poolCaller) CallContext(ctx context.Context, q catalog.AccessQuery) (market.Result, error) {
+func (p *poolCaller) Call(ctx context.Context, q catalog.AccessQuery) (market.Result, error) {
 	p.mu.Lock()
 	p.seq++
 	seq := p.seq

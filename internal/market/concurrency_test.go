@@ -1,6 +1,7 @@
 package market
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -54,7 +55,7 @@ func TestConcurrentCallsConserveBilling(t *testing.T) {
 			for i := 0; i < calls; i++ {
 				lo := int64(rng.Intn(rows) + 1)
 				hi := lo + int64(rng.Intn(rows/4))
-				res, err := caller.Call(catalog.AccessQuery{
+				res, err := caller.Call(context.Background(), catalog.AccessQuery{
 					Dataset: "DS", Table: "T",
 					Preds: []catalog.Pred{{Attr: "K", Lo: &lo, Hi: &hi}},
 				})
@@ -145,7 +146,7 @@ func TestConcurrentAppendAndCall(t *testing.T) {
 			defer buyers.Done()
 			for i := 0; i < 50; i++ {
 				lo, hi := int64(1), int64(1000000)
-				res, err := caller.Call(catalog.AccessQuery{
+				res, err := caller.Call(context.Background(), catalog.AccessQuery{
 					Dataset: "DS", Table: "T",
 					Preds: []catalog.Pred{{Attr: "K", Lo: &lo, Hi: &hi}},
 				})

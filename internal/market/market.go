@@ -39,32 +39,64 @@ type Result struct {
 }
 
 // Caller abstracts "something that executes RESTful calls": the in-process
-// market, the HTTP connector, or PayLess's own semantic-store shortcut.
+// market, the HTTP connector, the global call scheduler, or a fault-injecting
+// wrapper. Call is context-first — every transport honours cancellation and
+// deadlines as far as it is able (the in-process market gates admission, the
+// HTTP connector aborts in-flight requests) — so there is exactly one way to
+// issue a call and exactly one place cancellation semantics live.
 type Caller interface {
+	Call(ctx context.Context, q catalog.AccessQuery) (Result, error)
+}
+
+// CallerFunc adapts an ordinary function to the Caller interface, the
+// smallest way to build one-off callers in tests and wrappers.
+type CallerFunc func(ctx context.Context, q catalog.AccessQuery) (Result, error)
+
+// Call implements Caller.
+func (f CallerFunc) Call(ctx context.Context, q catalog.AccessQuery) (Result, error) {
+	return f(ctx, q)
+}
+
+// ContextCaller is the pre-unification name for the context-aware caller.
+// The dual Caller/ContextCaller split is gone: Caller itself is context-first.
+//
+// Deprecated: use Caller.
+type ContextCaller = Caller
+
+// LegacyCaller is the pre-unification context-free caller shape. Nothing in
+// this module implements it any more; it exists so external callers written
+// against the old interface migrate mechanically through Legacy.
+//
+// Deprecated: implement Caller directly.
+type LegacyCaller interface {
 	Call(q catalog.AccessQuery) (Result, error)
 }
 
-// ContextCaller is a Caller whose calls honour context cancellation and
-// deadlines. The engine's parallel fetch pipeline uses CallContext when the
-// transport provides it so an aborted query stops its in-flight fan-out.
-type ContextCaller interface {
-	Caller
-	CallContext(ctx context.Context, q catalog.AccessQuery) (Result, error)
-}
-
-// Do dispatches one call through c, using CallContext when the transport
-// supports it. A context that is already cancelled fails before any money is
-// spent; plain Callers are invoked as-is (their calls cannot be interrupted).
-func Do(ctx context.Context, c Caller, q catalog.AccessQuery) (Result, error) {
-	if ctx != nil {
+// Legacy adapts a pre-unification context-free caller to the unified
+// interface. The context only gates admission — a legacy call in flight
+// cannot be interrupted.
+//
+// Deprecated: implement Caller directly.
+func Legacy(c LegacyCaller) Caller {
+	return CallerFunc(func(ctx context.Context, q catalog.AccessQuery) (Result, error) {
 		if err := ctx.Err(); err != nil {
 			return Result{}, err
 		}
-		if cc, ok := c.(ContextCaller); ok {
-			return cc.CallContext(ctx, q)
-		}
+		return c.Call(q)
+	})
+}
+
+// Do dispatches one call through c. A nil or already-cancelled context fails
+// before any money is spent. Kept as a convenience for call sites that may
+// hold a nil context; everything else should call c.Call directly.
+func Do(ctx context.Context, c Caller, q catalog.AccessQuery) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	return c.Call(q)
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	return c.Call(ctx, q)
 }
 
 // Meter accumulates a buyer account's spending.
@@ -572,14 +604,9 @@ type AccountCaller struct {
 	Key    string
 }
 
-// Call implements Caller.
-func (a AccountCaller) Call(q catalog.AccessQuery) (Result, error) {
-	return a.Market.Execute(a.Key, q)
-}
-
-// CallContext implements ContextCaller. The in-process transport has no
-// in-flight work to interrupt, so the context only gates call admission.
-func (a AccountCaller) CallContext(ctx context.Context, q catalog.AccessQuery) (Result, error) {
+// Call implements Caller. The in-process transport has no in-flight work to
+// interrupt, so the context only gates call admission.
+func (a AccountCaller) Call(ctx context.Context, q catalog.AccessQuery) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}

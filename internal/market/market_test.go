@@ -1,6 +1,7 @@
 package market
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -213,12 +214,12 @@ func TestExportCatalog(t *testing.T) {
 func TestAccountCaller(t *testing.T) {
 	m := newTestMarket(t, 10)
 	var c Caller = AccountCaller{Market: m, Key: "key1"}
-	res, err := c.Call(catalog.AccessQuery{Table: "Pollution"})
+	res, err := c.Call(context.Background(), catalog.AccessQuery{Table: "Pollution"})
 	if err != nil || res.Records != 10 {
 		t.Errorf("AccountCaller: %+v %v", res, err)
 	}
 	bad := AccountCaller{Market: m, Key: "nope"}
-	if _, err := bad.Call(catalog.AccessQuery{Table: "Pollution"}); err == nil {
+	if _, err := bad.Call(context.Background(), catalog.AccessQuery{Table: "Pollution"}); err == nil {
 		t.Error("bad key should error")
 	}
 }

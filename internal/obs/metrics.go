@@ -148,6 +148,11 @@ type Metrics struct {
 	plansGreedy            int64
 	plansDP                int64
 
+	schedSingleflightHits        int64
+	schedMergedCalls             int64
+	schedMergedTransactionsSaved int64
+	schedDelayedCalls            int64
+
 	queryLatency    histogram
 	callLatency     histogram
 	optimizeLatency histogram
@@ -407,6 +412,44 @@ func (m *Metrics) ObservePlanner(planner string) {
 	}
 }
 
+// ObserveSchedSingleflightHit counts a market call that joined an identical
+// (or containing) in-flight call instead of going to the wire — one bill
+// shared by several concurrent requesters.
+func (m *Metrics) ObserveSchedSingleflightHit() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.schedSingleflightHits++
+}
+
+// ObserveSchedMerge counts one merged wire call the scheduler fused out of
+// several cross-query remainder boxes, and how many transactions the merge
+// saved versus billing the parts separately.
+func (m *Metrics) ObserveSchedMerge(saved int64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.schedMergedCalls++
+	if saved > 0 {
+		m.schedMergedTransactionsSaved += saved
+	}
+}
+
+// ObserveSchedDelayedCall counts a sub-transaction-size fetch the scheduler
+// parked in the coalesce window to accumulate merge candidates.
+func (m *Metrics) ObserveSchedDelayedCall() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.schedDelayedCalls++
+}
+
 // ObserveCall folds one served market call into the registry — the
 // seller-side entry point used by Market.Execute.
 func (m *Metrics) ObserveCall(latency time.Duration, records, transactions int64, price float64) {
@@ -499,6 +542,16 @@ type Snapshot struct {
 	PlansGreedy            int64
 	PlansDP                int64
 
+	// SchedSingleflightHits counts calls served by joining an identical
+	// in-flight call; SchedMergedCalls wire calls fused out of several
+	// cross-query boxes; SchedMergedTransactionsSaved the transactions the
+	// merges saved versus billing the parts; SchedDelayedCalls the fetches
+	// parked in the coalesce window.
+	SchedSingleflightHits        int64
+	SchedMergedCalls             int64
+	SchedMergedTransactionsSaved int64
+	SchedDelayedCalls            int64
+
 	QueryLatency    HistogramSnapshot
 	CallLatency     HistogramSnapshot
 	OptimizeLatency HistogramSnapshot
@@ -557,9 +610,14 @@ func (m *Metrics) Snapshot() Snapshot {
 		PlansGreedy:            m.plansGreedy,
 		PlansDP:                m.plansDP,
 
-		QueryLatency:          m.queryLatency.snapshot(),
-		CallLatency:           m.callLatency.snapshot(),
-		OptimizeLatency:       m.optimizeLatency.snapshot(),
+		SchedSingleflightHits:        m.schedSingleflightHits,
+		SchedMergedCalls:             m.schedMergedCalls,
+		SchedMergedTransactionsSaved: m.schedMergedTransactionsSaved,
+		SchedDelayedCalls:            m.schedDelayedCalls,
+
+		QueryLatency:    m.queryLatency.snapshot(),
+		CallLatency:     m.callLatency.snapshot(),
+		OptimizeLatency: m.optimizeLatency.snapshot(),
 	}
 }
 
@@ -618,6 +676,10 @@ func (m *Metrics) WritePrometheus(w io.Writer, prefix string) {
 	counter("plans_cached_total", "Queries planned from the plan-template cache.", s.PlansCached)
 	counter("plans_greedy_total", "Queries planned by the greedy fast path.", s.PlansGreedy)
 	counter("plans_dp_total", "Queries planned by the full dynamic program.", s.PlansDP)
+	counter("sched_singleflight_hits_total", "Calls served by joining an identical in-flight market call.", s.SchedSingleflightHits)
+	counter("sched_merged_calls_total", "Wire calls the scheduler fused out of several cross-query boxes.", s.SchedMergedCalls)
+	counter("sched_merged_transactions_saved_total", "Transactions saved by merged calls versus billing the parts.", s.SchedMergedTransactionsSaved)
+	counter("sched_delayed_calls_total", "Fetches parked in the coalesce window to accumulate merge candidates.", s.SchedDelayedCalls)
 	hist := func(name, help string, h HistogramSnapshot) {
 		fmt.Fprintf(w, "# HELP %s_%s %s\n# TYPE %s_%s histogram\n", prefix, name, help, prefix, name)
 		for _, b := range h.Buckets {

@@ -57,6 +57,13 @@ type CallRecord struct {
 	// call's rows became billing-visible.
 	WALMicros int64
 	WALSynced bool
+	// Coalesced reports that the global call scheduler served this call by
+	// sharing or merging a wire call instead of issuing it verbatim;
+	// SharedWith is how many other requesters rode the same wire call.
+	// A coalesced non-paying participant shows Transactions == 0 — the one
+	// bill is attributed to exactly one participant.
+	Coalesced  bool
+	SharedWith int
 }
 
 // Trace is the execution trace of one query. It is populated by a single
@@ -275,6 +282,9 @@ func (t *Trace) Describe() string {
 		}
 		if c.Recorded {
 			fmt.Fprintf(&b, "  +%d new rows stored", c.NewRows)
+		}
+		if c.Coalesced {
+			fmt.Fprintf(&b, "  coalesced(shared with %d)", c.SharedWith)
 		}
 		if c.WALMicros > 0 {
 			fmt.Fprintf(&b, "  wal %dµs", c.WALMicros)

@@ -1,0 +1,507 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"payless/internal/catalog"
+	"payless/internal/market"
+	"payless/internal/region"
+	"payless/internal/semstore"
+	"payless/internal/storage"
+	"payless/internal/value"
+)
+
+// tTable is a one-axis market table: a in [1,100], one output column v.
+func tTable() *catalog.Table {
+	return &catalog.Table{
+		Name: "T", Dataset: "DS",
+		Schema: value.Schema{
+			{Name: "a", Type: value.Int},
+			{Name: "v", Type: value.Int},
+		},
+		Attrs: []catalog.Attribute{
+			{Name: "a", Type: value.Int, Binding: catalog.Free, Class: catalog.NumericAttr, Min: 1, Max: 100},
+			{Name: "v", Type: value.Int, Binding: catalog.Output},
+		},
+	}
+}
+
+// boxFor builds the [lo, hi] (inclusive) box on the a axis.
+func boxFor(lo, hi int64) region.Box {
+	return region.Box{Dims: []region.Interval{{Lo: lo, Hi: hi + 1}}}
+}
+
+func reqFor(t *testing.T, meta *catalog.Table, lo, hi int64, record bool) Request {
+	t.Helper()
+	b := boxFor(lo, hi)
+	q, err := catalog.QueryForBox(meta, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Request{Meta: meta, Box: b, Query: q, Record: record}
+}
+
+// fakeCaller synthesizes one row per coordinate of the queried a-range and
+// bills ceil(rows/t) transactions. gate, when non-nil, blocks every wire
+// call until released (or the call context dies).
+type fakeCaller struct {
+	meta  *catalog.Table
+	t     int64
+	gate  chan struct{}
+	mu    sync.Mutex
+	calls []catalog.AccessQuery
+}
+
+func (f *fakeCaller) Call(ctx context.Context, q catalog.AccessQuery) (market.Result, error) {
+	f.mu.Lock()
+	f.calls = append(f.calls, q)
+	f.mu.Unlock()
+	if f.gate != nil {
+		select {
+		case <-f.gate:
+		case <-ctx.Done():
+			return market.Result{}, ctx.Err()
+		}
+	}
+	lo, hi := int64(1), int64(100)
+	for _, p := range q.Preds {
+		if p.Attr != "a" {
+			continue
+		}
+		switch {
+		case p.Eq != nil:
+			lo, hi = p.Eq.AsInt(), p.Eq.AsInt()
+		default:
+			if p.Lo != nil {
+				lo = *p.Lo
+			}
+			if p.Hi != nil {
+				hi = *p.Hi
+			}
+		}
+	}
+	res := market.Result{Schema: f.meta.Schema.Clone()}
+	for a := lo; a <= hi; a++ {
+		res.Rows = append(res.Rows, value.Row{value.NewInt(a), value.NewInt(a * 10)})
+	}
+	res.Records = len(res.Rows)
+	t := f.t
+	if t <= 0 {
+		t = 10
+	}
+	res.Transactions = (int64(res.Records) + t - 1) / t
+	res.Price = float64(res.Transactions)
+	return res, nil
+}
+
+func (f *fakeCaller) callCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.calls)
+}
+
+func newSched(caller market.Caller, cfg Config) *Scheduler {
+	if cfg.TuplesPerTransaction == nil {
+		cfg.TuplesPerTransaction = func(string) int { return 10 }
+	}
+	return New(caller, cfg)
+}
+
+func TestSingleFlightSharesOneCallAndOneBill(t *testing.T) {
+	meta := tTable()
+	fc := &fakeCaller{meta: meta, t: 10, gate: make(chan struct{})}
+	s := newSched(fc, Config{})
+
+	const n = 4
+	type out struct {
+		res  market.Result
+		info Info
+		err  error
+	}
+	outs := make([]out, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, inf, err := s.Fetch(context.Background(), reqFor(t, meta, 1, 20, false))
+			outs[i] = out{r, inf, err}
+		}(i)
+	}
+	waitFor(t, func() bool { return s.Stats().SingleflightHits == n-1 })
+	close(fc.gate)
+	wg.Wait()
+
+	if got := fc.callCount(); got != 1 {
+		t.Fatalf("wire calls: %d, want 1", got)
+	}
+	var billed int64
+	payers := 0
+	for i, o := range outs {
+		if o.err != nil {
+			t.Fatalf("waiter %d: %v", i, o.err)
+		}
+		if len(o.res.Rows) != 20 || o.res.Records != 20 {
+			t.Fatalf("waiter %d rows: %d", i, len(o.res.Rows))
+		}
+		if !o.info.Shared || o.info.SharedWith != n-1 {
+			t.Fatalf("waiter %d info: %+v", i, o.info)
+		}
+		if o.res.Transactions > 0 {
+			payers++
+		}
+		billed += o.res.Transactions
+	}
+	if payers != 1 || billed != 2 {
+		t.Fatalf("bill attribution: %d payers, %d transactions (want 1 payer, 2 transactions)", payers, billed)
+	}
+}
+
+func TestCanceledWaiterDetachesWithoutKillingSharedCall(t *testing.T) {
+	meta := tTable()
+	fc := &fakeCaller{meta: meta, t: 10, gate: make(chan struct{})}
+	s := newSched(fc, Config{})
+
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	defer cancel1()
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := s.Fetch(ctx1, reqFor(t, meta, 1, 10, false))
+		errc <- err
+	}()
+	waitFor(t, func() bool { return inflightCount(s) == 1 })
+
+	done := make(chan struct{})
+	var res market.Result
+	var err2 error
+	go func() {
+		defer close(done)
+		res, _, err2 = s.Fetch(context.Background(), reqFor(t, meta, 1, 10, false))
+	}()
+	waitFor(t, func() bool { return s.Stats().SingleflightHits == 1 })
+
+	cancel1()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("canceled waiter: %v", err)
+	}
+	close(fc.gate)
+	<-done
+	if err2 != nil {
+		t.Fatalf("surviving waiter: %v", err2)
+	}
+	if len(res.Rows) != 10 || res.Transactions != 1 {
+		t.Fatalf("survivor got %d rows, %d transactions", len(res.Rows), res.Transactions)
+	}
+	if fc.callCount() != 1 {
+		t.Fatalf("wire calls: %d", fc.callCount())
+	}
+}
+
+func TestLastWaiterCancelTearsDownTheCall(t *testing.T) {
+	meta := tTable()
+	fc := &fakeCaller{meta: meta, t: 10, gate: make(chan struct{})}
+	defer close(fc.gate)
+	s := newSched(fc, Config{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := s.Fetch(ctx, reqFor(t, meta, 1, 10, false))
+		errc <- err
+	}()
+	waitFor(t, func() bool { return inflightCount(s) == 1 })
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("want Canceled, got %v", err)
+	}
+	// The wire call's context dies with its last waiter, so the flight
+	// drains from the in-flight table.
+	waitFor(t, func() bool { return inflightCount(s) == 0 })
+}
+
+func TestPiggybackOnContainingInFlightCall(t *testing.T) {
+	meta := tTable()
+	fc := &fakeCaller{meta: meta, t: 10, gate: make(chan struct{})}
+	s := newSched(fc, Config{})
+
+	var wide, narrow market.Result
+	var infoN Info
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wide, _, _ = s.Fetch(context.Background(), reqFor(t, meta, 1, 50, false))
+	}()
+	waitFor(t, func() bool { return inflightCount(s) == 1 })
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		narrow, infoN, _ = s.Fetch(context.Background(), reqFor(t, meta, 10, 19, false))
+	}()
+	waitFor(t, func() bool { return s.Stats().SingleflightHits == 1 })
+	close(fc.gate)
+	wg.Wait()
+
+	if fc.callCount() != 1 {
+		t.Fatalf("wire calls: %d", fc.callCount())
+	}
+	if len(wide.Rows) != 50 {
+		t.Fatalf("wide rows: %d", len(wide.Rows))
+	}
+	if len(narrow.Rows) != 10 || narrow.Records != 10 {
+		t.Fatalf("piggybacked rows must be filtered to the narrow query: %d", len(narrow.Rows))
+	}
+	if !infoN.Shared {
+		t.Fatalf("narrow info: %+v", infoN)
+	}
+	if wide.Transactions+narrow.Transactions != 5 {
+		t.Fatalf("total billed: %d", wide.Transactions+narrow.Transactions)
+	}
+}
+
+func TestWindowMergesAdjacentBoxesIntoOneCall(t *testing.T) {
+	meta := tTable()
+	fc := &fakeCaller{meta: meta, t: 10}
+	s := newSched(fc, Config{Window: 30 * time.Millisecond})
+
+	var a, b market.Result
+	var ia, ib Info
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); a, ia, _ = s.Fetch(context.Background(), reqFor(t, meta, 1, 5, false)) }()
+	go func() { defer wg.Done(); b, ib, _ = s.Fetch(context.Background(), reqFor(t, meta, 6, 9, false)) }()
+	wg.Wait()
+
+	if fc.callCount() != 1 {
+		t.Fatalf("wire calls: %d, want 1 merged call", fc.callCount())
+	}
+	if len(a.Rows) != 5 || len(b.Rows) != 4 {
+		t.Fatalf("split rows: %d / %d", len(a.Rows), len(b.Rows))
+	}
+	if !ia.Merged || !ib.Merged || !ia.Delayed || !ib.Delayed {
+		t.Fatalf("infos: %+v / %+v", ia, ib)
+	}
+	// Separately the parts cost 1+1 transactions; merged they cost 1.
+	if got := a.Transactions + b.Transactions; got != 1 {
+		t.Fatalf("merged bill: %d transactions, want 1", got)
+	}
+	st := s.Stats()
+	if st.MergedCalls != 1 || st.DelayedCalls != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.MergedTransactionsSaved != 1 {
+		t.Fatalf("saved: %d, want 1", st.MergedTransactionsSaved)
+	}
+}
+
+func TestWindowLeavesGappedBoxesAlone(t *testing.T) {
+	meta := tTable()
+	fc := &fakeCaller{meta: meta, t: 10}
+	s := newSched(fc, Config{Window: 30 * time.Millisecond})
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); s.Fetch(context.Background(), reqFor(t, meta, 1, 5, false)) }()
+	go func() { defer wg.Done(); s.Fetch(context.Background(), reqFor(t, meta, 50, 55, false)) }()
+	wg.Wait()
+
+	// A gap between the boxes means the union is not exact: merging would
+	// buy rows nobody asked for, so the scheduler must not fuse them.
+	if fc.callCount() != 2 {
+		t.Fatalf("wire calls: %d, want 2 (no merge across a gap)", fc.callCount())
+	}
+}
+
+func TestMergeRespectsCostModelVeto(t *testing.T) {
+	meta := tTable()
+	fc := &fakeCaller{meta: meta, t: 10}
+	s := newSched(fc, Config{
+		Window: 30 * time.Millisecond,
+		// A hostile estimator that prices the union above the parts: the
+		// scheduler must believe it and keep the calls separate.
+		Estimate: func(_ string, b region.Box) float64 {
+			if b.Dims[0].Width() > 6 {
+				return 1000
+			}
+			return 5
+		},
+	})
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); s.Fetch(context.Background(), reqFor(t, meta, 1, 5, false)) }()
+	go func() { defer wg.Done(); s.Fetch(context.Background(), reqFor(t, meta, 6, 9, false)) }()
+	wg.Wait()
+
+	if fc.callCount() != 2 {
+		t.Fatalf("wire calls: %d, want 2 (cost model vetoed the merge)", fc.callCount())
+	}
+}
+
+func TestLargeFetchSkipsTheWindow(t *testing.T) {
+	meta := tTable()
+	fc := &fakeCaller{meta: meta, t: 10}
+	s := newSched(fc, Config{
+		Window:   time.Hour, // parked requests would hang the test
+		Estimate: func(_ string, b region.Box) float64 { return float64(b.Dims[0].Width()) },
+	})
+	res, info, err := s.Fetch(context.Background(), reqFor(t, meta, 1, 40, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Delayed {
+		t.Fatal("a super-transaction fetch must dispatch immediately")
+	}
+	if len(res.Rows) != 40 || res.Transactions != 4 {
+		t.Fatalf("rows %d transactions %d", len(res.Rows), res.Transactions)
+	}
+}
+
+func TestParkedWaiterCancelBeforeDispatch(t *testing.T) {
+	meta := tTable()
+	fc := &fakeCaller{meta: meta, t: 10}
+	s := newSched(fc, Config{Window: 50 * time.Millisecond})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := s.Fetch(ctx, reqFor(t, meta, 1, 5, false))
+		errc <- err
+	}()
+	waitFor(t, func() bool { return s.Stats().DelayedCalls == 1 })
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("parked waiter: %v", err)
+	}
+	// Once the window fires, the abandoned request must not be bought.
+	time.Sleep(80 * time.Millisecond)
+	if fc.callCount() != 0 {
+		t.Fatalf("abandoned parked request still dispatched: %d calls", fc.callCount())
+	}
+}
+
+func TestSharedRecordPathRecordsExactlyOnce(t *testing.T) {
+	meta := tTable()
+	fc := &fakeCaller{meta: meta, t: 10, gate: make(chan struct{})}
+	store := semstore.New(storage.NewDB())
+	s := newSched(fc, Config{Store: store})
+
+	const n = 3
+	infos := make([]Info, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, infos[i], _ = s.Fetch(context.Background(), reqFor(t, meta, 1, 20, true))
+		}(i)
+	}
+	waitFor(t, func() bool { return s.Stats().SingleflightHits == n-1 })
+	close(fc.gate)
+	wg.Wait()
+
+	for i, inf := range infos {
+		if !inf.Recorded {
+			t.Fatalf("waiter %d: shared record-path flight must report Recorded, got %+v", i, inf)
+		}
+	}
+	if got := store.StoredRowCount("T"); got != 20 {
+		t.Fatalf("stored rows: %d, want 20", got)
+	}
+	covered, _ := store.Coverage("T", boxFor(1, 20), time.Time{})
+	if !region.CoveredBy(boxFor(1, 20), covered) {
+		t.Fatal("shared flight's box missing from the store")
+	}
+}
+
+func TestSoleFlightLeavesRecordingToTheEngine(t *testing.T) {
+	meta := tTable()
+	fc := &fakeCaller{meta: meta, t: 10}
+	store := semstore.New(storage.NewDB())
+	s := newSched(fc, Config{Store: store})
+
+	_, info, err := s.Fetch(context.Background(), reqFor(t, meta, 1, 20, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Recorded {
+		t.Fatal("sole flight must leave recording to the requester's engine (N=1 parity)")
+	}
+	if got := store.StoredRowCount("T"); got != 0 {
+		t.Fatalf("scheduler recorded a sole flight: %d rows", got)
+	}
+}
+
+func TestAbandonedRecordPathCallIsSalvagedIntoTheStore(t *testing.T) {
+	meta := tTable()
+	// No gate: the wire call succeeds instantly; the waiter detaches while
+	// (or after) the money is spent.
+	release := make(chan struct{})
+	var entered atomic.Bool
+	slow := market.CallerFunc(func(ctx context.Context, q catalog.AccessQuery) (market.Result, error) {
+		entered.Store(true)
+		<-release // ignore ctx: simulate a response already on the wire
+		return (&fakeCaller{meta: meta, t: 10}).Call(context.Background(), q)
+	})
+	store := semstore.New(storage.NewDB())
+	s := newSched(slow, Config{Store: store})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := s.Fetch(ctx, reqFor(t, meta, 1, 20, true))
+		errc <- err
+	}()
+	waitFor(t, func() bool { return entered.Load() })
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("detached waiter: %v", err)
+	}
+	close(release)
+	// The call completed after its last waiter left: the paid-for rows must
+	// still land in the store so a retry does not re-buy them.
+	waitFor(t, func() bool { return store.StoredRowCount("T") == 20 })
+}
+
+func TestWireErrorPropagatesToEveryWaiter(t *testing.T) {
+	meta := tTable()
+	boom := market.CallerFunc(func(ctx context.Context, q catalog.AccessQuery) (market.Result, error) {
+		return market.Result{}, fmt.Errorf("market down")
+	})
+	s := newSched(boom, Config{Window: 20 * time.Millisecond})
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() { defer wg.Done(); _, _, errs[0] = s.Fetch(context.Background(), reqFor(t, meta, 1, 5, false)) }()
+	go func() { defer wg.Done(); _, _, errs[1] = s.Fetch(context.Background(), reqFor(t, meta, 6, 9, false)) }()
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil || err.Error() != "market down" {
+			t.Fatalf("waiter %d: %v", i, err)
+		}
+	}
+}
+
+// waitFor polls cond for up to 5s.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached within 5s")
+}
+
+func inflightCount(s *Scheduler) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.inflight)
+}

@@ -120,6 +120,68 @@ func WithPlanCache(size int) Option {
 	}
 }
 
+// WithCallScheduler enables the global market-call scheduler: concurrent
+// queries needing the same box share one wire call and one bill, and a
+// request canceled while waiting detaches without killing the shared call.
+// A single query's bill is unchanged.
+func WithCallScheduler() Option {
+	return func(c *Config) { c.CallScheduler = true }
+}
+
+// WithCoalesceWindow enables the scheduler (implies WithCallScheduler) and
+// lets it park sub-transaction-size fetches up to d, merging adjacent
+// cross-query remainder boxes into one call when ceil pricing makes the
+// union no more expensive than the parts. d <= 0 keeps the zero-delay
+// default: dispatch immediately, single-flight only.
+func WithCoalesceWindow(d time.Duration) Option {
+	return func(c *Config) {
+		c.CallScheduler = true
+		if d > 0 {
+			c.CoalesceWindow = d
+		}
+	}
+}
+
+// WithCallRetries bounds transport retries per HTTP market call (OpenHTTP
+// only). n <= 0 disables retries; the connector default is 2.
+func WithCallRetries(n int) Option {
+	return func(c *Config) {
+		if n <= 0 {
+			n = -1
+		}
+		c.CallRetries = n
+	}
+}
+
+// WithPerCallTimeout bounds each HTTP call attempt (OpenHTTP only).
+// d <= 0 explicitly disables the per-attempt deadline so only the caller's
+// context bounds the call; the connector default is 30s.
+func WithPerCallTimeout(d time.Duration) Option {
+	return func(c *Config) {
+		if d <= 0 {
+			d = -1
+		}
+		c.PerCallTimeout = d
+	}
+}
+
+// WithCallBackoff shapes the HTTP connector's exponential retry backoff
+// (OpenHTTP only); non-positive values keep the connector defaults
+// (100ms base, 2s cap).
+func WithCallBackoff(base, max time.Duration) Option {
+	return func(c *Config) {
+		c.CallBackoffBase = base
+		c.CallBackoffMax = max
+	}
+}
+
+// WithoutCallIDs disables the HTTP connector's idempotent call IDs
+// (OpenHTTP only) for servers that reject unknown parameters; retried
+// calls may then double-bill.
+func WithoutCallIDs() Option {
+	return func(c *Config) { c.DisableCallIDs = true }
+}
+
 // WithGreedyPlanner enables the greedy join-ordering fast path. margin is
 // the accepted relative divergence between the greedy plan's estimated
 // spend and a lower bound on the DP optimum before the optimizer falls back

@@ -34,6 +34,7 @@ import (
 	"payless/internal/market"
 	"payless/internal/obs"
 	"payless/internal/region"
+	"payless/internal/sched"
 	"payless/internal/semstore"
 	"payless/internal/sqlparse"
 	"payless/internal/stats"
@@ -119,6 +120,34 @@ type Config struct {
 	// batches are planned up front and merged in plan order — only
 	// wall-clock latency changes.
 	FetchConcurrency int
+	// CallScheduler enables the global market-call scheduler: concurrent
+	// queries that need the same box share one wire call and one bill
+	// (single-flight), and — with a CoalesceWindow — adjacent cross-query
+	// remainder boxes are merged into one call when ceil pricing makes the
+	// union no more expensive than the parts. A single query's bill is
+	// unchanged; only cross-query duplication gets cheaper.
+	CallScheduler bool
+	// CoalesceWindow is how long the scheduler may park a
+	// sub-transaction-size fetch waiting for mergeable company from other
+	// queries. 0 (the default) dispatches immediately — single-flighting
+	// still applies. Setting a window implies CallScheduler.
+	CoalesceWindow time.Duration
+	// CallRetries bounds transport retries per HTTP market call (OpenHTTP
+	// only): 0 keeps the connector default (2), negative disables retries.
+	CallRetries int
+	// PerCallTimeout bounds each HTTP call attempt (OpenHTTP only): 0 keeps
+	// the connector default (30s), negative disables the per-attempt
+	// deadline so only the caller's context bounds the call.
+	PerCallTimeout time.Duration
+	// CallBackoffBase and CallBackoffMax shape the HTTP connector's
+	// exponential retry backoff (OpenHTTP only); zero values keep the
+	// connector defaults.
+	CallBackoffBase time.Duration
+	CallBackoffMax  time.Duration
+	// DisableCallIDs turns off idempotent call IDs on the HTTP connector
+	// (OpenHTTP only) — retries may then double-bill; for servers that
+	// reject unknown parameters.
+	DisableCallIDs bool
 	// Tracer receives a per-query execution trace (spans for
 	// parse/bind/optimize/execute plus one record per market call). nil
 	// disables tracing; the disabled path costs a single nil check.
@@ -282,6 +311,10 @@ type Client struct {
 	caller  market.Caller
 	cfg     Config
 	metrics *obs.Metrics
+	// sched is the global market-call scheduler; nil when disabled. It is
+	// shared by every query of the client — that is what lets concurrent
+	// queries coalesce their calls.
+	sched *sched.Scheduler
 	// breakers holds per-dataset circuit-breaker state across queries; nil
 	// when breaking is disabled.
 	breakers *engine.BreakerSet
@@ -363,6 +396,23 @@ func Open(cfg Config, opts ...Option) (*Client, error) {
 		c.plans = core.NewPlanCache(cfg.PlanCacheSize)
 		c.plans.SetMetrics(metrics)
 	}
+	if cfg.CallScheduler || cfg.CoalesceWindow > 0 {
+		c.sched = sched.New(cfg.Caller, sched.Config{
+			Window: cfg.CoalesceWindow,
+			TuplesPerTransaction: func(dataset string) int {
+				if t := cfg.TuplesPerTransaction[dataset]; t > 0 {
+					return t
+				}
+				if cfg.DefaultTuplesPerTransaction > 0 {
+					return cfg.DefaultTuplesPerTransaction
+				}
+				return 0
+			},
+			Estimate: st.Estimate,
+			Store:    store,
+			Metrics:  metrics,
+		})
+	}
 	return c, nil
 }
 
@@ -387,9 +437,17 @@ func (c *Client) StoreRecovery() StoreRecoveryInfo { return c.store.Recovery() }
 
 // OpenHTTP registers with a market server over HTTP and builds a Client:
 // it fetches the public catalog and per-dataset page sizes automatically.
-// Extra local tables may be passed alongside.
+// Extra local tables may be passed alongside. Options are applied before
+// the connector is built, so the connector knobs (WithCallRetries,
+// WithPerCallTimeout, WithCallBackoff, WithoutCallIDs) take effect on the
+// transport; the fetched catalog, caller, and page sizes then overwrite
+// any Tables/Caller/TuplesPerTransaction an option may have set.
 func OpenHTTP(baseURL, accountKey string, localTables []*catalog.Table, opts ...Option) (*Client, error) {
-	cli := connector.New(baseURL, accountKey)
+	var cfg Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	cli := connector.New(baseURL, accountKey, cfg.connectorOptions()...)
 	tables, err := cli.Catalog()
 	if err != nil {
 		return nil, err
@@ -404,15 +462,45 @@ func OpenHTTP(baseURL, accountKey string, localTables []*catalog.Table, opts ...
 			tpt[t.Dataset] = pt
 		}
 	}
-	cfg := Config{
-		Tables:               append(tables, localTables...),
-		Caller:               cli,
-		TuplesPerTransaction: tpt,
-	}
-	for _, o := range opts {
-		o(&cfg)
-	}
+	cfg.Tables = append(tables, localTables...)
+	cfg.Caller = cli
+	cfg.TuplesPerTransaction = tpt
 	return Open(cfg)
+}
+
+// connectorOptions derives the HTTP connector options from the config's
+// transport knobs, mapping each field's documented zero/negative semantics
+// onto the connector's explicit settings.
+func (cfg *Config) connectorOptions() []connector.Option {
+	var out []connector.Option
+	if cfg.CallRetries != 0 {
+		n := cfg.CallRetries
+		if n < 0 {
+			n = 0
+		}
+		out = append(out, connector.WithRetries(n))
+	}
+	if cfg.PerCallTimeout != 0 {
+		d := cfg.PerCallTimeout
+		if d < 0 {
+			d = 0 // connector semantics: 0 explicitly disables the deadline
+		}
+		out = append(out, connector.WithPerCallTimeout(d))
+	}
+	if cfg.CallBackoffBase > 0 || cfg.CallBackoffMax > 0 {
+		base, max := cfg.CallBackoffBase, cfg.CallBackoffMax
+		if base <= 0 {
+			base = 100 * time.Millisecond
+		}
+		if max <= 0 {
+			max = 2 * time.Second
+		}
+		out = append(out, connector.WithBackoff(base, max))
+	}
+	if cfg.DisableCallIDs {
+		out = append(out, connector.WithoutCallIDs())
+	}
+	return out
 }
 
 // LoadLocal loads rows into a local table so queries can join against it.
@@ -587,6 +675,7 @@ func (c *Client) run(ctx context.Context, sql string, tr *obs.Trace, cache *core
 		Store:       c.store,
 		Stats:       c.stats,
 		Caller:      c.caller,
+		Sched:       c.sched,
 		Options:     opts,
 		Concurrency: c.cfg.fetchConcurrency(),
 		Trace:       tr,

@@ -1,0 +1,165 @@
+package payless
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"payless/internal/market"
+)
+
+// The differential suite pins the scheduler's core promise: it can only
+// remove cross-query duplication, never change what a single query costs.
+//
+//  1. At N=1 a scheduled client is bill- and geometry-identical to an
+//     unscheduled one over the whole WHW workload.
+//  2. With a coalesce window, an N=1 run never bills more.
+//  3. Under forced concurrent overlap, the scheduled run bills exactly the
+//     serial price while the unscheduled run pays for every duplicate.
+
+func openDiffClient(t *testing.T, m *market.Market, acct string, opts ...Option) *Client {
+	t.Helper()
+	client, err := Open(Config{
+		Tables:                      m.ExportCatalog(),
+		Caller:                      market.AccountCaller{Market: m, Key: acct},
+		DefaultTuplesPerTransaction: 100,
+		FetchConcurrency:            8,
+	}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return client
+}
+
+func TestSchedulerN1Differential(t *testing.T) {
+	m, w := buildChaosMarket(t)
+	m.RegisterAccount("sched")
+
+	plain := openDiffClient(t, m, "acct")
+	sched := openDiffClient(t, m, "sched", WithCallScheduler())
+
+	for _, sql := range chaosQueries(w) {
+		rp, err := plain.Query(sql)
+		if err != nil {
+			t.Fatalf("plain %q: %v", sql, err)
+		}
+		rs, err := sched.Query(sql)
+		if err != nil {
+			t.Fatalf("sched %q: %v", sql, err)
+		}
+		if rp.Report != rs.Report {
+			t.Fatalf("N=1 bill diverged for %q:\n plain: %+v\n sched: %+v", sql, rp.Report, rs.Report)
+		}
+		if !sameRows(sortedRows(rp), sortedRows(rs)) {
+			t.Fatalf("N=1 rows diverged for %q", sql)
+		}
+	}
+
+	mp, _ := m.MeterOf("acct")
+	ms, _ := m.MeterOf("sched")
+	if mp != ms {
+		t.Fatalf("N=1 meters diverged:\n plain: %+v\n sched: %+v", mp, ms)
+	}
+	// Geometry: same live coverage entries and same materialised rows.
+	sp, ss := plain.store.Stats(), sched.store.Stats()
+	if sp.Tables != ss.Tables || sp.Entries != ss.Entries || sp.Rows != ss.Rows {
+		t.Fatalf("N=1 store geometry diverged:\n plain: tables=%d entries=%d rows=%d\n sched: tables=%d entries=%d rows=%d",
+			sp.Tables, sp.Entries, sp.Rows, ss.Tables, ss.Entries, ss.Rows)
+	}
+}
+
+func TestSchedulerWindowNeverCostsMoreAtN1(t *testing.T) {
+	m, w := buildChaosMarket(t)
+	m.RegisterAccount("windowed")
+
+	plain := openDiffClient(t, m, "acct")
+	windowed := openDiffClient(t, m, "windowed", WithCoalesceWindow(5*time.Millisecond))
+
+	for _, sql := range chaosQueries(w) {
+		if _, err := plain.Query(sql); err != nil {
+			t.Fatalf("plain %q: %v", sql, err)
+		}
+		if _, err := windowed.Query(sql); err != nil {
+			t.Fatalf("windowed %q: %v", sql, err)
+		}
+	}
+	mp, _ := m.MeterOf("acct")
+	mw, _ := m.MeterOf("windowed")
+	if mw.Transactions > mp.Transactions {
+		t.Fatalf("window made a single-client run MORE expensive: %d > %d transactions",
+			mw.Transactions, mp.Transactions)
+	}
+}
+
+// TestSchedulerConcurrentDifferentialOracle forces 4 clients' worth of
+// overlap round by round (the gate holds every wire call open until all
+// requesters demonstrably overlap) and checks the ordering the design
+// promises: scheduled == serial < unscheduled.
+func TestSchedulerConcurrentDifferentialOracle(t *testing.T) {
+	const goroutines = 4
+	ranges := [][2]int{{1, 30}, {21, 50}, {41, 70}, {61, 90}}
+
+	m := stressMarket(t, "unsched", "sched", "serial")
+
+	serial := openSchedClient(t, m, "serial", nil)
+	for _, rg := range ranges {
+		if _, err := serial.Query(fmt.Sprintf("SELECT v FROM T WHERE a >= %d AND a <= %d", rg[0], rg[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	serialMeter, _ := m.MeterOf("serial")
+
+	runConcurrent := func(acct string, scheduled bool) market.Meter {
+		gc := &gatedCaller{inner: market.AccountCaller{Market: m, Key: acct}}
+		var opts []Option
+		if scheduled {
+			opts = append(opts, WithCallScheduler())
+		}
+		client := openSchedClient(t, m, acct, gc, opts...)
+		for _, rg := range ranges {
+			sql := fmt.Sprintf("SELECT v FROM T WHERE a >= %d AND a <= %d", rg[0], rg[1])
+			gate := make(chan struct{})
+			gc.setGate(gate)
+			arrivalsBefore := gc.arrivals()
+			hitsBefore := client.Metrics().SchedSingleflightHits
+			var wg sync.WaitGroup
+			for i := 0; i < goroutines; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if _, err := client.Query(sql); err != nil {
+						t.Errorf("%s %q: %v", acct, sql, err)
+					}
+				}()
+			}
+			if scheduled {
+				// One wire call arrives; the other three join it.
+				waitForCond(t, "joins", func() bool {
+					return client.Metrics().SchedSingleflightHits == hitsBefore+goroutines-1
+				})
+			} else {
+				// All four wire calls arrive independently.
+				waitForCond(t, "arrivals", func() bool {
+					return gc.arrivals() == arrivalsBefore+goroutines
+				})
+			}
+			close(gate)
+			wg.Wait()
+		}
+		meter, _ := m.MeterOf(acct)
+		return meter
+	}
+
+	unschedMeter := runConcurrent("unsched", false)
+	schedMeter := runConcurrent("sched", true)
+
+	if schedMeter != serialMeter {
+		t.Fatalf("scheduled concurrent run must bill the serial price:\n sched:  %+v\n serial: %+v",
+			schedMeter, serialMeter)
+	}
+	if schedMeter.Transactions >= unschedMeter.Transactions {
+		t.Fatalf("scheduler saved nothing under forced overlap: sched %d vs unsched %d transactions",
+			schedMeter.Transactions, unschedMeter.Transactions)
+	}
+}
