@@ -32,6 +32,10 @@ type BatchResult struct {
 // before executing them, re-estimating after each execution (the semantic
 // store grows as the batch runs). Results are returned in submission order.
 func (c *Client) QueryBatch(sqls []string) ([]BatchResult, error) {
+	if err := c.begin(); err != nil {
+		return nil, err
+	}
+	defer c.inflight.Done()
 	type pending struct {
 		idx   int
 		bound *core.BoundQuery

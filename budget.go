@@ -1,8 +1,11 @@
 package payless
 
 import (
+	"context"
 	"errors"
 	"fmt"
+
+	"payless/internal/engine"
 )
 
 // ErrOverBudget is returned (wrapped, with details) when executing a query
@@ -17,23 +20,61 @@ type Budget struct {
 	// PerQuery rejects any single query whose estimated price exceeds it.
 	PerQuery int64
 	// Total rejects a query when the estimate plus everything already spent
-	// would exceed it.
+	// or reserved by still-running queries would exceed it.
 	Total int64
 }
 
-// checkBudget enforces the configured budget against a plan estimate.
-func (c *Client) checkBudget(est int64) error {
+// Admitter is a spend-admission hook consulted around every query, in
+// addition to Config.Budget. Reserve is called with the plan's estimated
+// transactions before any market call (an error rejects the query
+// unbilled); Settle is called exactly once per successful Reserve with the
+// same estimate and the transactions actually billed (zero when the query
+// failed before spending). The daemon's tenant layer implements it to
+// enforce per-tenant budgets and attribute spend to the querying tenant.
+type Admitter interface {
+	Reserve(ctx context.Context, estTransactions int64) error
+	Settle(ctx context.Context, estTransactions, actualTransactions int64)
+}
+
+// reserveBudget admits a plan estimate against the configured budget and
+// holds the estimate as a reservation until settleBudget. The headroom
+// check and the reservation are one critical section: two concurrent
+// queries can never both be admitted against the same remaining budget,
+// which is the check-then-execute race the old unreserved check had.
+func (c *Client) reserveBudget(est int64) error {
 	b := c.cfg.Budget
 	if b.PerQuery > 0 && est > b.PerQuery {
 		return fmt.Errorf("%w: estimated %d transactions, per-query budget %d",
 			ErrOverBudget, est, b.PerQuery)
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if b.Total > 0 {
-		spent := c.TotalSpend().Transactions
-		if spent+est > b.Total {
-			return fmt.Errorf("%w: estimated %d transactions on top of %d already spent, total budget %d",
-				ErrOverBudget, est, spent, b.Total)
+		spent := c.total.Transactions
+		if spent+c.reserved+est > b.Total {
+			return fmt.Errorf("%w: estimated %d transactions on top of %d already spent and %d reserved, total budget %d",
+				ErrOverBudget, est, spent, c.reserved, b.Total)
 		}
 	}
+	c.reserved += est
 	return nil
+}
+
+// releaseBudget drops a reservation that never executed (admission failed
+// after the budget was reserved).
+func (c *Client) releaseBudget(est int64) {
+	c.mu.Lock()
+	c.reserved -= est
+	c.mu.Unlock()
+}
+
+// settleBudget releases a reservation and folds the actual spend into the
+// client totals in one critical section, so the headroom freed by the
+// estimate and the headroom consumed by the real bill move together — a
+// concurrent reserveBudget sees either both or neither.
+func (c *Client) settleBudget(est int64, report engine.Report) {
+	c.mu.Lock()
+	c.reserved -= est
+	c.total.Add(report)
+	c.mu.Unlock()
 }

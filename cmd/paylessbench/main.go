@@ -39,7 +39,7 @@ func main() {
 	p.Seed = *seed
 	p.SampleEvery = *sample
 
-	figures := []string{"10", "11", "12", "13", "14", "15", "conc", "shared", "store", "faults", "durability", "plan"}
+	figures := []string{"10", "11", "12", "13", "14", "15", "conc", "shared", "daemon", "store", "faults", "durability", "plan"}
 	if *fig != "all" {
 		figures = []string{*fig}
 	}
@@ -102,6 +102,11 @@ func one(f, ds string, req bench.Request) (*bench.Figure, error) {
 			return nil, nil // the sharing sweep runs on the real workload only
 		}
 		return bench.FigShared(bench.DefaultSharedParams())
+	case "daemon":
+		if ds != "real" && ds != "all" {
+			return nil, nil // the daemon sweep runs on the real workload only
+		}
+		return bench.FigDaemon(bench.DefaultDaemonParams())
 	case "store":
 		if ds != "real" && ds != "all" {
 			return nil, nil // the store sweep uses its own synthetic grid

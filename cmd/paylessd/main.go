@@ -1,0 +1,118 @@
+// Command paylessd runs the multi-tenant PayLess buyer daemon: one shared
+// semantic store, plan cache, and call scheduler serving SQL over HTTP to
+// many tenants at once. Data any tenant pays for is free for every later
+// tenant, and concurrent overlapping purchases single-flight — the daemon is
+// the paper's "one PayLess installation per buyer organisation" (Fig. 2)
+// deployment with per-tenant budgets, rate limits, and billing attribution
+// bolted on.
+//
+// Usage:
+//
+//	paylessd -addr :8090 -market http://localhost:8080 -key demo \
+//	    -tenants 'alice:key-a:1000:5,bob:key-b:500:5' -global-budget 2000
+//
+// Each -tenants entry is name:key[:budget[:rate]] — budget in transactions
+// (0 unlimited), rate in queries/second (0 unlimited). Tenants POST SQL to
+// /v1/query with "Authorization: Bearer <key>"; per-tenant spend is at
+// GET /metrics (paylessd_tenant_spend_total).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+	"time"
+
+	"payless"
+	"payless/internal/daemon"
+	"payless/internal/tenant"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8090", "listen address")
+		marketTo = flag.String("market", "http://localhost:8080", "market server base URL")
+		key      = flag.String("key", "demo", "buyer account key at the market")
+		tenants  = flag.String("tenants", "demo:demo", "comma-separated tenants, each name:key[:budget[:rate]]")
+		global   = flag.Int64("global-budget", 0, "daemon-wide spend cap in transactions (0 unlimited)")
+		inflight = flag.Int("max-inflight", 0, "max concurrently executing queries (0 = 4x GOMAXPROCS)")
+		storeDir = flag.String("store-dir", "", "durable semantic store directory (empty = in-memory)")
+		window   = flag.Duration("coalesce-window", 2*time.Millisecond, "call-scheduler coalesce window (0 disables the scheduler)")
+		planLRU  = flag.Int("plan-cache", 256, "plan-template cache size (0 disables)")
+	)
+	flag.Parse()
+
+	cfgs, err := parseTenants(*tenants)
+	if err != nil {
+		log.Fatalf("parse -tenants: %v", err)
+	}
+	reg, err := tenant.NewRegistry(*global, cfgs...)
+	if err != nil {
+		log.Fatalf("build tenant registry: %v", err)
+	}
+
+	opts := []payless.Option{payless.WithAdmitter(reg)}
+	if *window > 0 {
+		opts = append(opts, payless.WithCallScheduler(), payless.WithCoalesceWindow(*window))
+	}
+	if *planLRU > 0 {
+		opts = append(opts, payless.WithPlanCache(*planLRU))
+	}
+	if *storeDir != "" {
+		opts = append(opts, payless.WithDurableStore(*storeDir))
+	}
+	client, err := payless.OpenHTTP(*marketTo, *key, nil, opts...)
+	if err != nil {
+		log.Fatalf("connect to market %s: %v", *marketTo, err)
+	}
+	defer client.Close()
+
+	srv, err := daemon.New(daemon.Config{Client: client, Registry: reg, MaxInflight: *inflight})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range cfgs {
+		log.Printf("tenant %q: budget=%d rate=%.3g/s", c.Name, c.Budget, c.RatePerSec)
+	}
+	fmt.Printf("paylessd listening on %s (market %s, %d tenants, global budget %d)\n",
+		*addr, *marketTo, len(cfgs), *global)
+	log.Fatal(srv.Server(*addr).ListenAndServe())
+}
+
+// parseTenants decodes the -tenants flag: name:key[:budget[:rate]] entries,
+// comma-separated.
+func parseTenants(s string) ([]tenant.Config, error) {
+	var cfgs []tenant.Config
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		parts := strings.Split(entry, ":")
+		if len(parts) < 2 || len(parts) > 4 {
+			return nil, fmt.Errorf("entry %q: want name:key[:budget[:rate]]", entry)
+		}
+		c := tenant.Config{Name: parts[0], Key: parts[1]}
+		if len(parts) >= 3 && parts[2] != "" {
+			b, err := strconv.ParseInt(parts[2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("entry %q: budget: %v", entry, err)
+			}
+			c.Budget = b
+		}
+		if len(parts) == 4 && parts[3] != "" {
+			r, err := strconv.ParseFloat(parts[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("entry %q: rate: %v", entry, err)
+			}
+			c.RatePerSec = r
+		}
+		cfgs = append(cfgs, c)
+	}
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("no tenants configured")
+	}
+	return cfgs, nil
+}

@@ -33,6 +33,9 @@ var (
 	// ErrExecute marks a failure running the plan (market outages land
 	// here, wrapping the transport error).
 	ErrExecute = errors.New("payless: execute error")
+	// ErrClosed marks a query submitted after Close started; the query was
+	// rejected before parsing and nothing was billed.
+	ErrClosed = errors.New("payless: client is closed")
 )
 
 // StatusError is a non-2xx HTTP response from the market, re-exported from

@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"testing"
+
+	"payless/internal/workload"
+)
+
+func smallDaemonParams() DaemonParams {
+	cfg := workload.DefaultWHWConfig()
+	cfg.Countries = 4
+	cfg.StationsPerCountry = 5
+	cfg.CitiesPerCountry = 2
+	cfg.Days = 10
+	cfg.Zips = 20
+	return DaemonParams{
+		Cfg:          cfg,
+		Tenants:      []int{1, 4},
+		Queries:      3,
+		MaxOvershoot: 1.2,
+	}
+}
+
+// TestFigDaemonFlatMeterAtN4 is the bench gate of the multi-tenant daemon
+// PR: four tenants replaying the same queries through one paylessd must
+// bill at most 1.2x the single-tenant run — FigDaemon itself errors past
+// the gate and on a ledger/meter mismatch, and we re-assert the flat meter
+// here from the rendered series.
+func TestFigDaemonFlatMeterAtN4(t *testing.T) {
+	fig, err := FigDaemon(smallDaemonParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series shape: %+v", fig.Series)
+	}
+	shared, naive := fig.Series[0], fig.Series[1]
+	if len(shared.Y) != 2 || len(naive.Y) != 2 {
+		t.Fatalf("level shape: shared %+v naive %+v", shared, naive)
+	}
+	if shared.Y[0] == 0 {
+		t.Fatal("single tenant billed nothing — the experiment bought no data")
+	}
+	if float64(shared.Y[1])*10 > float64(shared.Y[0])*12 {
+		t.Fatalf("bench gate: N=4 tenants billed %d > 1.2 x single tenant %d",
+			shared.Y[1], shared.Y[0])
+	}
+	if naive.Y[1] != naive.Y[0]*4 {
+		t.Fatalf("naive baseline should scale linearly: %+v", naive)
+	}
+	if out := fig.Render(); len(out) == 0 {
+		t.Error("empty render")
+	}
+}

@@ -1,0 +1,262 @@
+// Package daemon is the paylessd HTTP layer: a long-running multi-tenant
+// front end over ONE shared payless Client — one semantic store, one plan
+// cache, one call scheduler — so data any tenant has paid for is free for
+// every later tenant, and concurrent overlapping purchases single-flight
+// across tenants (the "pay one, get hundreds for free" deployment of the
+// paper's buyer side).
+//
+// Admission happens in three gates, cheapest first: API-key authentication
+// (401), the tenant's token-bucket rate limit (429 + Retry-After), and the
+// global in-flight query bound (429 + Retry-After). Only admitted queries
+// reach the client, where per-tenant and global budgets are enforced by
+// reservation (402 on rejection) and the actual spend is attributed to the
+// tenant whose query triggered each remainder fetch — first-payer
+// attribution, see DESIGN.md §14.
+package daemon
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	"payless"
+	"payless/internal/market"
+	"payless/internal/tenant"
+)
+
+// Config wires a Server.
+type Config struct {
+	// Client is the shared payless client every tenant queries through.
+	// Required; its Config.Admitter should be the same Registry so budgets
+	// bind.
+	Client *payless.Client
+	// Registry authenticates tenants and books their spend. Required.
+	Registry *tenant.Registry
+	// MaxInflight bounds concurrently executing queries across all tenants;
+	// 0 means 4×GOMAXPROCS.
+	MaxInflight int
+	// RetryAfter is the Retry-After hint when the in-flight bound rejects;
+	// 0 means 1s.
+	RetryAfter time.Duration
+	// Now is the admission clock; nil means time.Now (tests inject one).
+	Now func() time.Time
+}
+
+// Server is the daemon's HTTP state.
+type Server struct {
+	cfg Config
+	// slots is the global in-flight semaphore: admission is a non-blocking
+	// acquire, so overload answers immediately with 429 instead of queueing
+	// unbounded goroutines behind the engine.
+	slots chan struct{}
+}
+
+// New validates the wiring and builds a Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Client == nil {
+		return nil, fmt.Errorf("daemon: Config.Client is required")
+	}
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("daemon: Config.Registry is required")
+	}
+	n := cfg.MaxInflight
+	if n <= 0 {
+		n = 4 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	return &Server{cfg: cfg, slots: make(chan struct{}, n)}, nil
+}
+
+func (s *Server) now() time.Time {
+	if s.cfg.Now != nil {
+		return s.cfg.Now()
+	}
+	return time.Now()
+}
+
+// QueryRequest is the POST /v1/query body (JSON). A text/plain body holding
+// bare SQL is accepted too.
+type QueryRequest struct {
+	SQL string `json:"sql"`
+}
+
+// QueryResponse is the successful query envelope. Rows use the same string
+// rendering as the in-process client, so a daemon response and a direct
+// Query result compare byte-for-byte.
+type QueryResponse struct {
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	// The market bill of THIS query under first-payer attribution: a query
+	// served from coverage another tenant paid for reports zero.
+	Calls           int64   `json:"calls"`
+	Records         int64   `json:"records"`
+	Transactions    int64   `json:"transactions"`
+	Price           float64 `json:"price"`
+	EstTransactions int64   `json:"est_transactions"`
+	Planner         string  `json:"planner"`
+}
+
+// errorResponse is the JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the daemon's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/query", s.handleQuery)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/v1/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+// Server returns an http.Server for the daemon with the shared timeout
+// defaults applied.
+func (s *Server) Server(addr string) *http.Server {
+	return market.NewServer(addr, s.Handler())
+}
+
+// apiKey extracts the tenant credential: "Authorization: Bearer <key>" or
+// "X-Api-Key: <key>".
+func apiKey(r *http.Request) string {
+	if h := r.Header.Get("Authorization"); h != "" {
+		if k, ok := strings.CutPrefix(h, "Bearer "); ok {
+			return strings.TrimSpace(k)
+		}
+	}
+	return strings.TrimSpace(r.Header.Get("X-Api-Key"))
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// retryAfter formats a Retry-After header value: whole seconds, rounded up,
+// at least 1.
+func retryAfter(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprintf("%d", secs)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	// Gate 1: authentication.
+	ten, err := s.cfg.Registry.Authenticate(apiKey(r))
+	if err != nil {
+		writeError(w, http.StatusUnauthorized, err)
+		return
+	}
+	sql, err := readSQL(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Gate 2: per-tenant rate limit.
+	if ok, wait := ten.Allow(s.now()); !ok {
+		w.Header().Set("Retry-After", retryAfter(wait))
+		writeError(w, http.StatusTooManyRequests, tenant.ErrRateLimited)
+		return
+	}
+	// Gate 3: global in-flight bound — non-blocking, so overload is answered
+	// immediately.
+	select {
+	case s.slots <- struct{}{}:
+		defer func() { <-s.slots }()
+	default:
+		w.Header().Set("Retry-After", retryAfter(s.cfg.RetryAfter))
+		writeError(w, http.StatusTooManyRequests, errors.New("daemon: too many in-flight queries"))
+		return
+	}
+
+	ctx := tenant.WithTenant(r.Context(), ten)
+	res, err := s.cfg.Client.QueryContext(ctx, sql)
+	if err != nil {
+		writeError(w, statusOf(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Columns:         res.Columns,
+		Rows:            res.Rows,
+		Calls:           res.Report.Calls,
+		Records:         res.Report.Records,
+		Transactions:    res.Report.Transactions,
+		Price:           res.Report.Price,
+		EstTransactions: res.EstTransactions,
+		Planner:         res.Planner,
+	})
+}
+
+// readSQL accepts {"sql": "..."} JSON or a bare text/plain SQL body.
+func readSQL(r *http.Request) (string, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		return "", fmt.Errorf("daemon: read body: %w", err)
+	}
+	text := strings.TrimSpace(string(body))
+	if text == "" {
+		return "", errors.New("daemon: empty query body")
+	}
+	if strings.HasPrefix(text, "{") {
+		var req QueryRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return "", fmt.Errorf("daemon: decode body: %w", err)
+		}
+		if strings.TrimSpace(req.SQL) == "" {
+			return "", errors.New("daemon: empty sql field")
+		}
+		return req.SQL, nil
+	}
+	return text, nil
+}
+
+// statusOf maps client errors onto HTTP statuses: user errors are 4xx
+// (unparseable SQL 400, budget rejections 402), shutdown is 503, everything
+// else — market outages included — is 502.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, tenant.ErrTenantOverBudget),
+		errors.Is(err, tenant.ErrGlobalOverBudget),
+		errors.Is(err, payless.ErrOverBudget):
+		return http.StatusPaymentRequired
+	case errors.Is(err, payless.ErrParse),
+		errors.Is(err, payless.ErrBind),
+		errors.Is(err, payless.ErrOptimize):
+		return http.StatusBadRequest
+	case errors.Is(err, payless.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadGateway
+	}
+}
+
+// handleMetrics renders the shared client's families under "payless" and
+// the per-tenant spend families under "paylessd" in one scrape.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.cfg.Client.WriteMetrics(w)
+	s.cfg.Registry.WriteMetrics(w, "paylessd")
+}

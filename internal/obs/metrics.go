@@ -694,6 +694,21 @@ func (m *Metrics) WritePrometheus(w io.Writer, prefix string) {
 	hist("optimize_duration_seconds", "Optimizer latency per query.", s.OptimizeLatency)
 }
 
+// WriteCounterHead writes the HELP/TYPE preamble of one counter family in
+// the Prometheus text exposition format. Samples follow via
+// WriteLabeledCounter (or a plain fmt.Fprintf for unlabeled families).
+func WriteCounterHead(w io.Writer, prefix, name, help string) {
+	fmt.Fprintf(w, "# HELP %s_%s %s\n# TYPE %s_%s counter\n", prefix, name, help, prefix, name)
+}
+
+// WriteLabeledCounter writes one counter sample carrying a single label
+// pair. Go's %q quoting escapes backslash, double quote and newline exactly
+// as the exposition format requires. The multi-tenant daemon renders its
+// per-tenant spend families with it.
+func WriteLabeledCounter(w io.Writer, prefix, name, label, labelValue string, v int64) {
+	fmt.Fprintf(w, "%s_%s{%s=%q} %d\n", prefix, name, label, labelValue, v)
+}
+
 // Handler serves the registry at GET in Prometheus text format.
 func (m *Metrics) Handler(prefix string) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {

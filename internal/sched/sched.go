@@ -144,6 +144,15 @@ func New(caller market.Caller, cfg Config) *Scheduler {
 	}
 }
 
+// PendingGroups reports how many coalesce-window groups are currently
+// parked (armed timers). Dead groups — every waiter canceled — are dropped
+// eagerly, so a drained scheduler reports zero even mid-window.
+func (s *Scheduler) PendingGroups() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
+
 // Stats returns a snapshot of the scheduler's counters.
 func (s *Scheduler) Stats() Stats {
 	return Stats{
@@ -250,7 +259,7 @@ func (s *Scheduler) Fetch(ctx context.Context, req Request) (market.Result, Info
 		case <-ctx.Done():
 			s.mu.Lock()
 			if pr.fl == nil {
-				pr.abandoned = true
+				s.abandon(pr)
 				s.mu.Unlock()
 				return market.Result{}, Info{Delayed: true}, ctx.Err()
 			}
@@ -435,11 +444,18 @@ func filterRows(meta *catalog.Table, q catalog.AccessQuery, rows []value.Row) []
 type group struct {
 	key  string
 	reqs []*parked
+	// timer fires the group at the window's end; live counts requests not
+	// yet abandoned. When the last live request cancels, the timer is
+	// stopped and the group dropped immediately — an armed timer on a dead
+	// group would otherwise be retained until the window elapsed.
+	timer *time.Timer
+	live  int
 }
 
 // parked is one request sitting in the coalesce window.
 type parked struct {
 	req Request
+	g   *group
 	// fl is assigned under s.mu when the window fires; ready closes right
 	// after. abandoned marks a request whose waiter gave up pre-dispatch.
 	fl        *flight
@@ -466,11 +482,27 @@ func (s *Scheduler) park(req Request) *parked {
 	if !ok {
 		g = &group{key: key}
 		s.pending[key] = g
-		time.AfterFunc(s.cfg.Window, func() { s.fire(g) })
+		g.timer = time.AfterFunc(s.cfg.Window, func() { s.fire(g) })
 	}
-	pr := &parked{req: req, ready: make(chan struct{})}
+	pr := &parked{req: req, g: g, ready: make(chan struct{})}
 	g.reqs = append(g.reqs, pr)
+	g.live++
 	return pr
+}
+
+// abandon detaches a parked request whose waiter canceled pre-dispatch.
+// When it was the group's last live request, the window timer is stopped
+// and the group removed — nothing would fire anyway, and holding the timer
+// for the rest of the window retains the group (and its requests) for no
+// reason. Caller holds s.mu.
+func (s *Scheduler) abandon(pr *parked) {
+	pr.abandoned = true
+	g := pr.g
+	g.live--
+	if g.live == 0 && s.pending[g.key] == g {
+		delete(s.pending, g.key)
+		g.timer.Stop()
+	}
 }
 
 // fire dispatches a pending group: it clusters the parked boxes into exact

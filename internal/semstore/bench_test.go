@@ -91,7 +91,7 @@ func BenchmarkSemstoreRowsIn(b *testing.B) {
 		})
 		// The naive path is the pre-index linear scan over every
 		// materialised coordinate.
-		ts := s.tables[LocalTableName("Grid")]
+		ts := s.table("Grid")
 		b.Run(fmt.Sprintf("naive/rows=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				count := 0

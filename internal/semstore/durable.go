@@ -336,10 +336,11 @@ func (d *durState) checkpointLocked(s *Store) error {
 	final := filepath.Join(d.dir, snapName(seq))
 	tmp := final + tmpSuffix
 
+	// The published snapshot is immutable and — because applyRecord installs
+	// its new snapshot before record() returns, and all records serialise on
+	// d.mu — covers exactly records 1..d.cum at this point.
 	var buf bytes.Buffer
-	s.mu.RLock()
-	err := s.saveLocked(&buf, d.cum)
-	s.mu.RUnlock()
+	err := saveSnap(&buf, s.snap.Load(), d.cum)
 	if err != nil {
 		return fmt.Errorf("semstore: checkpoint encode: %w", err)
 	}

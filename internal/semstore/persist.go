@@ -69,16 +69,14 @@ var ErrBadSnapshot = errors.New("semstore: bad snapshot")
 // rows) as JSON. Output is deterministic: tables are sorted by name and
 // entries keep their (compacted) store order, so snapshots diff cleanly.
 func (s *Store) Save(w io.Writer) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.saveLocked(w, s.recorded.Load())
+	return saveSnap(w, s.snap.Load(), s.recorded.Load())
 }
 
-// saveLocked renders the envelope with the given cumulative record count.
-// Caller holds at least a read lock.
-func (s *Store) saveLocked(w io.Writer, records int64) error {
+// saveSnap renders the envelope for one immutable snapshot with the given
+// cumulative record count. The snapshot never mutates, so no lock is needed.
+func saveSnap(w io.Writer, snap *storeSnap, records int64) error {
 	out := persistFile{Magic: snapshotMagic, Version: persistVersion, Records: records}
-	for key, ts := range s.tables {
+	for key, ts := range snap.tables {
 		pt := persistTable{Table: strings.TrimPrefix(key, tablePrefix)}
 		for _, c := range ts.meta.Schema {
 			pt.Kinds = append(pt.Kinds, c.Type.String())
@@ -250,13 +248,16 @@ func (s *Store) apply(st *stagedSnapshot) error {
 			return err
 		}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
 	// Adopt the snapshot's record history so save -> load -> save is a
 	// fixed point and recovery can key WAL replay off the count.
 	s.recorded.Add(st.records)
+	snap := s.snap.Load()
+	staged := make([]*tableStore, 0, len(st.tables))
 	for _, t := range st.tables {
-		ts := s.tableFor(t.meta)
+		ts := cloneTableFor(snap, t.meta)
+		staged = append(staged, ts)
 		for _, pe := range t.entries {
 			dims := make([]region.Interval, len(pe.Dims))
 			for i, d := range pe.Dims {
@@ -285,6 +286,7 @@ func (s *Store) apply(st *stagedSnapshot) error {
 			ts.addRow(row.Clone(), t.coords[i])
 		}
 	}
+	s.publish(snap, staged...)
 	return nil
 }
 

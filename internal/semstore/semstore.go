@@ -118,12 +118,28 @@ type tableStore struct {
 	epoch uint64
 }
 
-// Store is the semantic store. It is safe for concurrent use.
+// storeSnap is one immutable published state of the store: a map from local
+// table name to an immutable tableStore. Readers load the current snapshot
+// with a single atomic pointer read and never take a lock; writers build the
+// next snapshot from a clone and install it atomically. A reader therefore
+// always sees an internally consistent state — the one produced by some
+// prefix of the Record history — and never blocks behind a writer.
+type storeSnap struct {
+	tables map[string]*tableStore
+}
+
+// Store is the semantic store. It is safe for concurrent use: reads
+// (Coverage, Remainder, RowsIn, CountIn, Boxes, Stats, Save) are lock-free
+// snapshot reads that scale with cores, writes (Record, Load) serialise on a
+// writer mutex and publish copy-on-write snapshots.
 type Store struct {
-	mu      sync.RWMutex
 	db      *storage.DB
-	tables  map[string]*tableStore
 	metrics *obs.Metrics
+
+	// wmu serialises writers. snap is the published immutable state; it is
+	// only ever replaced (never mutated) while wmu is held.
+	wmu  sync.Mutex
+	snap atomic.Pointer[storeSnap]
 
 	// dur is non-nil when EnableDurability attached a write-ahead log; every
 	// Record then appends to the log before mutating billing-visible state.
@@ -145,7 +161,9 @@ type Store struct {
 
 // New returns a semantic store materialising rows into db.
 func New(db *storage.DB) *Store {
-	return &Store{db: db, tables: make(map[string]*tableStore)}
+	s := &Store{db: db}
+	s.snap.Store(&storeSnap{tables: make(map[string]*tableStore)})
+	return s
 }
 
 // SetMetrics attaches a metrics sink; lookup and compaction events are
@@ -156,20 +174,76 @@ func (s *Store) SetMetrics(m *obs.Metrics) { s.metrics = m }
 // processing to it).
 func (s *Store) DB() *storage.DB { return s.db }
 
-func (s *Store) tableFor(meta *catalog.Table) *tableStore {
-	key := LocalTableName(meta.Name)
-	ts, ok := s.tables[key]
-	if !ok {
-		d := len(meta.QueryableAttrs())
-		ts = &tableStore{
-			meta:   meta,
-			seen:   make(map[string]struct{}),
-			dims:   make([]dimIdx, d),
-			rowIdx: make([]rowDim, d),
-		}
-		s.tables[key] = ts
+// table returns the published tableStore for a market table name, or nil.
+// The result is immutable; callers read it without locking.
+func (s *Store) table(table string) *tableStore {
+	return s.snap.Load().tables[LocalTableName(table)]
+}
+
+// cloneTableFor returns a writable copy of the table's published state (or a
+// fresh empty one) for the writer to mutate before publishing. Caller holds
+// s.wmu.
+func cloneTableFor(snap *storeSnap, meta *catalog.Table) *tableStore {
+	if ts, ok := snap.tables[LocalTableName(meta.Name)]; ok {
+		return ts.clone()
 	}
-	return ts
+	d := len(meta.QueryableAttrs())
+	return &tableStore{
+		meta:   meta,
+		seen:   make(map[string]struct{}),
+		dims:   make([]dimIdx, d),
+		rowIdx: make([]rowDim, d),
+	}
+}
+
+// clone returns a writable copy of an immutable published tableStore.
+// Everything the mutation path touches in place — coverage entries (appended
+// AND tombstoned), edge indexes, the big-box list, the sorted row indexes —
+// is deep-copied. rows and coords are append-only, so the clone shares their
+// backing arrays: a writer appending at index len(published) never touches a
+// slot any published snapshot can read. The seen map is writer-only state
+// (readers never consult it) and is shared across clones.
+func (ts *tableStore) clone() *tableStore {
+	cp := &tableStore{
+		meta:    ts.meta,
+		entries: append([]entry(nil), ts.entries...),
+		alive:   ts.alive,
+		dead:    ts.dead,
+		dims:    make([]dimIdx, len(ts.dims)),
+		misc:    append([]int(nil), ts.misc...),
+		big:     append([]int(nil), ts.big...),
+		rows:    ts.rows,
+		coords:  ts.coords,
+		seen:    ts.seen,
+		rowIdx:  make([]rowDim, len(ts.rowIdx)),
+		epoch:   ts.epoch,
+	}
+	for d := range ts.dims {
+		cp.dims[d] = dimIdx{
+			byLo:     append([]int(nil), ts.dims[d].byLo...),
+			maxWidth: ts.dims[d].maxWidth,
+		}
+	}
+	for d := range ts.rowIdx {
+		cp.rowIdx[d] = rowDim{
+			coords: append([]int64(nil), ts.rowIdx[d].coords...),
+			ids:    append([]int(nil), ts.rowIdx[d].ids...),
+		}
+	}
+	return cp
+}
+
+// publish installs a new snapshot that replaces (or adds) the given tables.
+// Caller holds s.wmu.
+func (s *Store) publish(prev *storeSnap, updated ...*tableStore) {
+	next := &storeSnap{tables: make(map[string]*tableStore, len(prev.tables)+len(updated))}
+	for k, v := range prev.tables {
+		next.tables[k] = v
+	}
+	for _, ts := range updated {
+		next.tables[LocalTableName(ts.meta.Name)] = ts
+	}
+	s.snap.Store(next)
 }
 
 // RecordResult reports what one Record call did to the store.
@@ -258,9 +332,10 @@ func (s *Store) applyRecord(meta *catalog.Table, b region.Box, rows []value.Row,
 	if _, err := tbl.Insert(rows); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ts := s.tableFor(meta)
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	snap := s.snap.Load()
+	ts := cloneTableFor(snap, meta)
 	ts.epoch++
 	for i, row := range rows {
 		k := row.Key()
@@ -285,6 +360,7 @@ func (s *Store) applyRecord(meta *catalog.Table, b region.Box, rows []value.Row,
 			m.ObserveStoreCompaction(res.Dropped, res.Absorbed, res.Merged)
 		}
 	}
+	s.publish(snap, ts)
 	return nil
 }
 
@@ -608,13 +684,15 @@ type LookupStats struct {
 // together with lookup statistics. When a single stored box contains q
 // outright, only that box is returned and stats.FastPath is set: q's
 // remainder is empty.
+//
+// Coverage is a lock-free snapshot read: it sees the store as of some
+// consistent point in the Record history and never blocks behind a writer.
 func (s *Store) Coverage(table string, q region.Box, since time.Time) ([]region.Box, LookupStats) {
 	start := time.Now()
 	var st LookupStats
-	s.mu.RLock()
-	ts, ok := s.tables[LocalTableName(table)]
+	ts := s.table(table)
 	var out []region.Box
-	if ok {
+	if ts != nil {
 		st.Entries = ts.alive
 		// Big-box fast path first: a handful of containment checks against
 		// the largest stored regions.
@@ -665,7 +743,6 @@ func (s *Store) Coverage(table string, q region.Box, since time.Time) ([]region.
 		}
 	}
 	m := s.metrics
-	s.mu.RUnlock()
 	s.lookups.Add(1)
 	if st.FastPath {
 		s.fastPathHits.Add(1)
@@ -682,10 +759,8 @@ func (s *Store) Coverage(table string, q region.Box, since time.Time) ([]region.
 // since. A zero since returns everything. Callers own the result — mutating
 // it cannot corrupt recorded coverage.
 func (s *Store) Boxes(table string, since time.Time) []region.Box {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ts, ok := s.tables[LocalTableName(table)]
-	if !ok {
+	ts := s.table(table)
+	if ts == nil {
 		return nil
 	}
 	var out []region.Box
@@ -705,10 +780,8 @@ func (s *Store) Boxes(table string, since time.Time) []region.Box {
 // compaction this is at most — typically far below — the number of calls
 // recorded.
 func (s *Store) EntryCount(table string) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ts, ok := s.tables[LocalTableName(table)]
-	if !ok {
+	ts := s.table(table)
+	if ts == nil {
 		return 0
 	}
 	return ts.alive
@@ -719,10 +792,8 @@ func (s *Store) EntryCount(table string) int {
 // increases; a cached plan skeleton compiled at epoch e is stale once the
 // table's epoch differs. Unknown tables are at epoch 0.
 func (s *Store) Epoch(table string) uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ts, ok := s.tables[LocalTableName(table)]
-	if !ok {
+	ts := s.table(table)
+	if ts == nil {
 		return 0
 	}
 	return ts.epoch
@@ -824,11 +895,9 @@ func (ts *tableStore) rowCandidates(q region.Box) (ids []int, ok bool) {
 // RowsIn returns the materialised rows of the table whose queryable
 // coordinates fall inside box q, in insertion order.
 func (s *Store) RowsIn(meta *catalog.Table, q region.Box) (storage.Relation, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	out := storage.Relation{Schema: meta.Schema.Clone()}
-	ts, ok := s.tables[LocalTableName(meta.Name)]
-	if !ok {
+	ts := s.table(meta.Name)
+	if ts == nil {
 		return out, nil
 	}
 	if ids, usable := ts.rowCandidates(q); usable {
@@ -856,10 +925,8 @@ scan:
 // CountIn returns the number of materialised rows inside box q. When q is
 // fully covered by stored boxes this is the exact market-side count.
 func (s *Store) CountIn(meta *catalog.Table, q region.Box) (int64, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ts, ok := s.tables[LocalTableName(meta.Name)]
-	if !ok {
+	ts := s.table(meta.Name)
+	if ts == nil {
 		return 0, nil
 	}
 	if ids, usable := ts.rowCandidates(q); usable {
@@ -911,10 +978,9 @@ type Stats struct {
 
 // Stats returns a snapshot of store size and activity counters.
 func (s *Store) Stats() Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	snap := s.snap.Load()
 	st := Stats{
-		Tables:          len(s.tables),
+		Tables:          len(snap.tables),
 		Lookups:         s.lookups.Load(),
 		FastPathHits:    s.fastPathHits.Load(),
 		PrunedBoxes:     s.prunedBoxes.Load(),
@@ -923,7 +989,7 @@ func (s *Store) Stats() Stats {
 		MergedEntries:   s.merged.Load(),
 		Rebuilds:        s.rebuilds.Load(),
 	}
-	for _, ts := range s.tables {
+	for _, ts := range snap.tables {
 		st.Entries += ts.alive
 		st.DeadEntries += ts.dead
 		st.Rows += len(ts.rows)

@@ -1,0 +1,307 @@
+// Package tenant is the multi-tenant daemon's account layer: static API-key
+// authentication, per-tenant and global spending budgets enforced by
+// reservation, per-tenant rate limits, and per-tenant billing attribution.
+//
+// The economics follow the shared semantic store's first-payer policy: the
+// tenant whose query triggers a remainder fetch pays for it; every later
+// tenant reads the purchased rows free. A Registry implements the payless
+// Admitter hook, so one shared Client serves every tenant while budgets and
+// spend stay per-tenant — the tenant rides the query's context.
+package tenant
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"payless/internal/obs"
+)
+
+// Admission errors. The daemon maps ErrRateLimited to 429 and the budget
+// errors to 402; ErrNoTenant/ErrBadKey to 401.
+var (
+	// ErrBadKey means the presented API key matches no registered tenant.
+	ErrBadKey = errors.New("tenant: unknown API key")
+	// ErrNoTenant means a query reached the admitter without a tenant on its
+	// context — a daemon wiring bug, never a user error.
+	ErrNoTenant = errors.New("tenant: no tenant on query context")
+	// ErrTenantOverBudget means the estimate exceeds the tenant's remaining
+	// budget (spent + reserved headroom).
+	ErrTenantOverBudget = errors.New("tenant: estimated cost exceeds tenant budget")
+	// ErrGlobalOverBudget means the estimate exceeds the daemon-wide budget.
+	ErrGlobalOverBudget = errors.New("tenant: estimated cost exceeds global budget")
+	// ErrRateLimited means the tenant's token bucket is empty.
+	ErrRateLimited = errors.New("tenant: rate limit exceeded")
+)
+
+// Config declares one tenant.
+type Config struct {
+	// Name labels the tenant in metrics and logs; required, unique.
+	Name string
+	// Key is the tenant's static API key; required, unique.
+	Key string
+	// Budget caps the tenant's lifetime spend in transactions; 0 unlimited.
+	Budget int64
+	// RatePerSec caps the tenant's sustained query admission rate; 0
+	// unlimited. Burst is the token-bucket depth (0 means a depth of
+	// max(1, ceil(RatePerSec))).
+	RatePerSec float64
+	Burst      int
+}
+
+// Tenant is one authenticated account's live state. All fields are guarded
+// by mu; methods are safe for concurrent use.
+type Tenant struct {
+	name   string
+	budget int64
+
+	mu       sync.Mutex
+	spent    int64 // transactions actually billed to this tenant's queries
+	reserved int64 // estimates of admitted, unsettled queries
+	queries  int64 // queries admitted past the budget
+	rejected int64 // queries rejected over budget
+
+	// Token bucket. rate<=0 disables limiting.
+	rate        float64
+	burst       float64
+	tokens      float64
+	last        time.Time
+	rateLimited int64
+}
+
+// Name returns the tenant's metric label.
+func (t *Tenant) Name() string { return t.name }
+
+// Spend returns the transactions actually billed to this tenant so far.
+func (t *Tenant) Spend() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.spent
+}
+
+// Allow consumes one rate-limit token, reporting how long the caller should
+// wait before retrying when the bucket is empty. Unlimited tenants always
+// pass.
+func (t *Tenant) Allow(now time.Time) (ok bool, retryAfter time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.rate <= 0 {
+		return true, 0
+	}
+	if !t.last.IsZero() {
+		t.tokens += now.Sub(t.last).Seconds() * t.rate
+		if t.tokens > t.burst {
+			t.tokens = t.burst
+		}
+	}
+	t.last = now
+	if t.tokens >= 1 {
+		t.tokens--
+		return true, 0
+	}
+	t.rateLimited++
+	wait := time.Duration((1 - t.tokens) / t.rate * float64(time.Second))
+	if wait < time.Millisecond {
+		wait = time.Millisecond
+	}
+	return false, wait
+}
+
+// reserve admits an estimate against the tenant budget, holding it until
+// settle. Check and reservation are one critical section: two concurrent
+// queries cannot both be admitted against the same headroom.
+func (t *Tenant) reserve(est int64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.budget > 0 && t.spent+t.reserved+est > t.budget {
+		t.rejected++
+		return fmt.Errorf("%w: tenant %s estimated %d on top of %d spent and %d reserved, budget %d",
+			ErrTenantOverBudget, t.name, est, t.spent, t.reserved, t.budget)
+	}
+	t.reserved += est
+	t.queries++
+	return nil
+}
+
+// settle releases a reservation and books the actual bill.
+func (t *Tenant) settle(est, actual int64) {
+	t.mu.Lock()
+	t.reserved -= est
+	t.spent += actual
+	t.mu.Unlock()
+}
+
+// Registry is the daemon's tenant table plus the global budget. It
+// implements the payless Admitter interface: the tenant is carried on the
+// query context (WithTenant/From), so one shared client serves every tenant.
+type Registry struct {
+	byKey  map[string]*Tenant
+	names  []string // sorted, for deterministic metric rendering
+	byName map[string]*Tenant
+
+	globalBudget int64
+	mu           sync.Mutex
+	globalSpent  int64
+	globalRes    int64
+	rejectedGlob int64
+}
+
+// NewRegistry builds a registry from tenant declarations. globalBudget caps
+// the daemon's combined spend in transactions (0 unlimited).
+func NewRegistry(globalBudget int64, tenants ...Config) (*Registry, error) {
+	r := &Registry{
+		byKey:        make(map[string]*Tenant, len(tenants)),
+		byName:       make(map[string]*Tenant, len(tenants)),
+		globalBudget: globalBudget,
+	}
+	for _, c := range tenants {
+		if c.Name == "" || c.Key == "" {
+			return nil, fmt.Errorf("tenant: name and key are required (name %q)", c.Name)
+		}
+		if _, dup := r.byName[c.Name]; dup {
+			return nil, fmt.Errorf("tenant: duplicate name %q", c.Name)
+		}
+		if _, dup := r.byKey[c.Key]; dup {
+			return nil, fmt.Errorf("tenant: duplicate key for %q", c.Name)
+		}
+		burst := float64(c.Burst)
+		if burst <= 0 && c.RatePerSec > 0 {
+			burst = c.RatePerSec
+			if burst < 1 {
+				burst = 1
+			}
+		}
+		t := &Tenant{name: c.Name, budget: c.Budget, rate: c.RatePerSec, burst: burst, tokens: burst}
+		r.byKey[c.Key] = t
+		r.byName[c.Name] = t
+		r.names = append(r.names, c.Name)
+	}
+	sort.Strings(r.names)
+	return r, nil
+}
+
+// Authenticate resolves an API key to its tenant.
+func (r *Registry) Authenticate(key string) (*Tenant, error) {
+	if t, ok := r.byKey[key]; ok {
+		return t, nil
+	}
+	return nil, ErrBadKey
+}
+
+// Lookup resolves a tenant by name (tests and introspection).
+func (r *Registry) Lookup(name string) (*Tenant, bool) {
+	t, ok := r.byName[name]
+	return t, ok
+}
+
+// ctxKey keys the tenant on a query context.
+type ctxKey struct{}
+
+// WithTenant attaches a tenant to a query context.
+func WithTenant(ctx context.Context, t *Tenant) context.Context {
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// From extracts the tenant a query runs as.
+func From(ctx context.Context) (*Tenant, bool) {
+	t, ok := ctx.Value(ctxKey{}).(*Tenant)
+	return t, ok
+}
+
+// Reserve implements the payless Admitter hook: the estimate is reserved
+// against the querying tenant's budget first, then the global budget; a
+// global rejection releases the tenant reservation, so a failed admission
+// leaves no residue.
+func (r *Registry) Reserve(ctx context.Context, est int64) error {
+	t, ok := From(ctx)
+	if !ok {
+		return ErrNoTenant
+	}
+	if err := t.reserve(est); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	if r.globalBudget > 0 && r.globalSpent+r.globalRes+est > r.globalBudget {
+		spent, reserved := r.globalSpent, r.globalRes
+		r.rejectedGlob++
+		r.mu.Unlock()
+		t.settle(est, 0)
+		return fmt.Errorf("%w: estimated %d on top of %d spent and %d reserved, budget %d",
+			ErrGlobalOverBudget, est, spent, reserved, r.globalBudget)
+	}
+	r.globalRes += est
+	r.mu.Unlock()
+	return nil
+}
+
+// Settle implements the payless Admitter hook: the reservation is released
+// and the actual bill booked on the tenant whose query spent it — the
+// first-payer attribution the shared store's economics rest on.
+func (r *Registry) Settle(ctx context.Context, est, actual int64) {
+	t, ok := From(ctx)
+	if !ok {
+		return
+	}
+	t.settle(est, actual)
+	r.mu.Lock()
+	r.globalRes -= est
+	r.globalSpent += actual
+	r.mu.Unlock()
+}
+
+// GlobalSpend reports the transactions billed across all tenants.
+func (r *Registry) GlobalSpend() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.globalSpent
+}
+
+// WriteMetrics renders the per-tenant families in the Prometheus text
+// exposition format under the given prefix: spend, reserved estimates,
+// admitted queries, and budget/rate rejections, labeled by tenant, plus the
+// global spend line. Tenants render in sorted name order so scrapes diff
+// cleanly.
+func (r *Registry) WriteMetrics(w io.Writer, prefix string) {
+	type row struct {
+		name                                      string
+		spent, reserved, queries, rejected, rated int64
+	}
+	rows := make([]row, 0, len(r.names))
+	for _, name := range r.names {
+		t := r.byName[name]
+		t.mu.Lock()
+		rows = append(rows, row{name, t.spent, t.reserved, t.queries, t.rejected, t.rateLimited})
+		t.mu.Unlock()
+	}
+	obs.WriteCounterHead(w, prefix, "tenant_spend_total", "Transactions billed to queries this tenant triggered (first-payer attribution).")
+	for _, x := range rows {
+		obs.WriteLabeledCounter(w, prefix, "tenant_spend_total", "tenant", x.name, x.spent)
+	}
+	obs.WriteCounterHead(w, prefix, "tenant_reserved_transactions", "Estimated transactions held by this tenant's in-flight queries.")
+	for _, x := range rows {
+		obs.WriteLabeledCounter(w, prefix, "tenant_reserved_transactions", "tenant", x.name, x.reserved)
+	}
+	obs.WriteCounterHead(w, prefix, "tenant_queries_total", "Queries admitted past this tenant's budget.")
+	for _, x := range rows {
+		obs.WriteLabeledCounter(w, prefix, "tenant_queries_total", "tenant", x.name, x.queries)
+	}
+	obs.WriteCounterHead(w, prefix, "tenant_rejected_budget_total", "Queries rejected over the tenant budget.")
+	for _, x := range rows {
+		obs.WriteLabeledCounter(w, prefix, "tenant_rejected_budget_total", "tenant", x.name, x.rejected)
+	}
+	obs.WriteCounterHead(w, prefix, "tenant_rate_limited_total", "Queries rejected by the tenant rate limit.")
+	for _, x := range rows {
+		obs.WriteLabeledCounter(w, prefix, "tenant_rate_limited_total", "tenant", x.name, x.rated)
+	}
+	r.mu.Lock()
+	spent, rejected := r.globalSpent, r.rejectedGlob
+	r.mu.Unlock()
+	obs.WriteCounterHead(w, prefix, "global_spend_total", "Transactions billed across all tenants.")
+	fmt.Fprintf(w, "%s_global_spend_total %d\n", prefix, spent)
+	obs.WriteCounterHead(w, prefix, "global_rejected_budget_total", "Queries rejected over the global budget.")
+	fmt.Fprintf(w, "%s_global_rejected_budget_total %d\n", prefix, rejected)
+}

@@ -1,0 +1,200 @@
+package tenant
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testRegistry(t *testing.T, global int64, cfgs ...Config) *Registry {
+	t.Helper()
+	r, err := NewRegistry(global, cfgs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRegistryAuthenticate(t *testing.T) {
+	r := testRegistry(t, 0,
+		Config{Name: "alice", Key: "key-a"},
+		Config{Name: "bob", Key: "key-b"},
+	)
+	a, err := r.Authenticate("key-a")
+	if err != nil || a.Name() != "alice" {
+		t.Fatalf("key-a -> %v, %v", a, err)
+	}
+	if _, err := r.Authenticate("nope"); !errors.Is(err, ErrBadKey) {
+		t.Fatalf("bad key: %v, want ErrBadKey", err)
+	}
+}
+
+func TestRegistryRejectsDuplicates(t *testing.T) {
+	if _, err := NewRegistry(0, Config{Name: "a", Key: "k"}, Config{Name: "a", Key: "k2"}); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if _, err := NewRegistry(0, Config{Name: "a", Key: "k"}, Config{Name: "b", Key: "k"}); err == nil {
+		t.Fatal("duplicate key accepted")
+	}
+	if _, err := NewRegistry(0, Config{Name: "", Key: "k"}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+}
+
+func TestTenantBudgetReservation(t *testing.T) {
+	r := testRegistry(t, 0, Config{Name: "a", Key: "k", Budget: 10})
+	ten, _ := r.Lookup("a")
+	ctx := WithTenant(context.Background(), ten)
+
+	if err := r.Reserve(ctx, 6); err != nil {
+		t.Fatal(err)
+	}
+	// 6 reserved: another 6 must bounce even though nothing is spent yet.
+	if err := r.Reserve(ctx, 6); !errors.Is(err, ErrTenantOverBudget) {
+		t.Fatalf("over-reservation: %v, want ErrTenantOverBudget", err)
+	}
+	// Settle to an actual of 4: 6 headroom returns.
+	r.Settle(ctx, 6, 4)
+	if got := ten.Spend(); got != 4 {
+		t.Fatalf("spend after settle: %d, want 4", got)
+	}
+	if err := r.Reserve(ctx, 6); err != nil {
+		t.Fatalf("reserve after settle: %v", err)
+	}
+	r.Settle(ctx, 6, 6)
+	if err := r.Reserve(ctx, 1); !errors.Is(err, ErrTenantOverBudget) {
+		t.Fatalf("budget exhausted but admitted: %v", err)
+	}
+}
+
+func TestTenantBudgetRace(t *testing.T) {
+	// 16 goroutines race a budget admitting exactly 4 of their reservations:
+	// reservation-based admission must never overshoot.
+	r := testRegistry(t, 0, Config{Name: "a", Key: "k", Budget: 4})
+	ten, _ := r.Lookup("a")
+	ctx := WithTenant(context.Background(), ten)
+	var wg sync.WaitGroup
+	admitted := make([]bool, 16)
+	for i := range admitted {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if r.Reserve(ctx, 1) == nil {
+				admitted[i] = true
+			}
+		}(i)
+	}
+	wg.Wait()
+	n := 0
+	for _, ok := range admitted {
+		if ok {
+			n++
+		}
+	}
+	if n != 4 {
+		t.Fatalf("budget of 4 admitted %d unit reservations", n)
+	}
+}
+
+func TestGlobalBudgetReleasesTenantReservation(t *testing.T) {
+	r := testRegistry(t, 5,
+		Config{Name: "a", Key: "ka", Budget: 100},
+		Config{Name: "b", Key: "kb", Budget: 100},
+	)
+	a, _ := r.Lookup("a")
+	b, _ := r.Lookup("b")
+	actx := WithTenant(context.Background(), a)
+	bctx := WithTenant(context.Background(), b)
+
+	if err := r.Reserve(actx, 4); err != nil {
+		t.Fatal(err)
+	}
+	// Global has 1 headroom left: b's 2 bounces off the GLOBAL budget and
+	// must leave no residue on b's own account.
+	if err := r.Reserve(bctx, 2); !errors.Is(err, ErrGlobalOverBudget) {
+		t.Fatalf("global overshoot admitted: %v", err)
+	}
+	b.mu.Lock()
+	res := b.reserved
+	b.mu.Unlock()
+	if res != 0 {
+		t.Fatalf("failed global admission left %d reserved on the tenant", res)
+	}
+	r.Settle(actx, 4, 4)
+	if err := r.Reserve(bctx, 1); err != nil {
+		t.Fatalf("global headroom after settle: %v", err)
+	}
+}
+
+func TestReserveWithoutTenantFails(t *testing.T) {
+	r := testRegistry(t, 0, Config{Name: "a", Key: "k"})
+	if err := r.Reserve(context.Background(), 1); !errors.Is(err, ErrNoTenant) {
+		t.Fatalf("tenantless reserve: %v, want ErrNoTenant", err)
+	}
+}
+
+func TestTenantRateLimit(t *testing.T) {
+	r := testRegistry(t, 0, Config{Name: "a", Key: "k", RatePerSec: 1, Burst: 2})
+	ten, _ := r.Lookup("a")
+	now := time.Unix(1700000000, 0)
+	for i := 0; i < 2; i++ {
+		if ok, _ := ten.Allow(now); !ok {
+			t.Fatalf("burst token %d refused", i)
+		}
+	}
+	ok, retry := ten.Allow(now)
+	if ok {
+		t.Fatal("empty bucket admitted")
+	}
+	if retry <= 0 || retry > time.Second+time.Millisecond {
+		t.Fatalf("retry-after %v, want (0, 1s]", retry)
+	}
+	// One token accrues per second.
+	if ok, _ := ten.Allow(now.Add(time.Second)); !ok {
+		t.Fatal("refilled bucket refused")
+	}
+	if ok, _ := ten.Allow(now.Add(time.Second)); ok {
+		t.Fatal("second token admitted after one-second refill")
+	}
+	// Unlimited tenants always pass.
+	free := testRegistry(t, 0, Config{Name: "f", Key: "kf"})
+	ft, _ := free.Lookup("f")
+	for i := 0; i < 100; i++ {
+		if ok, _ := ft.Allow(now); !ok {
+			t.Fatal("unlimited tenant throttled")
+		}
+	}
+}
+
+func TestWriteMetricsAttributesSpendPerTenant(t *testing.T) {
+	r := testRegistry(t, 0,
+		Config{Name: "alice", Key: "ka"},
+		Config{Name: "bob", Key: "kb"},
+	)
+	a, _ := r.Lookup("alice")
+	ctxA := WithTenant(context.Background(), a)
+	if err := r.Reserve(ctxA, 7); err != nil {
+		t.Fatal(err)
+	}
+	r.Settle(ctxA, 7, 7)
+
+	var sb strings.Builder
+	r.WriteMetrics(&sb, "paylessd")
+	out := sb.String()
+	for _, want := range []string{
+		`paylessd_tenant_spend_total{tenant="alice"} 7`,
+		`paylessd_tenant_spend_total{tenant="bob"} 0`,
+		`paylessd_global_spend_total 7`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic order: alice renders before bob.
+	if strings.Index(out, `tenant="alice"`) > strings.Index(out, `tenant="bob"`) {
+		t.Fatalf("tenants not in sorted order:\n%s", out)
+	}
+}

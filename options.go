@@ -24,6 +24,14 @@ func WithBudget(b Budget) Option {
 	return func(c *Config) { c.Budget = b }
 }
 
+// WithAdmitter installs an external admission hook consulted after the
+// client's own budget reservation: multi-tenant front ends (cmd/paylessd)
+// use it to bind per-tenant and global budgets onto one shared client. The
+// admitter sees the query's context, so per-caller identity can ride on it.
+func WithAdmitter(a Admitter) Option {
+	return func(c *Config) { c.Admitter = a }
+}
+
 // WithFetchConcurrency bounds in-flight market calls per plan step.
 // The bill is identical at any setting; only wall-clock latency changes.
 func WithFetchConcurrency(n int) Option {

@@ -112,8 +112,15 @@ type Config struct {
 	// plugs in ISOMER and notes any updatable statistic fits (§3).
 	Statistics StatsKind
 	// Budget caps spending; over-budget queries fail with ErrOverBudget
-	// before any call is made.
+	// before any call is made. The budget is enforced by reservation: a
+	// query's estimate is held from admission to settlement, so concurrent
+	// queries cannot jointly overshoot Total.
 	Budget Budget
+	// Admitter, when set, is consulted around every query in addition to
+	// Budget: Reserve before execution (rejecting unbilled on error), Settle
+	// with the actual spend after. The daemon's tenant layer uses it for
+	// per-tenant budgets and billing attribution.
+	Admitter Admitter
 	// FetchConcurrency bounds the number of in-flight market calls per plan
 	// step (the engine's fetch worker pool). 0 picks min(8, GOMAXPROCS);
 	// 1 executes calls serially. The bill is identical at any setting —
@@ -324,9 +331,20 @@ type Client struct {
 	mu    sync.Mutex
 	audit io.Writer
 	total engine.Report
+	// reserved is the estimated spend of queries admitted but not yet
+	// settled; budget admission checks total+reserved so concurrent queries
+	// cannot jointly overshoot Budget.Total.
+	reserved int64
 	// counters accumulates search effort across queries.
 	counters core.Counters
 	queries  int
+
+	// closemu guards the close state; inflight counts executing queries so
+	// Close can drain them before closing the durable store.
+	closemu  sync.Mutex
+	closed   bool
+	closeErr error
+	inflight sync.WaitGroup
 }
 
 // Open builds a Client from a config, with Options applied on top.
@@ -416,10 +434,34 @@ func Open(cfg Config, opts ...Option) (*Client, error) {
 	return c, nil
 }
 
-// Close flushes and closes the durable store's write-ahead log. Memory-only
-// clients need no Close; calling it anyway is a no-op. After Close the
-// client must not execute further queries in durable mode.
-func (c *Client) Close() error { return c.store.Close() }
+// Close drains in-flight queries, then flushes and closes the durable
+// store's write-ahead log. Queries started after Close fail fast with
+// ErrClosed; queries already executing finish normally (their paid calls
+// are recorded before the log closes). Close is idempotent and safe to
+// call concurrently — every call returns the first call's result after the
+// drain completes.
+func (c *Client) Close() error {
+	c.closemu.Lock()
+	defer c.closemu.Unlock()
+	if !c.closed {
+		c.closed = true
+		c.inflight.Wait()
+		c.closeErr = c.store.Close()
+	}
+	return c.closeErr
+}
+
+// begin registers one in-flight query, failing fast once Close has started.
+// Every successful begin must be paired with c.inflight.Done().
+func (c *Client) begin() error {
+	c.closemu.Lock()
+	defer c.closemu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	c.inflight.Add(1)
+	return nil
+}
 
 // CheckpointStore folds the durable store's WAL into a snapshot (temp file,
 // fsync, atomic rename, directory fsync) and truncates the log. A no-op for
@@ -644,6 +686,10 @@ func (c *Client) QueryContext(ctx context.Context, sql string) (*Result, error) 
 // prepared statements route through here with their own cache when the
 // client-wide one is disabled.
 func (c *Client) queryCached(ctx context.Context, sql string, cache *core.PlanCache) (*Result, error) {
+	if err := c.begin(); err != nil {
+		return nil, err
+	}
+	defer c.inflight.Done()
 	start := time.Now()
 	tr := c.beginTrace(sql)
 	res, err := c.run(ctx, sql, tr, cache)
@@ -667,8 +713,15 @@ func (c *Client) run(ctx context.Context, sql string, tr *obs.Trace, cache *core
 	if err != nil {
 		return nil, err
 	}
-	if err := c.checkBudget(plan.EstTrans); err != nil {
+	est := plan.EstTrans
+	if err := c.reserveBudget(est); err != nil {
 		return nil, err
+	}
+	if a := c.cfg.Admitter; a != nil {
+		if err := a.Reserve(ctx, est); err != nil {
+			c.releaseBudget(est)
+			return nil, err
+		}
 	}
 	eng := engine.Engine{
 		Catalog:     c.cat,
@@ -688,18 +741,23 @@ func (c *Client) run(ctx context.Context, sql string, tr *obs.Trace, cache *core
 		// A failed query may still have spent money before dying. That spend
 		// is real — and not wasted: every salvaged call's rows were recorded
 		// into the semantic store, so a re-run pays only the remainder. Fold
-		// it into the client totals and the failed-spend metrics so the bill
-		// never under-reports.
+		// it into the client totals (releasing the reservation in the same
+		// critical section) and the failed-spend metrics so the bill never
+		// under-reports.
+		c.settleBudget(est, report)
 		if report != (engine.Report{}) {
-			c.mu.Lock()
-			c.total.Add(report)
-			c.mu.Unlock()
 			c.metrics.ObserveFailedQuerySpend(report.Calls, report.Records, report.Transactions, report.Price)
+		}
+		if a := c.cfg.Admitter; a != nil {
+			a.Settle(ctx, est, report.Transactions)
 		}
 		return nil, stageErr(StageExecute, err)
 	}
+	c.settleBudget(est, report)
+	if a := c.cfg.Admitter; a != nil {
+		a.Settle(ctx, est, report.Transactions)
+	}
 	c.mu.Lock()
-	c.total.Add(report)
 	c.counters.Add(plan.Counters)
 	c.queries++
 	c.mu.Unlock()

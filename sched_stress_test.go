@@ -3,6 +3,7 @@ package payless
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -201,6 +202,64 @@ func TestSchedulerStressMeterParityWithSerialRun(t *testing.T) {
 	if after != before {
 		t.Fatalf("covered re-read billed: %+v -> %+v", before, after)
 	}
+}
+
+// TestSchedulerStressCanceledWindowLeavesNoTimerOrGoroutine is the
+// coalesce-window leak regression: when every waiter of a parked group
+// cancels inside the window, the group's AfterFunc timer must be stopped
+// and the group dropped immediately — not retained (armed, holding the
+// requests) until the window elapses. The window is deliberately far longer
+// than the test, so a retained group is caught, and a goleak-style
+// goroutine census over many park/cancel rounds catches anything the
+// scheduler left running.
+func TestSchedulerStressCanceledWindowLeavesNoTimerOrGoroutine(t *testing.T) {
+	const rounds = 20
+	m := stressMarket(t, "conc")
+	gc := &gatedCaller{inner: market.AccountCaller{Market: m, Key: "conc"}}
+	conc := openSchedClient(t, m, "conc", gc, WithCoalesceWindow(time.Minute))
+
+	baseline := runtime.NumGoroutine()
+	for r := 0; r < rounds; r++ {
+		// Small fetch (5 rows < t=10) so the scheduler parks it; vary the box
+		// per round so coverage from earlier rounds cannot absorb it.
+		sql := fmt.Sprintf("SELECT v FROM T WHERE a >= %d AND a <= %d", 5*r+1, 5*r+5)
+		delayedBefore := conc.Metrics().SchedDelayedCalls
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() {
+			_, err := conc.QueryContext(ctx, sql)
+			done <- err
+		}()
+		// The waiter is demonstrably parked in the window, then canceled.
+		waitForCond(t, "the fetch to be parked", func() bool {
+			return conc.Metrics().SchedDelayedCalls > delayedBefore
+		})
+		if got := conc.sched.PendingGroups(); got != 1 {
+			t.Fatalf("round %d: %d pending groups while parked, want 1", r, got)
+		}
+		cancel()
+		if err := <-done; err == nil || ctx.Err() == nil {
+			t.Fatalf("round %d: canceled parked query returned %v", r, err)
+		}
+		// The last waiter left: timer stopped, group gone, NOW — a minute
+		// before the window would have fired.
+		if got := conc.sched.PendingGroups(); got != 0 {
+			t.Fatalf("round %d: %d pending groups after last waiter canceled, want 0", r, got)
+		}
+	}
+	// No wire call was ever made and nothing billed for the canceled parks.
+	if got := gc.arrivals(); got != 0 {
+		t.Fatalf("canceled parked fetches reached the wire %d times", got)
+	}
+	meter, _ := m.MeterOf("conc")
+	if meter.Calls != 0 {
+		t.Fatalf("canceled parked fetches billed: %+v", meter)
+	}
+	// Goroutine census: everything the rounds started must wind down.
+	waitForCond(t, "goroutines to drain back to baseline", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= baseline+2
+	})
 }
 
 // TestSchedulerStressNoLostWaitersOnCancel cancels half the waiters of a
