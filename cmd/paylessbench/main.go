@@ -39,7 +39,7 @@ func main() {
 	p.Seed = *seed
 	p.SampleEvery = *sample
 
-	figures := []string{"10", "11", "12", "13", "14", "15", "conc", "shared", "daemon", "store", "faults", "durability", "plan"}
+	figures := []string{"10", "11", "12", "13", "14", "15", "conc", "shared", "daemon", "store", "faults", "durability", "plan", "federation"}
 	if *fig != "all" {
 		figures = []string{*fig}
 	}
@@ -127,6 +127,11 @@ func one(f, ds string, req bench.Request) (*bench.Figure, error) {
 			return nil, nil // the planning sweep runs on the real schema only
 		}
 		return bench.FigPlan(bench.DefaultPlanParams())
+	case "federation":
+		if ds != "real" && ds != "all" {
+			return nil, nil // the federation sweep runs on the real workload only
+		}
+		return bench.FigFederation(bench.DefaultFederationParams())
 	default:
 		return nil, fmt.Errorf("unknown figure %q", f)
 	}

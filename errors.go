@@ -54,10 +54,20 @@ type StatusError = connector.StatusError
 //	if errors.As(err, &pe) { log.Printf("banked $%.2f", pe.Billed.Price) }
 type PartialError = engine.PartialError
 
-// ErrCircuitOpen marks a call short-circuited by an open per-dataset
-// circuit breaker (see Config.BreakerThreshold). It surfaces wrapped in the
-// execute stage's PartialError.
+// ErrCircuitOpen marks a call short-circuited by an open circuit breaker
+// (see Config.BreakerThreshold) — per-dataset on a single-market client,
+// per-endpoint×dataset on a federated one (every endpoint refusing). It
+// surfaces wrapped in the execute stage's PartialError.
 var ErrCircuitOpen = engine.ErrCircuitOpen
+
+// CircuitOpenError is the concrete breaker-refusal error, re-exported from
+// the engine. It matches errors.Is(err, ErrCircuitOpen) and carries how long
+// until the breaker next admits a probe — user-facing transports turn it
+// into 503 + Retry-After:
+//
+//	var coe *payless.CircuitOpenError
+//	if errors.As(err, &coe) { wait := coe.RetryAfter }
+type CircuitOpenError = engine.CircuitOpenError
 
 // Stage names the query-processing phase an error belongs to.
 type Stage string

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"testing"
+
+	"payless/internal/workload"
+)
+
+// smallFederationParams shrinks the sweep for CI.
+func smallFederationParams() FederationParams {
+	cfg := workload.DefaultWHWConfig()
+	cfg.Countries = 3
+	cfg.StationsPerCountry = 6
+	cfg.Days = 10
+	return FederationParams{
+		Cfg:      cfg,
+		SkewsPct: []int{0, 10, 25},
+		Queries:  3,
+		Seed:     17,
+	}
+}
+
+// TestFigFederationDegradedSpendBounded is the federation-smoke CI gate:
+// across the price-skew sweep, source selection pins the federated spend to
+// the cheapest mirror, and a full failover (cheapest mirror down) costs at
+// most 1.3× the clean federated spend.
+func TestFigFederationDegradedSpendBounded(t *testing.T) {
+	fig, err := FigFederation(smallFederationParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("want 3 series, got %d", len(fig.Series))
+	}
+	fed, pinned, degraded := fig.Series[0], fig.Series[1], fig.Series[2]
+	for i := range fed.Y {
+		if fed.Y[i] == 0 {
+			t.Fatalf("skew=%d%%: federated spend is zero; the gate would be vacuous", fed.X[i])
+		}
+		if float64(degraded.Y[i]) > 1.3*float64(fed.Y[i]) {
+			t.Errorf("skew=%d%%: degraded spend %d exceeds 1.3x federated %d",
+				degraded.X[i], degraded.Y[i], fed.Y[i])
+		}
+		// Federated spend must not climb with skew: source selection keeps
+		// buying at the base-priced mirror.
+		if fed.Y[i] != fed.Y[0] {
+			t.Errorf("skew=%d%%: federated spend moved off the cheapest mirror: %d vs %d",
+				fed.X[i], fed.Y[i], fed.Y[0])
+		}
+		// The pinned counterfactual pays the full skew premium at skew > 0.
+		if fed.X[i] > 0 && pinned.Y[i] <= fed.Y[i] {
+			t.Errorf("skew=%d%%: pinned spend %d not above federated %d",
+				pinned.X[i], pinned.Y[i], fed.Y[i])
+		}
+	}
+}

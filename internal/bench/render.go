@@ -129,6 +129,16 @@ func RenderAll(req Request, w io.Writer) error {
 			fmt.Fprintf(w, "   (regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
 			continue
 		}
+		if f == "federation" {
+			start := time.Now()
+			fig, err := FigFederation(DefaultFederationParams())
+			if err != nil {
+				return fmt.Errorf("fig federation: %w", err)
+			}
+			fmt.Fprint(w, fig.Render())
+			fmt.Fprintf(w, "   (regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+			continue
+		}
 		if f == "conc" {
 			start := time.Now()
 			cp := DefaultConcurrencyParams()

@@ -12,6 +12,7 @@ package catalog
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"payless/internal/region"
 	"payless/internal/value"
@@ -112,6 +113,26 @@ func (a Attribute) ValueAt(coord int64) (value.Value, error) {
 	return value.NewInt(coord), nil
 }
 
+// Mirror names one market endpoint offering a table. A federated buyer sees
+// the same logical dataset from several regions/mirrors at different prices
+// and latencies ("Joint Data Purchasing and Data Placement in a
+// Geo-Distributed Data Market"); the catalog records, per table, which
+// endpoints carry it and at what terms.
+type Mirror struct {
+	// Endpoint is the federation endpoint name (matches the endpoint the
+	// buyer configured, e.g. "us-east").
+	Endpoint string
+	// PriceFactor scales the table's list PricePerTransaction at this
+	// mirror; 0 means list price (factor 1).
+	PriceFactor float64
+	// LatencyHint is the static expected round-trip to this mirror, used by
+	// the source-selection cost model until observed latencies accumulate.
+	LatencyHint time.Duration
+	// AccountKey is the buyer's account key at this mirror, when it differs
+	// from the endpoint's default credential.
+	AccountKey string
+}
+
 // Table describes one dataset table registered with PayLess.
 type Table struct {
 	// Dataset is the market dataset the table belongs to (e.g. "WHW");
@@ -127,6 +148,21 @@ type Table struct {
 	Local bool
 	// PricePerTransaction is the seller's price p for one transaction.
 	PricePerTransaction float64
+	// Mirrors lists the market endpoints offering this table. Empty means
+	// the table is available from every configured endpoint at its default
+	// terms (the single-market degenerate case needs no mirror metadata).
+	Mirrors []Mirror
+}
+
+// MirrorFor returns the table's mirror entry for the named endpoint, if the
+// table restricts or re-prices its availability there.
+func (t *Table) MirrorFor(endpoint string) (Mirror, bool) {
+	for _, m := range t.Mirrors {
+		if m.Endpoint == endpoint {
+			return m, true
+		}
+	}
+	return Mirror{}, false
 }
 
 // QueryableIdx returns the schema indexes of attributes that participate in

@@ -1,0 +1,105 @@
+package connector
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"payless/internal/catalog"
+)
+
+// retryAfterServer always answers 429 with a long Retry-After, so every
+// attempt parks the connector in a retry wait.
+func retryAfterServer(secs string) *httptest.Server {
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", secs)
+		http.Error(w, "come back later", http.StatusTooManyRequests)
+	}))
+}
+
+// TestRetryAfterWaitAbortsOnCancel pins the cancellation guarantee of the
+// retry wait with a fake clock: the injected sleep records the requested
+// delay and then never returns (time never advances), so the only way the
+// call can finish is the connector aborting the wait itself when the
+// caller's context is cancelled. Before waitRetry, a sleep implementation
+// that ignored its context would park the query for the full Retry-After —
+// 60 fake seconds here — after the caller had already hung up.
+func TestRetryAfterWaitAbortsOnCancel(t *testing.T) {
+	srv := retryAfterServer("60")
+	defer srv.Close()
+
+	c := New(srv.URL, "k", WithRetries(3), WithBackoff(time.Millisecond, 120*time.Second))
+	requested := make(chan time.Duration, 1)
+	blocked := make(chan struct{})
+	t.Cleanup(func() { close(blocked) })
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		select {
+		case requested <- d:
+		default:
+		}
+		<-blocked // the fake clock never ticks
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := c.Call(ctx, catalog.AccessQuery{Dataset: "DS", Table: "T"})
+		errc <- err
+	}()
+
+	// Wait until the connector is provably inside the retry wait, then hang up.
+	var d time.Duration
+	select {
+	case d = <-requested:
+	case <-time.After(5 * time.Second):
+		t.Fatal("connector never reached the retry wait")
+	}
+	if d != 60*time.Second {
+		t.Fatalf("retry wait honoured %v, want the announced Retry-After of 60s", d)
+	}
+	cancel()
+
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Fatalf("abort took %v — the wait was slept out, not aborted", elapsed)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled call still waiting: the Retry-After wait was not aborted")
+	}
+}
+
+// TestMeterContextAbortsRetryWait covers the context-threaded metadata
+// calls: a cancelled MeterContext must abort a pending backoff instead of
+// retrying to exhaustion on the Background context.
+func TestMeterContextAbortsRetryWait(t *testing.T) {
+	srv := retryAfterServer("60")
+	defer srv.Close()
+
+	c := New(srv.URL, "k", WithRetries(5), WithBackoff(time.Millisecond, 120*time.Second))
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.MeterContext(ctx)
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the first attempt land in the wait
+	cancel()
+
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled MeterContext still waiting")
+	}
+}

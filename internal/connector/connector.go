@@ -199,7 +199,7 @@ func (c *Client) get(ctx context.Context, path, callID string, out any) error {
 				}
 				retryAfter = 0
 			}
-			if err := c.sleep(ctx, delay); err != nil {
+			if err := c.waitRetry(ctx, delay); err != nil {
 				return fmt.Errorf("market call aborted after %d attempts: %w (last error: %v)", attempt, err, lastErr)
 			}
 		}
@@ -236,6 +236,28 @@ func (c *Client) get(ctx context.Context, path, callID string, out any) error {
 		return nil
 	}
 	return fmt.Errorf("market unreachable after %d attempts: %w", c.retries+1, lastErr)
+}
+
+// waitRetry waits out one backoff or Retry-After delay, aborting promptly
+// the moment the caller's context is cancelled: a retry wait must never
+// outlive the query that wanted the retry. The sleep is raced against
+// ctx.Done() so the guarantee holds even when an injected sleep (tests,
+// fake clocks) ignores the context it is handed.
+func (c *Client) waitRetry(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d <= 0 {
+		return nil
+	}
+	done := make(chan error, 1)
+	go func() { done <- c.sleep(ctx, d) }()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case err := <-done:
+		return err
+	}
 }
 
 // parseRetryAfter reads a Retry-After header: delay-seconds or an HTTP-date.
@@ -311,8 +333,15 @@ func (c *Client) CatalogContext(ctx context.Context) ([]*catalog.Table, error) {
 
 // TuplesPerTransaction fetches the page size t of the named dataset.
 func (c *Client) TuplesPerTransaction(dataset string) (int, error) {
+	return c.TuplesPerTransactionContext(context.Background(), dataset)
+}
+
+// TuplesPerTransactionContext is TuplesPerTransaction under a
+// caller-supplied context: cancellation aborts in-flight attempts and any
+// pending retry wait.
+func (c *Client) TuplesPerTransactionContext(ctx context.Context, dataset string) (int, error) {
 	var wire []market.WireTable
-	if err := c.get(context.Background(), "/v1/catalog", "", &wire); err != nil {
+	if err := c.get(ctx, "/v1/catalog", "", &wire); err != nil {
 		return 0, err
 	}
 	for _, wt := range wire {
@@ -325,8 +354,13 @@ func (c *Client) TuplesPerTransaction(dataset string) (int, error) {
 
 // Meter fetches the account's current spending.
 func (c *Client) Meter() (market.Meter, error) {
+	return c.MeterContext(context.Background())
+}
+
+// MeterContext is Meter under a caller-supplied context.
+func (c *Client) MeterContext(ctx context.Context) (market.Meter, error) {
 	var m market.Meter
-	err := c.get(context.Background(), "/v1/meter", "", &m)
+	err := c.get(ctx, "/v1/meter", "", &m)
 	return m, err
 }
 

@@ -114,11 +114,43 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/query", s.handleQuery)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/v1/metrics", s.handleMetrics)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain")
-		io.WriteString(w, "ok\n")
-	})
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
+}
+
+// healthResponse is the /healthz JSON body. Endpoints is present only for
+// federated clients: one entry per market mirror with its breaker and
+// latency state.
+type healthResponse struct {
+	Status    string                   `json:"status"`
+	Endpoints []payless.EndpointHealth `json:"endpoints,omitempty"`
+}
+
+// handleHealthz answers "ok" while the daemon can serve, and surfaces
+// per-endpoint federation health so orchestrators can see a dead mirror
+// without grepping metrics. A federated daemon is "degraded" (still 200 —
+// it keeps serving through the healthy mirrors) when any endpoint has open
+// circuits, and 503 "down" when every endpoint does.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := healthResponse{Status: "ok", Endpoints: s.cfg.Client.FederationHealth()}
+	status := http.StatusOK
+	if len(resp.Endpoints) > 0 {
+		healthy := 0
+		for _, ep := range resp.Endpoints {
+			if ep.Healthy {
+				healthy++
+			}
+		}
+		switch healthy {
+		case len(resp.Endpoints):
+		case 0:
+			resp.Status = "down"
+			status = http.StatusServiceUnavailable
+		default:
+			resp.Status = "degraded"
+		}
+	}
+	writeJSON(w, status, resp)
 }
 
 // Server returns an http.Server for the daemon with the shared timeout
@@ -195,6 +227,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx := tenant.WithTenant(r.Context(), ten)
 	res, err := s.cfg.Client.QueryContext(ctx, sql)
 	if err != nil {
+		// A breaker refusal (every route to the data is short-circuiting)
+		// is a temporary outage, not a gateway error: tell the tenant when
+		// the circuit will next admit a probe.
+		var coe *payless.CircuitOpenError
+		if errors.As(err, &coe) {
+			w.Header().Set("Retry-After", retryAfter(coe.RetryAfter))
+		}
 		writeError(w, statusOf(err), err)
 		return
 	}
@@ -234,8 +273,9 @@ func readSQL(r *http.Request) (string, error) {
 }
 
 // statusOf maps client errors onto HTTP statuses: user errors are 4xx
-// (unparseable SQL 400, budget rejections 402), shutdown is 503, everything
-// else — market outages included — is 502.
+// (unparseable SQL 400, budget rejections 402), shutdown and an open
+// circuit breaker (the market — or every federation endpoint — is refusing
+// calls) are 503, everything else — market outages included — is 502.
 func statusOf(err error) int {
 	switch {
 	case errors.Is(err, tenant.ErrTenantOverBudget),
@@ -246,7 +286,8 @@ func statusOf(err error) int {
 		errors.Is(err, payless.ErrBind),
 		errors.Is(err, payless.ErrOptimize):
 		return http.StatusBadRequest
-	case errors.Is(err, payless.ErrClosed):
+	case errors.Is(err, payless.ErrClosed),
+		errors.Is(err, payless.ErrCircuitOpen):
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusBadGateway

@@ -1,0 +1,153 @@
+package daemon_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"payless"
+	"payless/internal/catalog"
+	"payless/internal/market"
+	"payless/internal/tenant"
+)
+
+// downCaller simulates a hard market outage.
+type downCaller struct{}
+
+func (downCaller) Call(context.Context, catalog.AccessQuery) (market.Result, error) {
+	return market.Result{}, errors.New("market unreachable")
+}
+
+func singleTenant(t *testing.T) *tenant.Registry {
+	t.Helper()
+	reg, err := tenant.NewRegistry(0, tenant.Config{Name: "demo", Key: "demo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+// TestCircuitOpenReturns503WithRetryAfter pins the daemon's outage
+// contract: once the breaker opens, tenants get 503 Service Unavailable
+// with a Retry-After derived from the breaker cooldown — not a generic
+// gateway error with no guidance.
+func TestCircuitOpenReturns503WithRetryAfter(t *testing.T) {
+	m := rangeMarket(t)
+	client, err := payless.Open(payless.Config{
+		Tables:               m.ExportCatalog(),
+		Caller:               downCaller{},
+		TuplesPerTransaction: map[string]int{"DS": 10},
+	}, payless.WithBreaker(1, 30*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newDaemon(t, client, singleTenant(t), nil)
+	h := srv.Handler()
+
+	const sql = "SELECT v FROM T WHERE a >= 1 AND a <= 20"
+	// First query trips the breaker; it fails downstream, not short-circuited.
+	if code, _, _ := post(h, "demo", sql); code == http.StatusServiceUnavailable {
+		t.Fatalf("first query short-circuited before the threshold (status %d)", code)
+	}
+	// Second query hits the open breaker: 503 + Retry-After.
+	code, _, rec := post(h, "demo", sql)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("open breaker returned %d, want 503", code)
+	}
+	ra := rec.Header().Get("Retry-After")
+	if ra == "" {
+		t.Fatal("503 without a Retry-After header")
+	}
+	secs, err := strconv.Atoi(ra)
+	if err != nil || secs < 1 || secs > 30 {
+		t.Fatalf("Retry-After %q not within the breaker cooldown (1..30s)", ra)
+	}
+}
+
+// healthz issues GET /healthz and decodes the body.
+func healthz(t *testing.T, h http.Handler) (int, struct {
+	Status    string                   `json:"status"`
+	Endpoints []payless.EndpointHealth `json:"endpoints"`
+}) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var body struct {
+		Status    string                   `json:"status"`
+		Endpoints []payless.EndpointHealth `json:"endpoints"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("decode /healthz: %v (body %q)", err, rec.Body.String())
+	}
+	return rec.Code, body
+}
+
+// TestHealthzReportsPerEndpointHealth drives a federated daemon through the
+// /healthz states: "ok" with every mirror healthy, "degraded" (still 200)
+// once the preferred mirror's breakers open, and per-endpoint detail that
+// names the sick mirror.
+func TestHealthzReportsPerEndpointHealth(t *testing.T) {
+	m := rangeMarket(t, "acct")
+	client, err := payless.Open(payless.Config{
+		Tables: m.ExportCatalog(),
+		FederationEndpoints: []payless.MarketEndpoint{
+			// The dead mirror is cheaper, so it is attempted first.
+			{Name: "bad", Caller: downCaller{}, PriceFactor: 1},
+			{Name: "good", Caller: market.AccountCaller{Market: m, Key: "acct"}, PriceFactor: 2},
+		},
+		TuplesPerTransaction: map[string]int{"DS": 10},
+	}, payless.WithBreaker(1, 30*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newDaemon(t, client, singleTenant(t), nil)
+	h := srv.Handler()
+
+	code, body := healthz(t, h)
+	if code != http.StatusOK || body.Status != "ok" {
+		t.Fatalf("fresh daemon /healthz = %d %q, want 200 ok", code, body.Status)
+	}
+	if len(body.Endpoints) != 2 {
+		t.Fatalf("want 2 endpoint entries, got %d", len(body.Endpoints))
+	}
+
+	// One query fails over off the dead mirror and opens its breaker —
+	// served fine, but /healthz now says degraded and names the mirror.
+	if code, _, _ := post(h, "demo", "SELECT v FROM T WHERE a >= 1 AND a <= 20"); code != http.StatusOK {
+		t.Fatalf("query through failover returned %d, want 200", code)
+	}
+	code, body = healthz(t, h)
+	if code != http.StatusOK || body.Status != "degraded" {
+		t.Fatalf("/healthz after breaker opened = %d %q, want 200 degraded", code, body.Status)
+	}
+	for _, ep := range body.Endpoints {
+		switch ep.Name {
+		case "bad":
+			if ep.Healthy || ep.OpenCircuits == 0 {
+				t.Errorf("dead mirror reported healthy: %+v", ep)
+			}
+		case "good":
+			if !ep.Healthy {
+				t.Errorf("serving mirror reported unhealthy: %+v", ep)
+			}
+		}
+	}
+}
+
+// TestHealthzNonFederatedStaysPlain pins the pre-federation contract: a
+// single-market daemon keeps answering a bare 200 "ok" with no endpoint
+// list.
+func TestHealthzNonFederatedStaysPlain(t *testing.T) {
+	m := rangeMarket(t, "acct")
+	srv := newDaemon(t, openClient(t, m, "acct"), singleTenant(t), nil)
+	code, body := healthz(t, srv.Handler())
+	if code != http.StatusOK || body.Status != "ok" || len(body.Endpoints) != 0 {
+		t.Fatalf("/healthz = %d %+v, want bare 200 ok", code, body)
+	}
+}

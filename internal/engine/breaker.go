@@ -15,6 +15,28 @@ import (
 // seller that is down.
 var ErrCircuitOpen = errors.New("circuit breaker open")
 
+// CircuitOpenError is the concrete error a breaker refusal carries: it
+// matches errors.Is(err, ErrCircuitOpen) and adds how long until the breaker
+// will next admit a probe, so transports facing end users (the daemon) can
+// emit an honest Retry-After instead of a generic failure.
+type CircuitOpenError struct {
+	// RetryAfter is the time remaining until the cooldown elapses. Zero
+	// means a probe is already deciding (half-open): retrying immediately
+	// is allowed but only useful once the probe resolves.
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *CircuitOpenError) Error() string {
+	if e.RetryAfter > 0 {
+		return "circuit breaker open (retry in " + e.RetryAfter.String() + ")"
+	}
+	return "circuit breaker open (probe in flight)"
+}
+
+// Unwrap makes errors.Is(err, ErrCircuitOpen) hold.
+func (e *CircuitOpenError) Unwrap() error { return ErrCircuitOpen }
+
 // breakerState is the classic three-state machine: closed (calls flow),
 // open (calls short-circuit), half-open (one probe call decides).
 type breakerState int
@@ -56,9 +78,9 @@ func (b *Breaker) Acquire() (release func(callErr error), err error) {
 	defer b.mu.Unlock()
 	switch b.state {
 	case breakerOpen:
-		if b.now().Sub(b.openedAt) < b.cooldown {
+		if since := b.now().Sub(b.openedAt); since < b.cooldown {
 			b.metrics.ObserveBreakerShortCircuit()
-			return nil, ErrCircuitOpen
+			return nil, &CircuitOpenError{RetryAfter: b.cooldown - since}
 		}
 		// Cooldown elapsed: half-open, this caller is the probe. Concurrent
 		// callers keep short-circuiting until the probe resolves.
@@ -67,7 +89,7 @@ func (b *Breaker) Acquire() (release func(callErr error), err error) {
 		return b.releaseProbe, nil
 	case breakerHalfOpen:
 		b.metrics.ObserveBreakerShortCircuit()
-		return nil, ErrCircuitOpen
+		return nil, &CircuitOpenError{}
 	default:
 		return b.releaseClosed, nil
 	}
@@ -194,4 +216,51 @@ func (s *BreakerSet) Acquire(dataset string) (release func(callErr error), err e
 		return func(error) {}, nil
 	}
 	return s.For(dataset).Acquire()
+}
+
+// BreakerStatus is a point-in-time view of one breaker, for health surfaces.
+type BreakerStatus struct {
+	// State is "closed", "open" or "half-open".
+	State string
+	// RetryIn is the remaining cooldown while open, zero otherwise.
+	RetryIn time.Duration
+}
+
+// Status snapshots the breaker's state.
+func (b *Breaker) Status() BreakerStatus {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		retry := b.cooldown - b.now().Sub(b.openedAt)
+		if retry < 0 {
+			retry = 0
+		}
+		return BreakerStatus{State: "open", RetryIn: retry}
+	case breakerHalfOpen:
+		return BreakerStatus{State: "half-open"}
+	default:
+		return BreakerStatus{State: "closed"}
+	}
+}
+
+// States snapshots every breaker in the set, keyed as created (dataset, or
+// endpoint-qualified keys for federated sets). A nil set has no breakers.
+func (s *BreakerSet) States() map[string]BreakerStatus {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.breakers))
+	bs := make([]*Breaker, 0, len(s.breakers))
+	for k, b := range s.breakers {
+		keys = append(keys, k)
+		bs = append(bs, b)
+	}
+	s.mu.Unlock()
+	out := make(map[string]BreakerStatus, len(keys))
+	for i, b := range bs {
+		out[keys[i]] = b.Status()
+	}
+	return out
 }

@@ -1,0 +1,439 @@
+// Package federation routes market calls across N mirrors of the same
+// logical data market. Real cloud markets offer a dataset from several
+// regions at different prices, latencies, and availability ("Joint Data
+// Purchasing and Data Placement in a Geo-Distributed Data Market",
+// PAPERS.md); the buyer's problem is source selection: buy each remainder
+// box from the endpoint that minimizes expected cost, and keep queries
+// completing when any one market degrades or partitions.
+//
+// The federated Caller sits between the global call scheduler and the
+// per-endpoint transports (HTTP connectors or in-process markets):
+//
+//	engine → sched → federation.Caller → connector(endpoint 1..N)
+//
+// Per call it (a) ranks endpoints by a price+latency+health cost model,
+// (b) fails over to the next-cheapest healthy endpoint on a hard error —
+// with circuit breakers keyed endpoint×dataset, so one dead mirror never
+// blacklists the dataset everywhere — and (c) optionally hedges a slow
+// call by racing the next endpoint after HedgeAfter, cancelling the loser.
+//
+// Billing stays exactly-once per endpoint: the federation layer assigns the
+// idempotent CallID once, above every retry and hedge, so a retry against
+// the same endpoint replays from its ledger instead of re-billing. A hedge
+// that loses against a *different* endpoint may still have billed there —
+// that bounded loss is the "lost-call remainder" the chaos suite accounts
+// for, and the buyer records exactly one result either way.
+package federation
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"payless/internal/catalog"
+	"payless/internal/engine"
+	"payless/internal/market"
+	"payless/internal/obs"
+)
+
+// Endpoint configures one market mirror.
+type Endpoint struct {
+	// Name identifies the endpoint in traces, metrics, health reports, and
+	// catalog Mirror entries ("us-east"). Must be unique and non-empty.
+	Name string
+	// Caller is the endpoint's transport: an HTTP connector bound to the
+	// mirror's base URL and account key, or an in-process market caller.
+	Caller market.Caller
+	// PriceFactor scales list price at this endpoint; <= 0 means 1.0.
+	PriceFactor float64
+	// LatencyHint seeds the cost model's latency term until observed
+	// round-trips accumulate into the endpoint's EWMA.
+	LatencyHint time.Duration
+}
+
+// Config tunes the federated caller.
+type Config struct {
+	// BreakerThreshold and BreakerCooldown configure the per-
+	// endpoint×dataset circuit breakers; threshold <= 0 disables breaking.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// HedgeAfter, when positive, races the next-ranked endpoint if the
+	// chosen one has not answered within this duration. Zero disables
+	// hedging.
+	HedgeAfter time.Duration
+	// Mirrors, when set, returns the catalog's mirror entries for a table:
+	// a non-empty result restricts the call to the named endpoints and
+	// overrides their price factors / latency hints for that table.
+	Mirrors func(table string) []catalog.Mirror
+	// Metrics receives the payless_federation_* counter families; nil is a
+	// valid no-op sink.
+	Metrics *obs.Metrics
+}
+
+// latencyUnit converts the cost model's latency term to a dimensionless
+// penalty: an endpoint one latencyUnit slower costs as much extra as a 100%
+// price markup. One second keeps price dominant for same-region mirrors
+// (milliseconds apart) while letting latency break price ties and punish
+// degraded mirrors (seconds apart).
+const latencyUnit = time.Second
+
+// ewmaAlpha is the weight of the newest observation in the latency EWMA
+// (alpha = 1/4: new = (3*old + obs) / 4).
+const ewmaAlpha = 4
+
+// endpoint is the runtime state behind one configured Endpoint.
+type endpoint struct {
+	Endpoint
+
+	mu       sync.Mutex
+	ewma     time.Duration // observed round-trip EWMA; 0 until the first success
+	calls    int64         // attempts issued (excluding breaker refusals)
+	failures int64         // hard failures (context cancellations excluded)
+	streak   int64         // consecutive hard failures, reset on success
+}
+
+// observe folds one attempt's outcome into the endpoint's health state.
+func (e *endpoint) observe(lat time.Duration, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.calls++
+	switch {
+	case err == nil:
+		e.streak = 0
+		if e.ewma == 0 {
+			e.ewma = lat
+		} else {
+			e.ewma = (time.Duration(ewmaAlpha-1)*e.ewma + lat) / ewmaAlpha
+		}
+	case isContextErr(err):
+		// Cancelled by the caller or a lost hedge: no verdict on the mirror.
+		e.calls--
+	default:
+		e.failures++
+		e.streak++
+	}
+}
+
+// latency returns the endpoint's effective latency for the cost model:
+// observed EWMA when available, the static hint otherwise.
+func (e *endpoint) latency() time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.ewma > 0 {
+		return e.ewma
+	}
+	return e.LatencyHint
+}
+
+// stats snapshots the endpoint's counters.
+func (e *endpoint) stats() (calls, failures, streak int64, ewma time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.calls, e.failures, e.streak, e.ewma
+}
+
+// Caller is the federated market.Caller.
+type Caller struct {
+	cfg      Config
+	eps      []*endpoint
+	breakers *engine.BreakerSet // keyed endpoint + "|" + dataset
+}
+
+// New builds a federated caller over the given endpoints. At least one
+// endpoint with a non-nil transport and a unique non-empty name is required.
+func New(eps []Endpoint, cfg Config) (*Caller, error) {
+	if len(eps) == 0 {
+		return nil, errors.New("federation: no endpoints configured")
+	}
+	seen := make(map[string]bool, len(eps))
+	f := &Caller{cfg: cfg}
+	for _, e := range eps {
+		if e.Name == "" {
+			return nil, errors.New("federation: endpoint with empty name")
+		}
+		if seen[e.Name] {
+			return nil, fmt.Errorf("federation: duplicate endpoint %q", e.Name)
+		}
+		if e.Caller == nil {
+			return nil, fmt.Errorf("federation: endpoint %q has no transport", e.Name)
+		}
+		seen[e.Name] = true
+		if e.PriceFactor <= 0 {
+			e.PriceFactor = 1
+		}
+		f.eps = append(f.eps, &endpoint{Endpoint: e})
+	}
+	f.breakers = engine.NewBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown).
+		WithMetrics(cfg.Metrics)
+	return f, nil
+}
+
+// breakerKey qualifies the breaker by endpoint AND dataset: a dead mirror
+// trips only its own breakers, never the dataset's standing at healthy
+// mirrors (the PR 4 per-dataset breaker, migrated).
+func breakerKey(endpointName, dataset string) string {
+	return endpointName + "|" + dataset
+}
+
+// candidate is one rankable (endpoint, effective terms) pair for a call.
+type candidate struct {
+	ep    *endpoint
+	score float64
+}
+
+// rank returns the call's eligible endpoints cheapest-first under the cost
+// model
+//
+//	score = priceFactor × (1 + latency/latencyUnit) × (1 + failureStreak)
+//
+// where latency is the endpoint's observed EWMA (falling back to its static
+// hint) and failureStreak is the run of consecutive hard failures — a
+// flaky-but-not-yet-tripped mirror is deprioritized before its breaker ever
+// opens. Catalog mirror entries restrict eligibility and override terms for
+// the specific table.
+func (f *Caller) rank(q catalog.AccessQuery) []candidate {
+	var mirrors map[string]catalog.Mirror
+	if f.cfg.Mirrors != nil {
+		if ms := f.cfg.Mirrors(q.Table); len(ms) > 0 {
+			mirrors = make(map[string]catalog.Mirror, len(ms))
+			for _, m := range ms {
+				mirrors[m.Endpoint] = m
+			}
+		}
+	}
+	cands := make([]candidate, 0, len(f.eps))
+	for _, ep := range f.eps {
+		factor := ep.PriceFactor
+		lat := ep.latency()
+		if mirrors != nil {
+			m, ok := mirrors[ep.Name]
+			if !ok {
+				continue // table not offered at this endpoint
+			}
+			if m.PriceFactor > 0 {
+				factor = m.PriceFactor
+			}
+			if m.LatencyHint > 0 && ep.observedEWMA() == 0 {
+				lat = m.LatencyHint
+			}
+		}
+		_, _, streak, _ := ep.stats()
+		score := factor * (1 + lat.Seconds()/latencyUnit.Seconds()) * float64(1+streak)
+		cands = append(cands, candidate{ep: ep, score: score})
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].score < cands[j].score })
+	return cands
+}
+
+// observedEWMA returns the endpoint's observed latency EWMA (0 if none yet).
+func (e *endpoint) observedEWMA() time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ewma
+}
+
+// attemptResult is one endpoint attempt's outcome.
+type attemptResult struct {
+	ep    *endpoint
+	res   market.Result
+	err   error
+	hedge bool
+}
+
+// Call implements market.Caller: rank, try, fail over, optionally hedge.
+func (f *Caller) Call(ctx context.Context, q catalog.AccessQuery) (market.Result, error) {
+	// The idempotent CallID is assigned here, above every endpoint attempt:
+	// retries and hedges all present the same logical call, so any single
+	// endpoint bills it at most once (its replay ledger dedupes).
+	market.EnsureCallID(&q)
+	f.cfg.Metrics.ObserveFederationCall()
+
+	ranked := f.rank(q)
+	if len(ranked) == 0 {
+		return market.Result{}, fmt.Errorf("federation: no endpoint offers table %s", q.Table)
+	}
+
+	// Attempts run under a child context so a decided race can cancel the
+	// losers without touching the caller's ctx.
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make(chan attemptResult, len(ranked)) // buffered: abandoned attempts never block
+	var (
+		next      int // index of the next candidate to launch
+		inflight  int
+		failovers int
+		refused   int
+		hedged    bool
+		minRetry  time.Duration = -1
+		lastErr   error
+	)
+
+	// launchNext starts the next endpoint whose breaker admits the call.
+	// It reports whether an attempt was actually launched.
+	launchNext := func(isHedge bool) bool {
+		for next < len(ranked) {
+			ep := ranked[next].ep
+			next++
+			release, berr := f.breakers.Acquire(breakerKey(ep.Name, q.Dataset))
+			if berr != nil {
+				refused++
+				lastErr = fmt.Errorf("federation: endpoint %s: %w", ep.Name, berr)
+				var coe *engine.CircuitOpenError
+				if errors.As(berr, &coe) && coe.RetryAfter > 0 &&
+					(minRetry < 0 || coe.RetryAfter < minRetry) {
+					minRetry = coe.RetryAfter
+				}
+				continue
+			}
+			inflight++
+			go func() {
+				start := time.Now()
+				res, err := ep.Caller.Call(actx, q)
+				ep.observe(time.Since(start), err)
+				release(err)
+				results <- attemptResult{ep: ep, res: res, err: err, hedge: isHedge}
+			}()
+			return true
+		}
+		return false
+	}
+
+	if !launchNext(false) {
+		// Every endpoint refused up front: all breakers open.
+		return market.Result{}, f.exhausted(q, len(ranked), refused, minRetry, lastErr)
+	}
+
+	var hedgeC <-chan time.Time
+	if f.cfg.HedgeAfter > 0 && len(ranked) > 1 {
+		t := time.NewTimer(f.cfg.HedgeAfter)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+
+	for {
+		select {
+		case <-ctx.Done():
+			// Caller gave up: in-flight attempts see actx cancelled (their
+			// breakers record no verdict) and drain into the buffer.
+			return market.Result{}, ctx.Err()
+		case <-hedgeC:
+			hedgeC = nil
+			if launchNext(true) {
+				hedged = true
+				f.cfg.Metrics.ObserveFederationHedge()
+			}
+		case r := <-results:
+			inflight--
+			if r.err == nil {
+				cancel() // the losing hedge is abandoned; any bill it landed is the lost-call remainder
+				if r.hedge {
+					f.cfg.Metrics.ObserveFederationHedgeWin()
+				}
+				obs.CallFromContext(ctx).SetFederation(r.ep.Name, failovers, hedged, r.hedge)
+				return r.res, nil
+			}
+			if ctx.Err() != nil {
+				return market.Result{}, ctx.Err()
+			}
+			if isContextErr(r.err) {
+				// The attempt lost a decided race or inherited a cancel;
+				// with the parent ctx alive, the race must still be decided
+				// by the remaining attempt (if any).
+				if inflight > 0 {
+					continue
+				}
+				return market.Result{}, r.err
+			}
+			lastErr = fmt.Errorf("federation: endpoint %s: %w", r.ep.Name, r.err)
+			failovers++
+			f.cfg.Metrics.ObserveFederationFailover()
+			// Fail over only when nothing else is racing: with a hedge in
+			// flight, the hedge already is the next endpoint.
+			if inflight == 0 && !launchNext(false) {
+				return market.Result{}, f.exhausted(q, len(ranked), refused, minRetry, lastErr)
+			}
+		}
+	}
+}
+
+// exhausted builds the terminal error once every eligible endpoint refused
+// or failed. When breakers refused them all, the error carries the soonest
+// re-probe time and matches errors.Is(err, engine.ErrCircuitOpen) so
+// user-facing transports can answer 503 + Retry-After.
+func (f *Caller) exhausted(q catalog.AccessQuery, total, refused int, minRetry time.Duration, lastErr error) error {
+	f.cfg.Metrics.ObserveFederationExhausted()
+	if refused == total {
+		if minRetry < 0 {
+			minRetry = 0
+		}
+		return fmt.Errorf("federation: all %d endpoints for dataset %s refused: %w",
+			total, q.Dataset, &engine.CircuitOpenError{RetryAfter: minRetry})
+	}
+	if lastErr == nil {
+		lastErr = errors.New("no endpoint available")
+	}
+	return fmt.Errorf("federation: all %d endpoints failed for %s.%s: %w",
+		total, q.Dataset, q.Table, lastErr)
+}
+
+// isContextErr reports whether err is a context cancellation/deadline, at
+// any wrap depth.
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// EndpointHealth is a point-in-time view of one endpoint, surfaced by the
+// daemon's /healthz and the client's FederationHealth.
+type EndpointHealth struct {
+	Name string `json:"name"`
+	// Healthy means no circuit on this endpoint is currently open.
+	Healthy bool `json:"healthy"`
+	// Calls and Failures count attempts issued to the endpoint and the hard
+	// failures among them; ConsecutiveFailures is the current streak.
+	Calls               int64 `json:"calls"`
+	Failures            int64 `json:"failures"`
+	ConsecutiveFailures int64 `json:"consecutive_failures"`
+	// EWMALatencyMillis is the observed round-trip EWMA (0 until the first
+	// success).
+	EWMALatencyMillis int64 `json:"ewma_latency_ms"`
+	// OpenCircuits counts this endpoint's datasets with an open breaker;
+	// RetryInMillis is the soonest re-probe among them.
+	OpenCircuits  int   `json:"open_circuits"`
+	RetryInMillis int64 `json:"retry_in_ms,omitempty"`
+}
+
+// Health reports every endpoint's state, in configuration order.
+func (f *Caller) Health() []EndpointHealth {
+	states := f.breakers.States()
+	out := make([]EndpointHealth, 0, len(f.eps))
+	for _, ep := range f.eps {
+		calls, failures, streak, ewma := ep.stats()
+		h := EndpointHealth{
+			Name:                ep.Name,
+			Healthy:             true,
+			Calls:               calls,
+			Failures:            failures,
+			ConsecutiveFailures: streak,
+			EWMALatencyMillis:   ewma.Milliseconds(),
+		}
+		prefix := ep.Name + "|"
+		for key, st := range states {
+			if len(key) <= len(prefix) || key[:len(prefix)] != prefix {
+				continue
+			}
+			if st.State == "open" || st.State == "half-open" {
+				h.OpenCircuits++
+				h.Healthy = false
+				if ms := st.RetryIn.Milliseconds(); h.RetryInMillis == 0 || (ms > 0 && ms < h.RetryInMillis) {
+					h.RetryInMillis = ms
+				}
+			}
+		}
+		out = append(out, h)
+	}
+	return out
+}

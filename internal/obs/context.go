@@ -31,3 +31,16 @@ func (r *CallRecord) AddRetry() {
 	}
 	r.Retries++
 }
+
+// SetFederation annotates the call with the federation layer's routing
+// outcome: which endpoint served it, how many endpoints hard-failed first,
+// and whether a hedge was raced (and won). Safe on a nil receiver.
+func (r *CallRecord) SetFederation(endpoint string, failovers int, hedged, hedgeWon bool) {
+	if r == nil {
+		return
+	}
+	r.Endpoint = endpoint
+	r.Failovers = failovers
+	r.Hedged = hedged
+	r.HedgeWon = hedgeWon
+}

@@ -153,6 +153,12 @@ type Metrics struct {
 	schedMergedTransactionsSaved int64
 	schedDelayedCalls            int64
 
+	federationCalls     int64
+	federationFailovers int64
+	federationHedges    int64
+	federationHedgeWins int64
+	federationExhausted int64
+
 	queryLatency    histogram
 	callLatency     histogram
 	optimizeLatency histogram
@@ -281,6 +287,61 @@ func (m *Metrics) ObserveBreakerProbe() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.breakerProbes++
+}
+
+// ObserveFederationCall counts a market call routed through the federation
+// layer (before source selection).
+func (m *Metrics) ObserveFederationCall() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.federationCalls++
+}
+
+// ObserveFederationFailover counts one failover: an endpoint's attempt
+// hard-failed and the call moved on to the next-cheapest healthy endpoint.
+func (m *Metrics) ObserveFederationFailover() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.federationFailovers++
+}
+
+// ObserveFederationHedge counts a hedge launched: the primary endpoint was
+// slower than HedgeAfter, so a second endpoint was raced against it.
+func (m *Metrics) ObserveFederationHedge() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.federationHedges++
+}
+
+// ObserveFederationHedgeWin counts a hedge whose secondary endpoint answered
+// first (the primary was cancelled as the loser).
+func (m *Metrics) ObserveFederationHedgeWin() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.federationHedgeWins++
+}
+
+// ObserveFederationExhausted counts calls that failed on every configured
+// endpoint (all refused by breakers or all hard-failed).
+func (m *Metrics) ObserveFederationExhausted() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.federationExhausted++
 }
 
 // ObserveFailedQuerySpend folds the money a FAILED query still spent into
@@ -552,6 +613,18 @@ type Snapshot struct {
 	SchedMergedTransactionsSaved int64
 	SchedDelayedCalls            int64
 
+	// FederationCalls counts market calls routed through the federation
+	// layer; FederationFailovers endpoint attempts that hard-failed and
+	// moved the call to the next-cheapest healthy endpoint;
+	// FederationHedges hedge attempts launched after HedgeAfter;
+	// FederationHedgeWins hedges whose secondary answered first; and
+	// FederationExhausted calls that failed on every configured endpoint.
+	FederationCalls     int64
+	FederationFailovers int64
+	FederationHedges    int64
+	FederationHedgeWins int64
+	FederationExhausted int64
+
 	QueryLatency    HistogramSnapshot
 	CallLatency     HistogramSnapshot
 	OptimizeLatency HistogramSnapshot
@@ -614,6 +687,12 @@ func (m *Metrics) Snapshot() Snapshot {
 		SchedMergedCalls:             m.schedMergedCalls,
 		SchedMergedTransactionsSaved: m.schedMergedTransactionsSaved,
 		SchedDelayedCalls:            m.schedDelayedCalls,
+
+		FederationCalls:     m.federationCalls,
+		FederationFailovers: m.federationFailovers,
+		FederationHedges:    m.federationHedges,
+		FederationHedgeWins: m.federationHedgeWins,
+		FederationExhausted: m.federationExhausted,
 
 		QueryLatency:    m.queryLatency.snapshot(),
 		CallLatency:     m.callLatency.snapshot(),
@@ -680,6 +759,11 @@ func (m *Metrics) WritePrometheus(w io.Writer, prefix string) {
 	counter("sched_merged_calls_total", "Wire calls the scheduler fused out of several cross-query boxes.", s.SchedMergedCalls)
 	counter("sched_merged_transactions_saved_total", "Transactions saved by merged calls versus billing the parts.", s.SchedMergedTransactionsSaved)
 	counter("sched_delayed_calls_total", "Fetches parked in the coalesce window to accumulate merge candidates.", s.SchedDelayedCalls)
+	counter("federation_calls_total", "Market calls routed through the federation layer.", s.FederationCalls)
+	counter("federation_failovers_total", "Endpoint attempts that hard-failed and failed over to the next endpoint.", s.FederationFailovers)
+	counter("federation_hedged_calls_total", "Hedge attempts launched after the primary exceeded HedgeAfter.", s.FederationHedges)
+	counter("federation_hedge_wins_total", "Hedges whose secondary endpoint answered first.", s.FederationHedgeWins)
+	counter("federation_exhausted_total", "Calls that failed on every configured endpoint.", s.FederationExhausted)
 	hist := func(name, help string, h HistogramSnapshot) {
 		fmt.Fprintf(w, "# HELP %s_%s %s\n# TYPE %s_%s histogram\n", prefix, name, help, prefix, name)
 		for _, b := range h.Buckets {

@@ -250,3 +250,49 @@ func TestNilMetricsIsNoOp(t *testing.T) {
 		t.Errorf("nil metrics snapshot: %+v", s)
 	}
 }
+
+// TestFederationMetricsFamilies pins the Prometheus families the federated
+// caller exports — the federation-smoke CI job and dashboards grep these
+// names, so renaming one is a breaking change.
+func TestFederationMetricsFamilies(t *testing.T) {
+	m := NewMetrics()
+	m.ObserveFederationCall()
+	m.ObserveFederationCall()
+	m.ObserveFederationFailover()
+	m.ObserveFederationHedge()
+	m.ObserveFederationHedgeWin()
+	m.ObserveFederationExhausted()
+
+	s := m.Snapshot()
+	if s.FederationCalls != 2 || s.FederationFailovers != 1 ||
+		s.FederationHedges != 1 || s.FederationHedgeWins != 1 || s.FederationExhausted != 1 {
+		t.Errorf("federation counters: %+v", s)
+	}
+
+	var b strings.Builder
+	m.WritePrometheus(&b, "payless")
+	out := b.String()
+	for _, want := range []string{
+		"payless_federation_calls_total 2",
+		"payless_federation_failovers_total 1",
+		"payless_federation_hedged_calls_total 1",
+		"payless_federation_hedge_wins_total 1",
+		"payless_federation_exhausted_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q", want)
+		}
+	}
+
+	// Nil-safety of the federation observers (the federated caller takes a
+	// possibly-nil sink).
+	var nm *Metrics
+	nm.ObserveFederationCall()
+	nm.ObserveFederationFailover()
+	nm.ObserveFederationHedge()
+	nm.ObserveFederationHedgeWin()
+	nm.ObserveFederationExhausted()
+	if s := nm.Snapshot(); s.FederationCalls != 0 {
+		t.Errorf("nil metrics federation snapshot: %+v", s)
+	}
+}

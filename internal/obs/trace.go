@@ -64,6 +64,15 @@ type CallRecord struct {
 	// bill is attributed to exactly one participant.
 	Coalesced  bool
 	SharedWith int
+	// Endpoint names the federation endpoint that served the call (empty
+	// when the client is not federated). Failovers counts the endpoints
+	// that hard-failed before this one answered; Hedged reports that a
+	// second endpoint was raced after HedgeAfter, and HedgeWon that the
+	// hedge (not the primary) delivered the result.
+	Endpoint  string
+	Failovers int
+	Hedged    bool
+	HedgeWon  bool
 }
 
 // Trace is the execution trace of one query. It is populated by a single
@@ -279,6 +288,19 @@ func (t *Trace) Describe() string {
 			i+1, name, c.Records, c.Transactions, c.Price, c.Latency)
 		if c.Retries > 0 {
 			fmt.Fprintf(&b, "  (%d retries)", c.Retries)
+		}
+		if c.Endpoint != "" {
+			fmt.Fprintf(&b, "  via %s", c.Endpoint)
+			if c.Failovers > 0 {
+				fmt.Fprintf(&b, " (%d failover(s))", c.Failovers)
+			}
+			if c.Hedged {
+				if c.HedgeWon {
+					b.WriteString(" hedge-won")
+				} else {
+					b.WriteString(" hedged")
+				}
+			}
 		}
 		if c.Recorded {
 			fmt.Fprintf(&b, "  +%d new rows stored", c.NewRows)

@@ -80,6 +80,29 @@ func WithBreaker(threshold int, cooldown time.Duration) Option {
 	}
 }
 
+// WithFederation federates the client across N mirrors of the same logical
+// market: calls route to the endpoint minimizing a price+latency+health
+// cost model and fail over to the next-cheapest healthy endpoint on error.
+// With WithBreaker, breakers are kept per endpoint×dataset, so one dead
+// mirror never blacklists a dataset healthy mirrors still serve. Endpoints
+// need pre-built Callers under Open; OpenFederated builds HTTP connectors
+// from BaseURL.
+func WithFederation(endpoints ...MarketEndpoint) Option {
+	return func(c *Config) { c.FederationEndpoints = endpoints }
+}
+
+// WithHedgeAfter, on a federated client, races the next-ranked endpoint
+// when the chosen one has not answered within d, cancelling the loser; the
+// shared idempotent CallID keeps any one endpoint from billing the call
+// twice. d <= 0 disables hedging.
+func WithHedgeAfter(d time.Duration) Option {
+	return func(c *Config) {
+		if d > 0 {
+			c.HedgeAfter = d
+		}
+	}
+}
+
 // WithStatistics selects the updatable statistic implementation.
 func WithStatistics(kind StatsKind) Option {
 	return func(c *Config) { c.Statistics = kind }

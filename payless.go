@@ -31,6 +31,7 @@ import (
 	"payless/internal/connector"
 	"payless/internal/core"
 	"payless/internal/engine"
+	"payless/internal/federation"
 	"payless/internal/market"
 	"payless/internal/obs"
 	"payless/internal/region"
@@ -161,18 +162,33 @@ type Config struct {
 	// &CollectTracer{} traces every query and attaches the trace to
 	// Result.Trace.
 	Tracer Tracer
-	// BreakerThreshold enables per-dataset circuit breaking: after this many
-	// consecutive call failures against one dataset, further calls to it
-	// short-circuit with ErrCircuitOpen until BreakerCooldown elapses and a
-	// probe call succeeds. 0 (the default) disables breaking — a retried
-	// query then re-attempts the failed dataset immediately, which is the
-	// right default for transient faults; enable the breaker when a down
-	// seller should fail queries fast instead of stalling them through
-	// retries. Breaker state is shared across the client's queries.
+	// BreakerThreshold enables circuit breaking: after this many consecutive
+	// call failures against one dataset, further calls to it short-circuit
+	// with ErrCircuitOpen until BreakerCooldown elapses and a probe call
+	// succeeds. 0 (the default) disables breaking — a retried query then
+	// re-attempts the failed dataset immediately, which is the right default
+	// for transient faults; enable the breaker when a down seller should
+	// fail queries fast instead of stalling them through retries. Breaker
+	// state is shared across the client's queries. On a federated client the
+	// breakers move below source selection and are keyed endpoint×dataset,
+	// so one dead mirror never blacklists the dataset at healthy mirrors.
 	BreakerThreshold int
 	// BreakerCooldown is how long an open circuit waits before admitting a
 	// probe call; 0 defaults to 5s. Only meaningful with BreakerThreshold>0.
 	BreakerCooldown time.Duration
+	// FederationEndpoints federates the client across N mirrors of the same
+	// logical market: every call is routed to the endpoint minimizing a
+	// price+latency+health cost model, fails over to the next-cheapest
+	// healthy endpoint on error, and (with HedgeAfter) hedges slow calls.
+	// Each endpoint needs a Name and either a pre-built Caller (Open) or a
+	// BaseURL (OpenFederated builds the HTTP connector). When set,
+	// Config.Caller may be left nil.
+	FederationEndpoints []MarketEndpoint
+	// HedgeAfter, on a federated client, races the next-ranked endpoint
+	// when the chosen one has not answered within this duration; the loser
+	// is cancelled and the shared idempotent CallID keeps any one endpoint
+	// from billing twice. 0 (the default) disables hedging.
+	HedgeAfter time.Duration
 	// StoreDir enables durable mode: the semantic store keeps a write-ahead
 	// log and atomic snapshots in this directory, and Open recovers whatever
 	// a previous process (however it died) had made durable. Empty (the
@@ -195,6 +211,29 @@ type Config struct {
 	// one. Unexported: only the crash-injection suites set it.
 	storeFS wal.FS
 }
+
+// MarketEndpoint configures one market mirror of a federated client.
+type MarketEndpoint struct {
+	// Name identifies the endpoint in traces, metrics, and health reports
+	// (e.g. "us-east"). Empty names are auto-filled as "endpoint-<i>".
+	Name string
+	// BaseURL and AccountKey describe the mirror's HTTP market server;
+	// OpenFederated builds a connector from them when Caller is nil.
+	BaseURL    string
+	AccountKey string
+	// Caller is a pre-built transport for the endpoint (an in-process
+	// market.AccountCaller in tests, or a custom connector). Takes
+	// precedence over BaseURL.
+	Caller market.Caller
+	// PriceFactor scales list price at this mirror (<= 0 means 1.0);
+	// LatencyHint seeds the cost model until observed latencies accumulate.
+	PriceFactor float64
+	LatencyHint time.Duration
+}
+
+// EndpointHealth is one federation endpoint's health, as reported by
+// Client.FederationHealth and the daemon's /healthz.
+type EndpointHealth = federation.EndpointHealth
 
 // StoreSyncPolicy selects the durable store's WAL fsync cadence.
 type StoreSyncPolicy = wal.SyncPolicy
@@ -323,8 +362,12 @@ type Client struct {
 	// queries coalesce their calls.
 	sched *sched.Scheduler
 	// breakers holds per-dataset circuit-breaker state across queries; nil
-	// when breaking is disabled.
+	// when breaking is disabled or when the client is federated (the
+	// federation layer then owns per-endpoint×dataset breakers instead).
 	breakers *engine.BreakerSet
+	// fed is the federated source-selection caller; nil for single-market
+	// clients.
+	fed *federation.Caller
 	// plans is the parameterized plan-template cache; nil when disabled.
 	plans *core.PlanCache
 
@@ -352,7 +395,7 @@ func Open(cfg Config, opts ...Option) (*Client, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	if cfg.Caller == nil {
+	if cfg.Caller == nil && len(cfg.FederationEndpoints) == 0 {
 		return nil, fmt.Errorf("payless: Config.Caller is required")
 	}
 	if len(cfg.Tables) == 0 {
@@ -400,15 +443,58 @@ func Open(cfg Config, opts ...Option) (*Client, error) {
 			return nil, fmt.Errorf("payless: durable store: %w", err)
 		}
 	}
+	// A federated client inserts the source-selection caller below the
+	// scheduler; the engine's per-dataset breakers are disabled in favour of
+	// the federation layer's per-endpoint×dataset ones, so one dead mirror
+	// never blacklists a dataset that healthy mirrors still serve.
+	var fed *federation.Caller
+	if len(cfg.FederationEndpoints) > 0 {
+		eps := make([]federation.Endpoint, 0, len(cfg.FederationEndpoints))
+		for i, me := range cfg.FederationEndpoints {
+			name := me.Name
+			if name == "" {
+				name = fmt.Sprintf("endpoint-%d", i)
+			}
+			if me.Caller == nil {
+				return nil, fmt.Errorf("payless: federation endpoint %q has no transport (use OpenFederated to build HTTP connectors from BaseURL)", name)
+			}
+			eps = append(eps, federation.Endpoint{
+				Name:        name,
+				Caller:      me.Caller,
+				PriceFactor: me.PriceFactor,
+				LatencyHint: me.LatencyHint,
+			})
+		}
+		var err error
+		fed, err = federation.New(eps, federation.Config{
+			BreakerThreshold: cfg.BreakerThreshold,
+			BreakerCooldown:  cfg.BreakerCooldown,
+			HedgeAfter:       cfg.HedgeAfter,
+			Metrics:          metrics,
+			Mirrors: func(table string) []catalog.Mirror {
+				if t, ok := cat.Lookup(table); ok {
+					return t.Mirrors
+				}
+				return nil
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		cfg.Caller = fed
+	}
 	c := &Client{
-		cat:      cat,
-		db:       db,
-		store:    store,
-		stats:    st,
-		caller:   cfg.Caller,
-		cfg:      cfg,
-		metrics:  metrics,
-		breakers: engine.NewBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown).WithMetrics(metrics),
+		cat:     cat,
+		db:      db,
+		store:   store,
+		stats:   st,
+		caller:  cfg.Caller,
+		cfg:     cfg,
+		metrics: metrics,
+		fed:     fed,
+	}
+	if fed == nil {
+		c.breakers = engine.NewBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown).WithMetrics(metrics)
 	}
 	if cfg.PlanCacheSize > 0 {
 		c.plans = core.NewPlanCache(cfg.PlanCacheSize)
@@ -508,6 +594,107 @@ func OpenHTTP(baseURL, accountKey string, localTables []*catalog.Table, opts ...
 	cfg.Caller = cli
 	cfg.TuplesPerTransaction = tpt
 	return Open(cfg)
+}
+
+// OpenFederated is OpenHTTP for a federated buyer: it builds one HTTP
+// connector per endpoint (endpoints with a pre-built Caller keep it),
+// bootstraps the catalog and page sizes from the first endpoint that
+// answers — registration itself fails over — and opens a Client whose calls
+// are routed by the federation layer. Every market table is annotated with
+// a catalog Mirror entry per endpoint, recording the terms (price factor,
+// latency hint, account key) the source-selection cost model uses.
+func OpenFederated(endpoints []MarketEndpoint, localTables []*catalog.Table, opts ...Option) (*Client, error) {
+	var cfg Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if len(endpoints) == 0 {
+		return nil, fmt.Errorf("payless: OpenFederated requires at least one endpoint")
+	}
+	eps := make([]MarketEndpoint, len(endpoints))
+	copy(eps, endpoints)
+	for i := range eps {
+		if eps[i].Name == "" {
+			eps[i].Name = fmt.Sprintf("endpoint-%d", i)
+		}
+		if eps[i].Caller == nil {
+			if eps[i].BaseURL == "" {
+				return nil, fmt.Errorf("payless: federation endpoint %q needs a BaseURL or a Caller", eps[i].Name)
+			}
+			eps[i].Caller = connector.New(eps[i].BaseURL, eps[i].AccountKey, cfg.connectorOptions()...)
+		}
+	}
+	// Registration: fetch the catalog and per-dataset page sizes from the
+	// first endpoint that answers, so a down mirror cannot block startup.
+	if len(cfg.Tables) == 0 {
+		var lastErr error
+		for _, ep := range eps {
+			cli, ok := ep.Caller.(*connector.Client)
+			if !ok {
+				continue
+			}
+			tables, tpt, err := fetchRegistration(cli)
+			if err != nil {
+				lastErr = fmt.Errorf("endpoint %s: %w", ep.Name, err)
+				continue
+			}
+			cfg.Tables = append(tables, localTables...)
+			cfg.TuplesPerTransaction = tpt
+			break
+		}
+		if len(cfg.Tables) == 0 {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("no HTTP endpoint to register with (pass Tables via options for in-process callers)")
+			}
+			return nil, fmt.Errorf("payless: federated registration failed: %w", lastErr)
+		}
+	}
+	// Annotate each market table with its mirrors so the catalog records —
+	// and the cost model sees — which endpoints offer it and at what terms.
+	for _, t := range cfg.Tables {
+		if t.Local || len(t.Mirrors) > 0 {
+			continue
+		}
+		for _, ep := range eps {
+			t.Mirrors = append(t.Mirrors, catalog.Mirror{
+				Endpoint:    ep.Name,
+				PriceFactor: ep.PriceFactor,
+				LatencyHint: ep.LatencyHint,
+				AccountKey:  ep.AccountKey,
+			})
+		}
+	}
+	cfg.FederationEndpoints = eps
+	return Open(cfg)
+}
+
+// fetchRegistration pulls one endpoint's catalog and page sizes.
+func fetchRegistration(cli *connector.Client) ([]*catalog.Table, map[string]int, error) {
+	tables, err := cli.Catalog()
+	if err != nil {
+		return nil, nil, err
+	}
+	tpt := make(map[string]int)
+	for _, t := range tables {
+		if _, ok := tpt[t.Dataset]; !ok {
+			pt, err := cli.TuplesPerTransaction(t.Dataset)
+			if err != nil {
+				return nil, nil, err
+			}
+			tpt[t.Dataset] = pt
+		}
+	}
+	return tables, tpt, nil
+}
+
+// FederationHealth reports each federation endpoint's health — calls,
+// failures, latency EWMA, open circuits — in configuration order. It
+// returns nil for non-federated clients.
+func (c *Client) FederationHealth() []EndpointHealth {
+	if c.fed == nil {
+		return nil
+	}
+	return c.fed.Health()
 }
 
 // connectorOptions derives the HTTP connector options from the config's
