@@ -35,7 +35,7 @@ func (c *Client) QueryBatch(sqls []string) ([]BatchResult, error) {
 	if err := c.begin(); err != nil {
 		return nil, err
 	}
-	defer c.inflight.Done()
+	defer c.done()
 	type pending struct {
 		idx   int
 		bound *core.BoundQuery

@@ -20,7 +20,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 10, 11, 12, 13, 14, 15, conc, shared, store, faults, durability, plan or all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 10, 11, 12, 13, 14, 15, conc, shared, store, faults, durability, plan, federation, overload or all")
 		dataset  = flag.String("dataset", "all", "dataset: real, tpch, tpch-skew or all")
 		qReal    = flag.Int("qreal", 40, "query instances per template (real data)")
 		qTPCH    = flag.Int("qtpch", 10, "query instances per template (TPC-H)")
@@ -39,7 +39,7 @@ func main() {
 	p.Seed = *seed
 	p.SampleEvery = *sample
 
-	figures := []string{"10", "11", "12", "13", "14", "15", "conc", "shared", "daemon", "store", "faults", "durability", "plan", "federation"}
+	figures := []string{"10", "11", "12", "13", "14", "15", "conc", "shared", "daemon", "store", "faults", "durability", "plan", "federation", "overload"}
 	if *fig != "all" {
 		figures = []string{*fig}
 	}
@@ -132,6 +132,11 @@ func one(f, ds string, req bench.Request) (*bench.Figure, error) {
 			return nil, nil // the federation sweep runs on the real workload only
 		}
 		return bench.FigFederation(bench.DefaultFederationParams())
+	case "overload":
+		if ds != "real" && ds != "all" {
+			return nil, nil // the overload soak runs on the real workload only
+		}
+		return bench.FigOverload(bench.DefaultOverloadParams())
 	default:
 		return nil, fmt.Errorf("unknown figure %q", f)
 	}

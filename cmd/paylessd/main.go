@@ -24,14 +24,27 @@
 // Calls route to the cheapest healthy endpoint, fail over on error, and
 // (with -hedge-after) hedge slow calls; GET /healthz reports per-endpoint
 // health.
+//
+// Lifecycle: SIGTERM/SIGINT drain gracefully — the daemon stops accepting
+// (new queries answer 503), finishes every in-flight query, checkpoints the
+// durable store and exits; nothing in flight is lost and nothing billed
+// goes unrecorded. SIGHUP reloads -tenants-file live (add, reconfigure,
+// remove tenants without a restart); with -admin-key the same CRUD — plus
+// federation endpoint swaps — is available over /v1/admin/*.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"payless"
@@ -41,25 +54,41 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8090", "listen address")
-		marketTo  = flag.String("market", "http://localhost:8080", "market server base URL")
-		key       = flag.String("key", "demo", "buyer account key at the market")
-		endpoints = flag.String("endpoints", "", "federate across market mirrors: comma-separated name=url[@priceFactor[@latencyHint]] entries (overrides -market)")
-		hedge     = flag.Duration("hedge-after", 0, "race the next-cheapest endpoint when a call exceeds this duration (federated only, 0 disables)")
-		brkN      = flag.Int("breaker-threshold", 0, "consecutive failures before a circuit breaker opens (0 disables; federated: per endpoint x dataset)")
-		brkCool   = flag.Duration("breaker-cooldown", 5*time.Second, "open-circuit cooldown before a probe call")
-		tenants   = flag.String("tenants", "demo:demo", "comma-separated tenants, each name:key[:budget[:rate]]")
-		global    = flag.Int64("global-budget", 0, "daemon-wide spend cap in transactions (0 unlimited)")
-		inflight  = flag.Int("max-inflight", 0, "max concurrently executing queries (0 = 4x GOMAXPROCS)")
-		storeDir  = flag.String("store-dir", "", "durable semantic store directory (empty = in-memory)")
-		window    = flag.Duration("coalesce-window", 2*time.Millisecond, "call-scheduler coalesce window (0 disables the scheduler)")
-		planLRU   = flag.Int("plan-cache", 256, "plan-template cache size (0 disables)")
+		addr        = flag.String("addr", ":8090", "listen address")
+		marketTo    = flag.String("market", "http://localhost:8080", "market server base URL")
+		key         = flag.String("key", "demo", "buyer account key at the market")
+		endpoints   = flag.String("endpoints", "", "federate across market mirrors: comma-separated name=url[@priceFactor[@latencyHint]] entries (overrides -market)")
+		hedge       = flag.Duration("hedge-after", 0, "race the next-cheapest endpoint when a call exceeds this duration (federated only, 0 disables)")
+		brkN        = flag.Int("breaker-threshold", 0, "consecutive failures before a circuit breaker opens (0 disables; federated: per endpoint x dataset)")
+		brkCool     = flag.Duration("breaker-cooldown", 5*time.Second, "open-circuit cooldown before a probe call")
+		tenants     = flag.String("tenants", "demo:demo", "comma-separated tenants, each name:key[:budget[:rate]]")
+		tenantsFile = flag.String("tenants-file", "", "JSON tenant file (overrides -tenants; SIGHUP reloads it live)")
+		global      = flag.Int64("global-budget", 0, "daemon-wide spend cap in transactions (0 unlimited)")
+		inflight    = flag.Int("max-inflight", 0, "max concurrently executing queries (0 = 4x GOMAXPROCS)")
+		maxQueue    = flag.Int("max-queue", 0, "max requests queued for an execution slot (0 = 4x max-inflight)")
+		shedTarget  = flag.Duration("shed-target", 50*time.Millisecond, "slot-wait tolerance before load shedding (scaled by tenant weight)")
+		deadline    = flag.Duration("deadline", 0, "default per-query deadline (0 = none; tenants and X-Deadline-Ms override)")
+		adminKey    = flag.String("admin-key", "", "bearer key for /v1/admin/* (empty disables the admin API)")
+		drainGrace  = flag.Duration("drain-grace", 30*time.Second, "how long SIGTERM waits for in-flight queries before giving up")
+		retryAfter  = flag.Duration("retry-after", time.Second, "base Retry-After hint on shed responses (jittered ±25%)")
+		storeDir    = flag.String("store-dir", "", "durable semantic store directory (empty = in-memory)")
+		window      = flag.Duration("coalesce-window", 2*time.Millisecond, "call-scheduler coalesce window (0 disables the scheduler)")
+		planLRU     = flag.Int("plan-cache", 256, "plan-template cache size (0 disables)")
 	)
 	flag.Parse()
 
-	cfgs, err := parseTenants(*tenants)
-	if err != nil {
-		log.Fatalf("parse -tenants: %v", err)
+	var cfgs []tenant.Config
+	var err error
+	if *tenantsFile != "" {
+		cfgs, err = loadTenantsFile(*tenantsFile)
+		if err != nil {
+			log.Fatalf("load -tenants-file: %v", err)
+		}
+	} else {
+		cfgs, err = parseTenants(*tenants)
+		if err != nil {
+			log.Fatalf("parse -tenants: %v", err)
+		}
 	}
 	reg, err := tenant.NewRegistry(*global, cfgs...)
 	if err != nil {
@@ -105,16 +134,93 @@ func main() {
 	}
 	defer client.Close()
 
-	srv, err := daemon.New(daemon.Config{Client: client, Registry: reg, MaxInflight: *inflight})
+	srv, err := daemon.New(daemon.Config{
+		Client:          client,
+		Registry:        reg,
+		MaxInflight:     *inflight,
+		MaxQueue:        *maxQueue,
+		ShedTarget:      *shedTarget,
+		DefaultDeadline: *deadline,
+		AdminKey:        *adminKey,
+		RetryAfter:      *retryAfter,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	for _, c := range cfgs {
-		log.Printf("tenant %q: budget=%d rate=%.3g/s", c.Name, c.Budget, c.RatePerSec)
+		log.Printf("tenant %q: budget=%d rate=%.3g/s weight=%.3g", c.Name, c.Budget, c.RatePerSec, c.Weight)
 	}
-	fmt.Printf("paylessd listening on %s (market %s, %d tenants, global budget %d)\n",
-		*addr, *marketTo, len(cfgs), *global)
-	log.Fatal(srv.Server(*addr).ListenAndServe())
+	fmt.Printf("paylessd listening on %s (market %s, %d tenants, global budget %d, shed target %v)\n",
+		*addr, *marketTo, len(cfgs), *global, *shedTarget)
+
+	httpSrv := srv.Server(*addr)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT, syscall.SIGHUP)
+	for {
+		select {
+		case err := <-serveErr:
+			if err != nil && err != http.ErrServerClosed {
+				log.Fatal(err)
+			}
+			return
+		case sig := <-sigs:
+			if sig == syscall.SIGHUP {
+				if *tenantsFile == "" {
+					log.Printf("SIGHUP ignored: no -tenants-file to reload")
+					continue
+				}
+				next, err := loadTenantsFile(*tenantsFile)
+				if err != nil {
+					log.Printf("SIGHUP reload failed, keeping current tenants: %v", err)
+					continue
+				}
+				if err := reg.Apply(*global, next); err != nil {
+					log.Printf("SIGHUP apply failed, keeping current tenants: %v", err)
+					continue
+				}
+				log.Printf("SIGHUP: reloaded %d tenants from %s", len(next), *tenantsFile)
+				continue
+			}
+			// SIGTERM/SIGINT: drain — refuse new work, finish in-flight,
+			// checkpoint, close — then shut the listener down.
+			log.Printf("%v: draining (grace %v)", sig, *drainGrace)
+			ctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+			if err := srv.Drain(ctx); err != nil {
+				log.Printf("drain: %v", err)
+			}
+			if err := httpSrv.Shutdown(ctx); err != nil {
+				log.Printf("shutdown: %v", err)
+			}
+			cancel()
+			log.Printf("paylessd drained, exiting")
+			return
+		}
+	}
+}
+
+// loadTenantsFile reads a JSON array of tenant specs (the same shape the
+// admin API speaks: name, key, budget, rate_per_sec, burst, weight,
+// deadline_ms).
+func loadTenantsFile(path string) ([]tenant.Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var specs []daemon.TenantSpec
+	if err := json.Unmarshal(data, &specs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("%s: no tenants", path)
+	}
+	cfgs := make([]tenant.Config, 0, len(specs))
+	for _, sp := range specs {
+		cfgs = append(cfgs, sp.TenantConfig())
+	}
+	return cfgs, nil
 }
 
 // parseEndpoints decodes the -endpoints flag: name=url[@priceFactor[@latencyHint]]

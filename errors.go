@@ -7,6 +7,7 @@ import (
 
 	"payless/internal/connector"
 	"payless/internal/engine"
+	"payless/internal/overload"
 )
 
 // The error taxonomy. Every failure a Client returns is matchable with
@@ -59,6 +60,15 @@ type PartialError = engine.PartialError
 // per-endpoint×dataset on a federated one (every endpoint refusing). It
 // surfaces wrapped in the execute stage's PartialError.
 var ErrCircuitOpen = engine.ErrCircuitOpen
+
+// ErrRetryBudget marks a retry, failover or hedge denied because the
+// query's retry-token budget ran out (see Config.RetryBudget). It is
+// deliberately distinct from ErrCircuitOpen: the budget says "this query
+// has amplified enough — stop multiplying attempts", the breaker says
+// "this market is known dead — stop calling it at all". It surfaces
+// wrapped in the execute stage, usually inside a PartialError carrying
+// whatever the query billed before giving up.
+var ErrRetryBudget = overload.ErrRetryBudget
 
 // CircuitOpenError is the concrete breaker-refusal error, re-exported from
 // the engine. It matches errors.Is(err, ErrCircuitOpen) and carries how long

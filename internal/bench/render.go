@@ -139,6 +139,16 @@ func RenderAll(req Request, w io.Writer) error {
 			fmt.Fprintf(w, "   (regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
 			continue
 		}
+		if f == "overload" {
+			start := time.Now()
+			fig, err := FigOverload(DefaultOverloadParams())
+			if err != nil {
+				return fmt.Errorf("fig overload: %w", err)
+			}
+			fmt.Fprint(w, fig.Render())
+			fmt.Fprintf(w, "   (regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+			continue
+		}
 		if f == "conc" {
 			start := time.Now()
 			cp := DefaultConcurrencyParams()

@@ -19,6 +19,14 @@
 // loop. The market bills an ID at most once and replays the billed result
 // on retry, so even the worst failure — the connection dropping after the
 // server billed but before the response arrived — never double-charges.
+//
+// Retries are additionally bounded by the query's shared overload budget:
+// each fresh logical call deposits credit, each extra attempt here (and
+// each federation failover or hedge above) withdraws it, and an exhausted
+// budget fails the call with overload.ErrRetryBudget instead of piling on.
+// A retry wait that would outlast the caller's deadline is not slept at
+// all — the call returns context.DeadlineExceeded immediately, because a
+// backoff the caller will never see the end of is pure queueing.
 package connector
 
 import (
@@ -35,6 +43,7 @@ import (
 	"payless/internal/catalog"
 	"payless/internal/market"
 	"payless/internal/obs"
+	"payless/internal/overload"
 )
 
 // StatusError is a non-2xx HTTP response from the market. Permanent client
@@ -186,9 +195,6 @@ func (c *Client) get(ctx context.Context, path, callID string, out any) error {
 	var retryAfter time.Duration
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
-			// Annotate the in-flight call's trace record (if the engine
-			// attached one) before the backoff sleep.
-			obs.CallFromContext(ctx).AddRetry()
 			delay := c.backoffDelay(attempt)
 			if retryAfter > 0 {
 				// The server told us when to come back; trust it over our
@@ -199,6 +205,23 @@ func (c *Client) get(ctx context.Context, path, callID string, out any) error {
 				}
 				retryAfter = 0
 			}
+			// Deadline propagation: a backoff the caller's deadline cannot
+			// survive is never slept — fail now with the deadline error the
+			// query was about to hit anyway.
+			if overload.ShortOf(ctx, delay) {
+				rem, _ := overload.Remaining(ctx)
+				return fmt.Errorf("market: abandoning retry after %d attempts: %v backoff exceeds the %v left of the caller's deadline: %w (last error: %v)",
+					attempt, delay, rem.Round(time.Millisecond), context.DeadlineExceeded, lastErr)
+			}
+			// Retry budget: every extra attempt, at any layer, withdraws one
+			// token from the query's shared pool.
+			if !overload.Spend(ctx, 1) {
+				return fmt.Errorf("market: giving up after %d attempts: %w (last error: %v)",
+					attempt, overload.ErrRetryBudget, lastErr)
+			}
+			// Annotate the in-flight call's trace record (if the engine
+			// attached one) before the backoff sleep.
+			obs.CallFromContext(ctx).AddRetry()
 			if err := c.waitRetry(ctx, delay); err != nil {
 				return fmt.Errorf("market call aborted after %d attempts: %w (last error: %v)", attempt, err, lastErr)
 			}
@@ -368,6 +391,12 @@ func (c *Client) MeterContext(ctx context.Context) (market.Meter, error) {
 // market.Caller: cancelling ctx aborts the in-flight request and any
 // remaining result pages.
 func (c *Client) Call(ctx context.Context, q catalog.AccessQuery) (market.Result, error) {
+	if q.CallID == "" {
+		// A fresh logical call funds the query's shared retry budget; a
+		// call arriving with an ID was already granted at the layer that
+		// assigned it (the federation fan-out).
+		overload.Grant(ctx, overload.GrantPerCall)
+	}
 	if !c.noCallIDs {
 		// One idempotency ID per logical call, shared by every retry of
 		// every page: the market bills it once and replays thereafter.

@@ -5,29 +5,48 @@
 // across tenants (the "pay one, get hundreds for free" deployment of the
 // paper's buyer side).
 //
-// Admission happens in three gates, cheapest first: API-key authentication
-// (401), the tenant's token-bucket rate limit (429 + Retry-After), and the
-// global in-flight query bound (429 + Retry-After). Only admitted queries
+// Admission happens in gates, cheapest first: the drain flag (503 while
+// shutting down), API-key authentication (401), the tenant's token-bucket
+// rate limit (429 + Retry-After), and the adaptive load shedder (429 +
+// Retry-After): a fixed pool of execution slots plus a bounded wait queue
+// whose smoothed slot-wait decides — per tenant weight and request
+// priority — whether queueing a request could possibly end well. Every
+// rejection happens BEFORE budget reservation, so a shed request never
+// bills, never reserves, and costs microseconds. Only admitted queries
 // reach the client, where per-tenant and global budgets are enforced by
 // reservation (402 on rejection) and the actual spend is attributed to the
 // tenant whose query triggered each remainder fetch — first-payer
-// attribution, see DESIGN.md §14.
+// attribution, see DESIGN.md §14. Deadlines (the daemon default, the
+// tenant default, or the request's X-Deadline-Ms header) ride the query
+// context down every layer; a query that dies of its deadline mid-flight
+// answers 504 with its elapsed/deadline budget in the body.
 package daemon
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"payless"
 	"payless/internal/market"
+	"payless/internal/obs"
+	"payless/internal/overload"
 	"payless/internal/tenant"
 )
+
+// retryJitterFrac is the ± fraction applied to every Retry-After hint, so a
+// synchronized burst of shed clients does not come back as a synchronized
+// retry stampede.
+const retryJitterFrac = 0.25
 
 // Config wires a Server.
 type Config struct {
@@ -40,20 +59,49 @@ type Config struct {
 	// MaxInflight bounds concurrently executing queries across all tenants;
 	// 0 means 4×GOMAXPROCS.
 	MaxInflight int
-	// RetryAfter is the Retry-After hint when the in-flight bound rejects;
-	// 0 means 1s.
+	// MaxQueue bounds how many admitted-but-waiting requests may park for an
+	// execution slot; 0 means 4×MaxInflight. Beyond it requests shed
+	// immediately (reason queue_full).
+	MaxQueue int
+	// ShedTarget is the slot-wait the shedder aims to keep bounded: a
+	// request sheds once the smoothed wait exceeds its tolerance
+	// (ShedTarget × tenant weight, halved for batch priority). 0 means 50ms.
+	ShedTarget time.Duration
+	// DefaultDeadline bounds each query's wall-clock time unless the tenant
+	// declares its own or the request carries X-Deadline-Ms. 0 means no
+	// default deadline.
+	DefaultDeadline time.Duration
+	// AdminKey guards the /v1/admin/* endpoints (tenant CRUD, federation
+	// endpoint reload). Empty disables them entirely (404).
+	AdminKey string
+	// RetryAfter is the base Retry-After hint when the shedder rejects;
+	// 0 means 1s. Hints are jittered ±25% so shed clients desynchronize.
 	RetryAfter time.Duration
 	// Now is the admission clock; nil means time.Now (tests inject one).
 	Now func() time.Time
+	// Jitter is the Retry-After jitter source, a uniform draw from [0,1);
+	// nil means math/rand. Tests pin 0.5 for the exact midpoint (no jitter).
+	Jitter func() float64
 }
 
 // Server is the daemon's HTTP state.
 type Server struct {
 	cfg Config
-	// slots is the global in-flight semaphore: admission is a non-blocking
-	// acquire, so overload answers immediately with 429 instead of queueing
-	// unbounded goroutines behind the engine.
-	slots chan struct{}
+	// shed is the adaptive admission gate: execution slots + bounded wait
+	// queue + smoothed slot-wait prediction.
+	shed *shedder
+
+	// lifemu guards the drain flag together with the handlers WaitGroup:
+	// beginRequest checks draining and Adds under the same lock Drain sets
+	// the flag under, so no request can slip between "stop accepting" and
+	// "wait for in-flight".
+	lifemu   sync.Mutex
+	draining bool
+	handlers sync.WaitGroup
+
+	// shedmu guards the per-reason shed counters (paylessd_shed_total).
+	shedmu     sync.Mutex
+	shedCounts map[string]int64
 }
 
 // New validates the wiring and builds a Server.
@@ -68,10 +116,23 @@ func New(cfg Config) (*Server, error) {
 	if n <= 0 {
 		n = 4 * runtime.GOMAXPROCS(0)
 	}
+	q := cfg.MaxQueue
+	if q <= 0 {
+		q = 4 * n
+	}
+	if cfg.ShedTarget <= 0 {
+		cfg.ShedTarget = 50 * time.Millisecond
+	}
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = time.Second
 	}
-	return &Server{cfg: cfg, slots: make(chan struct{}, n)}, nil
+	counts := make(map[string]int64, len(shedReasons))
+	for _, r := range shedReasons {
+		counts[r] = 0
+	}
+	s := &Server{cfg: cfg, shedCounts: counts}
+	s.shed = newShedder(n, q, cfg.Client.AddQueueDepth)
+	return s, nil
 }
 
 func (s *Server) now() time.Time {
@@ -103,9 +164,14 @@ type QueryResponse struct {
 	Planner         string  `json:"planner"`
 }
 
-// errorResponse is the JSON error envelope.
+// errorResponse is the JSON error envelope. DeadlineMs/ElapsedMs are set
+// only on 504s: how much time the query had and how much it used before
+// the deadline killed it — enough for a client to tell "deadline was too
+// tight" from "service was too slow" without parsing error prose.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error      string `json:"error"`
+	DeadlineMs int64  `json:"deadline_ms,omitempty"`
+	ElapsedMs  int64  `json:"elapsed_ms,omitempty"`
 }
 
 // Handler returns the daemon's route table.
@@ -115,6 +181,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/v1/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/admin/tenants", s.handleAdminTenants)
+	mux.HandleFunc("/v1/admin/tenants/", s.handleAdminTenant)
+	mux.HandleFunc("/v1/admin/endpoints", s.handleAdminEndpoints)
 	return mux
 }
 
@@ -130,8 +199,16 @@ type healthResponse struct {
 // per-endpoint federation health so orchestrators can see a dead mirror
 // without grepping metrics. A federated daemon is "degraded" (still 200 —
 // it keeps serving through the healthy mirrors) when any endpoint has open
-// circuits, and 503 "down" when every endpoint does.
+// circuits, and 503 "down" when every endpoint does. A draining daemon is
+// 503 "draining" so load balancers stop routing to it during shutdown.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.lifemu.Lock()
+	draining := s.draining
+	s.lifemu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, healthResponse{Status: "draining"})
+		return
+	}
 	resp := healthResponse{Status: "ok", Endpoints: s.cfg.Client.FederationHealth()}
 	status := http.StatusOK
 	if len(resp.Endpoints) > 0 {
@@ -157,6 +234,68 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // defaults applied.
 func (s *Server) Server(addr string) *http.Server {
 	return market.NewServer(addr, s.Handler())
+}
+
+// beginRequest registers one in-flight handler, refusing once Drain has
+// started. The flag check and the WaitGroup Add share lifemu, so Drain's
+// Wait can never race a late Add.
+func (s *Server) beginRequest() bool {
+	s.lifemu.Lock()
+	defer s.lifemu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.handlers.Add(1)
+	return true
+}
+
+// Drain performs the zero-downtime shutdown sequence: stop accepting new
+// queries (they shed with reason draining), wait — bounded by ctx — for
+// every in-flight handler to finish, checkpoint the durable store, and
+// close the shared client. Nothing in flight is lost and nothing billed
+// goes unrecorded: the WAL has every paid call before Close returns.
+// Idempotent; concurrent calls all wait for the same drain.
+func (s *Server) Drain(ctx context.Context) error {
+	s.lifemu.Lock()
+	s.draining = true
+	s.lifemu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.handlers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return fmt.Errorf("daemon: drain interrupted with handlers still running: %w", ctx.Err())
+	}
+	if err := s.cfg.Client.CheckpointStore(); err != nil {
+		// Close still flushes the WAL; the checkpoint is an optimization.
+		s.cfg.Client.Close()
+		return fmt.Errorf("daemon: drain checkpoint: %w", err)
+	}
+	return s.cfg.Client.Close()
+}
+
+// Draining reports whether Drain has started (paylessd's signal loop).
+func (s *Server) Draining() bool {
+	s.lifemu.Lock()
+	defer s.lifemu.Unlock()
+	return s.draining
+}
+
+// countShed books one shed rejection under its reason.
+func (s *Server) countShed(reason string) {
+	s.shedmu.Lock()
+	s.shedCounts[reason]++
+	s.shedmu.Unlock()
+}
+
+// ShedCount reports the rejections booked under one reason (tests, bench).
+func (s *Server) ShedCount(reason string) int64 {
+	s.shedmu.Lock()
+	defer s.shedmu.Unlock()
+	return s.shedCounts[reason]
 }
 
 // apiKey extracts the tenant credential: "Authorization: Bearer <key>" or
@@ -190,12 +329,49 @@ func retryAfter(d time.Duration) string {
 	return fmt.Sprintf("%d", secs)
 }
 
+// setRetryAfter writes a jittered Retry-After hint: the base spread ±25%,
+// so a burst of simultaneously shed clients does not return as a
+// synchronized stampede exactly one hint later.
+func (s *Server) setRetryAfter(w http.ResponseWriter, base time.Duration) {
+	rnd := s.cfg.Jitter
+	if rnd == nil {
+		rnd = rand.Float64
+	}
+	w.Header().Set("Retry-After", retryAfter(overload.Jitter(base, retryJitterFrac, rnd)))
+}
+
+// deadlineFor resolves one request's deadline, tightest declaration wins
+// by precedence: the X-Deadline-Ms header beats the tenant default beats
+// the daemon default. A malformed or non-positive header is a client error.
+func (s *Server) deadlineFor(r *http.Request, ten *tenant.Tenant) (time.Duration, error) {
+	d := s.cfg.DefaultDeadline
+	if td := ten.Deadline(); td > 0 {
+		d = td
+	}
+	if h := strings.TrimSpace(r.Header.Get("X-Deadline-Ms")); h != "" {
+		ms, err := strconv.ParseInt(h, 10, 64)
+		if err != nil || ms <= 0 {
+			return 0, fmt.Errorf("daemon: invalid X-Deadline-Ms %q: want a positive integer of milliseconds", h)
+		}
+		d = time.Duration(ms) * time.Millisecond
+	}
+	return d, nil
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
 		return
 	}
+	// Gate 0: lifecycle. A draining daemon sheds everything new instantly.
+	if !s.beginRequest() {
+		s.countShed(ShedDraining)
+		s.setRetryAfter(w, s.cfg.RetryAfter)
+		writeError(w, http.StatusServiceUnavailable, errors.New("daemon: draining for shutdown"))
+		return
+	}
+	defer s.handlers.Done()
 	// Gate 1: authentication.
 	ten, err := s.cfg.Registry.Authenticate(apiKey(r))
 	if err != nil {
@@ -207,32 +383,62 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	deadline, err := s.deadlineFor(r, ten)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	// Gate 2: per-tenant rate limit.
 	if ok, wait := ten.Allow(s.now()); !ok {
-		w.Header().Set("Retry-After", retryAfter(wait))
+		s.countShed(ShedRateLimit)
+		s.setRetryAfter(w, wait)
 		writeError(w, http.StatusTooManyRequests, tenant.ErrRateLimited)
 		return
 	}
-	// Gate 3: global in-flight bound — non-blocking, so overload is answered
-	// immediately.
-	select {
-	case s.slots <- struct{}{}:
-		defer func() { <-s.slots }()
-	default:
-		w.Header().Set("Retry-After", retryAfter(s.cfg.RetryAfter))
-		writeError(w, http.StatusTooManyRequests, errors.New("daemon: too many in-flight queries"))
+	ctx := r.Context()
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+	// Gate 3: the adaptive shedder. Tolerance scales with the tenant's
+	// weight and halves for batch-priority requests — under pressure the
+	// cheap-to-reject work goes first, before any budget is reserved.
+	tolerance := time.Duration(float64(s.cfg.ShedTarget) * ten.Weight())
+	if strings.EqualFold(strings.TrimSpace(r.Header.Get("X-Priority")), "batch") {
+		tolerance /= 2
+	}
+	release, reason := s.shed.admit(ctx, tolerance)
+	if reason != "" {
+		s.countShed(reason)
+		s.setRetryAfter(w, s.cfg.RetryAfter)
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Errorf("daemon: overloaded, query shed (%s)", reason))
 		return
 	}
+	defer release()
 
-	ctx := tenant.WithTenant(r.Context(), ten)
+	start := time.Now()
+	ctx = tenant.WithTenant(ctx, ten)
 	res, err := s.cfg.Client.QueryContext(ctx, sql)
 	if err != nil {
+		// A deadline death mid-query is a 504 carrying the budget arithmetic:
+		// results already paid for are in the store, so a retry with a looser
+		// deadline re-bills only the remainder.
+		if errors.Is(err, context.DeadlineExceeded) && deadline > 0 {
+			writeJSON(w, http.StatusGatewayTimeout, errorResponse{
+				Error:      err.Error(),
+				DeadlineMs: deadline.Milliseconds(),
+				ElapsedMs:  time.Since(start).Milliseconds(),
+			})
+			return
+		}
 		// A breaker refusal (every route to the data is short-circuiting)
 		// is a temporary outage, not a gateway error: tell the tenant when
 		// the circuit will next admit a probe.
 		var coe *payless.CircuitOpenError
 		if errors.As(err, &coe) {
-			w.Header().Set("Retry-After", retryAfter(coe.RetryAfter))
+			s.setRetryAfter(w, coe.RetryAfter)
 		}
 		writeError(w, statusOf(err), err)
 		return
@@ -273,7 +479,8 @@ func readSQL(r *http.Request) (string, error) {
 }
 
 // statusOf maps client errors onto HTTP statuses: user errors are 4xx
-// (unparseable SQL 400, budget rejections 402), shutdown and an open
+// (unparseable SQL 400, budget rejections 402), a blown deadline is 504,
+// shutdown, an exhausted retry budget (stop amplifying) and an open
 // circuit breaker (the market — or every federation endpoint — is refusing
 // calls) are 503, everything else — market outages included — is 502.
 func statusOf(err error) int {
@@ -286,8 +493,11 @@ func statusOf(err error) int {
 		errors.Is(err, payless.ErrBind),
 		errors.Is(err, payless.ErrOptimize):
 		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
 	case errors.Is(err, payless.ErrClosed),
-		errors.Is(err, payless.ErrCircuitOpen):
+		errors.Is(err, payless.ErrCircuitOpen),
+		errors.Is(err, payless.ErrRetryBudget):
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusBadGateway
@@ -295,9 +505,20 @@ func statusOf(err error) int {
 }
 
 // handleMetrics renders the shared client's families under "payless" and
-// the per-tenant spend families under "paylessd" in one scrape.
+// the per-tenant spend families under "paylessd" in one scrape, plus the
+// daemon's shed counters by reason.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.cfg.Client.WriteMetrics(w)
 	s.cfg.Registry.WriteMetrics(w, "paylessd")
+	s.shedmu.Lock()
+	counts := make(map[string]int64, len(s.shedCounts))
+	for k, v := range s.shedCounts {
+		counts[k] = v
+	}
+	s.shedmu.Unlock()
+	obs.WriteCounterHead(w, "paylessd", "shed_total", "Requests shed by the admission layer, by reason.")
+	for _, reason := range shedReasons {
+		obs.WriteLabeledCounter(w, "paylessd", "shed_total", "reason", reason, counts[reason])
+	}
 }

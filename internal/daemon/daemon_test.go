@@ -318,6 +318,7 @@ func TestDaemonAdmissionControl(t *testing.T) {
 		now := time.Unix(1700000000, 0)
 		h := newDaemon(t, client, reg, func(c *daemon.Config) {
 			c.Now = func() time.Time { return now }
+			c.Jitter = func() float64 { return 0.5 } // midpoint: no Retry-After jitter
 		}).Handler()
 		if code, _, rec := post(h, "ka", "SELECT v FROM T WHERE a >= 1 AND a <= 10"); code != http.StatusOK {
 			t.Fatalf("burst token: HTTP %d: %s", code, rec.Body.String())
@@ -351,6 +352,7 @@ func TestDaemonAdmissionControl(t *testing.T) {
 		h := newDaemon(t, client, reg, func(c *daemon.Config) {
 			c.MaxInflight = 1
 			c.RetryAfter = 3 * time.Second
+			c.Jitter = func() float64 { return 0.5 } // midpoint: no Retry-After jitter
 		}).Handler()
 
 		done := make(chan int, 1)

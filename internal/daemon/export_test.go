@@ -1,0 +1,4 @@
+package daemon
+
+// StatusOfError exposes the error→HTTP-status mapping to black-box tests.
+var StatusOfError = statusOf

@@ -1,0 +1,153 @@
+package daemon
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Shed reasons, as rendered in the paylessd_shed_total{reason} metric.
+// Every 429/503 the admission layer produces carries exactly one of these.
+const (
+	// ShedRateLimit: the tenant's token bucket was empty.
+	ShedRateLimit = "rate_limit"
+	// ShedQueueFull: the wait queue was at capacity — the daemon is past
+	// the point where queueing helps anyone.
+	ShedQueueFull = "queue_full"
+	// ShedQueueDelay: the smoothed slot-wait already exceeded the caller's
+	// tolerance, so joining the queue would predictably end in a timeout —
+	// reject in microseconds instead of after a doomed wait.
+	ShedQueueDelay = "queue_delay"
+	// ShedSlotWait: the request queued but no slot freed within its
+	// tolerance.
+	ShedSlotWait = "slot_wait"
+	// ShedDeadline: the request's deadline expired while it was queued
+	// (never admitted, nothing billed — a 429, not a 504).
+	ShedDeadline = "deadline"
+	// ShedDraining: the daemon is draining for shutdown.
+	ShedDraining = "draining"
+)
+
+// shedReasons lists every reason in rendering order.
+var shedReasons = []string{
+	ShedRateLimit, ShedQueueFull, ShedQueueDelay, ShedSlotWait, ShedDeadline, ShedDraining,
+}
+
+// shedder is the daemon's adaptive admission gate: a fixed pool of
+// execution slots plus a bounded wait queue that tracks how long admissions
+// have been waiting for a slot (EWMA). Under light load everything takes
+// the free-slot fast path; under overload the queue delay rises and the
+// shedder starts rejecting the work it can predict will not be served in
+// time — fast, cheap 429s instead of slow timeouts. Rejection costs one
+// mutex acquisition; nothing is billed for a shed request.
+type shedder struct {
+	slots    chan struct{}
+	maxQueue int
+	// onDepth mirrors queue-depth changes into the metrics gauge.
+	onDepth func(delta int64)
+
+	mu    sync.Mutex
+	depth int
+	// ewma is the smoothed recent slot-wait. Fast-path admissions observe a
+	// zero wait, so the estimate decays as load drops; timed-out waits
+	// observe a penalized value so the estimate rises fast under collapse.
+	ewma time.Duration
+}
+
+func newShedder(slots, maxQueue int, onDepth func(int64)) *shedder {
+	return &shedder{
+		slots:    make(chan struct{}, slots),
+		maxQueue: maxQueue,
+		onDepth:  onDepth,
+	}
+}
+
+// observeLocked folds one slot-wait sample into the EWMA (alpha = 1/4).
+// Callers hold mu.
+func (sh *shedder) observeLocked(w time.Duration) {
+	sh.ewma = sh.ewma - sh.ewma/4 + w/4
+}
+
+// waitEWMA reports the current smoothed slot-wait (metrics/tests).
+func (sh *shedder) waitEWMA() time.Duration {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.ewma
+}
+
+// queueDepth reports how many requests are currently parked.
+func (sh *shedder) queueDepth() int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.depth
+}
+
+// admit tries to claim an execution slot within tolerance. It returns a
+// release function on success, or a shed reason. The prediction shed
+// (ShedQueueDelay) only fires while at least one request is actually
+// queued: with an empty queue the next admission is the sample that decays
+// a stale EWMA, so the shedder can never wedge itself into rejecting
+// forever on old evidence.
+func (sh *shedder) admit(ctx context.Context, tolerance time.Duration) (release func(), reason string) {
+	// Fast path: a free slot. The zero-wait observation is what pulls the
+	// EWMA back down after a burst.
+	select {
+	case sh.slots <- struct{}{}:
+		sh.mu.Lock()
+		sh.observeLocked(0)
+		sh.mu.Unlock()
+		return sh.release, ""
+	default:
+	}
+	sh.mu.Lock()
+	if sh.depth >= sh.maxQueue {
+		sh.mu.Unlock()
+		return nil, ShedQueueFull
+	}
+	if sh.depth >= 1 && sh.ewma > tolerance {
+		sh.mu.Unlock()
+		return nil, ShedQueueDelay
+	}
+	sh.depth++
+	sh.mu.Unlock()
+	if sh.onDepth != nil {
+		sh.onDepth(1)
+	}
+	defer func() {
+		if sh.onDepth != nil {
+			sh.onDepth(-1)
+		}
+	}()
+
+	start := time.Now()
+	timer := time.NewTimer(tolerance)
+	defer timer.Stop()
+	select {
+	case sh.slots <- struct{}{}:
+		waited := time.Since(start)
+		sh.mu.Lock()
+		sh.depth--
+		sh.observeLocked(waited)
+		sh.mu.Unlock()
+		return sh.release, ""
+	case <-timer.C:
+		// Penalize the estimate: the true wait is AT LEAST the tolerance we
+		// gave up at, and censored waits under-report collapse.
+		waited := time.Since(start)
+		if p := 2 * tolerance; waited < p {
+			waited = p
+		}
+		sh.mu.Lock()
+		sh.depth--
+		sh.observeLocked(waited)
+		sh.mu.Unlock()
+		return nil, ShedSlotWait
+	case <-ctx.Done():
+		sh.mu.Lock()
+		sh.depth--
+		sh.mu.Unlock()
+		return nil, ShedDeadline
+	}
+}
+
+func (sh *shedder) release() { <-sh.slots }

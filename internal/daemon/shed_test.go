@@ -1,0 +1,181 @@
+package daemon
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestShedderFastPath: free slots admit instantly with no reason, and the
+// zero-wait observations keep (and pull) the EWMA at zero.
+func TestShedderFastPath(t *testing.T) {
+	sh := newShedder(2, 4, nil)
+	r1, reason := sh.admit(context.Background(), time.Second)
+	if reason != "" || r1 == nil {
+		t.Fatalf("admit 1: reason %q", reason)
+	}
+	r2, reason := sh.admit(context.Background(), time.Second)
+	if reason != "" || r2 == nil {
+		t.Fatalf("admit 2: reason %q", reason)
+	}
+	if d := sh.queueDepth(); d != 0 {
+		t.Fatalf("queue depth %d with free-slot admissions, want 0", d)
+	}
+	if w := sh.waitEWMA(); w != 0 {
+		t.Fatalf("EWMA %v after zero-wait admissions, want 0", w)
+	}
+	r1()
+	r2()
+}
+
+// TestShedderQueueFull: once maxQueue requests are parked, further arrivals
+// shed immediately.
+func TestShedderQueueFull(t *testing.T) {
+	sh := newShedder(1, 1, nil)
+	hold, reason := sh.admit(context.Background(), time.Second)
+	if reason != "" {
+		t.Fatalf("slot claim: reason %q", reason)
+	}
+	parked := make(chan string, 1)
+	go func() {
+		rel, r := sh.admit(context.Background(), 10*time.Second)
+		parked <- r
+		if rel != nil {
+			rel()
+		}
+	}()
+	waitFor(t, func() bool { return sh.queueDepth() == 1 })
+	if _, reason := sh.admit(context.Background(), time.Second); reason != ShedQueueFull {
+		t.Fatalf("over-capacity admit: reason %q, want %q", reason, ShedQueueFull)
+	}
+	hold()
+	if r := <-parked; r != "" {
+		t.Fatalf("parked request: reason %q, want admission", r)
+	}
+}
+
+// TestShedderPrediction: with a high smoothed wait the shedder rejects
+// BEFORE queueing — but only while somebody is actually queued. With an
+// empty queue the request parks (and its own outcome refreshes the
+// estimate), so a stale EWMA can never wedge the gate shut.
+func TestShedderPrediction(t *testing.T) {
+	sh := newShedder(1, 4, nil)
+	hold, _ := sh.admit(context.Background(), time.Second)
+	sh.mu.Lock()
+	sh.ewma = time.Minute // stale evidence of collapse
+	sh.mu.Unlock()
+
+	// Empty queue: the prediction must NOT fire; the request parks and times
+	// out on its own tolerance instead.
+	if _, reason := sh.admit(context.Background(), time.Millisecond); reason != ShedSlotWait {
+		t.Fatalf("empty-queue admit: reason %q, want %q", reason, ShedSlotWait)
+	}
+
+	// Park one waiter; now depth >= 1 and the prediction fires instantly.
+	parked := make(chan struct{})
+	go func() {
+		rel, _ := sh.admit(context.Background(), 10*time.Second)
+		if rel != nil {
+			rel()
+		}
+		close(parked)
+	}()
+	waitFor(t, func() bool { return sh.queueDepth() == 1 })
+	start := time.Now()
+	if _, reason := sh.admit(context.Background(), 5*time.Millisecond); reason != ShedQueueDelay {
+		t.Fatalf("predicted-doomed admit: reason %q, want %q", reason, ShedQueueDelay)
+	}
+	if e := time.Since(start); e > 100*time.Millisecond {
+		t.Fatalf("prediction shed took %v, want microseconds", e)
+	}
+
+	hold()
+	<-parked
+	// Free slot: the fast path bypasses prediction entirely and its zero-wait
+	// observation starts decaying the estimate.
+	before := sh.waitEWMA()
+	rel, reason := sh.admit(context.Background(), time.Millisecond)
+	if reason != "" {
+		t.Fatalf("free-slot admit with high EWMA: reason %q", reason)
+	}
+	rel()
+	if after := sh.waitEWMA(); after >= before {
+		t.Fatalf("EWMA did not decay: %v -> %v", before, after)
+	}
+}
+
+// TestShedderTimeoutPenalizesEWMA: a timed-out wait observes at least twice
+// its tolerance, so censored waits push the estimate up, not down.
+func TestShedderTimeoutPenalizesEWMA(t *testing.T) {
+	sh := newShedder(1, 4, nil)
+	hold, _ := sh.admit(context.Background(), time.Second)
+	defer hold()
+	tol := 5 * time.Millisecond
+	if _, reason := sh.admit(context.Background(), tol); reason != ShedSlotWait {
+		t.Fatalf("reason %q, want %q", reason, ShedSlotWait)
+	}
+	// One sample at alpha 1/4: EWMA >= (2*tol)/4.
+	if w := sh.waitEWMA(); w < tol/2 {
+		t.Fatalf("EWMA %v after penalized timeout, want >= %v", w, tol/2)
+	}
+}
+
+// TestShedderDeadline: a context that dies while queued sheds with the
+// deadline reason and leaves the queue clean.
+func TestShedderDeadline(t *testing.T) {
+	sh := newShedder(1, 4, nil)
+	hold, _ := sh.admit(context.Background(), time.Second)
+	defer hold()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, reason := sh.admit(ctx, 10*time.Second); reason != ShedDeadline {
+		t.Fatalf("reason %q, want %q", reason, ShedDeadline)
+	}
+	if d := sh.queueDepth(); d != 0 {
+		t.Fatalf("queue depth %d after deadline shed, want 0", d)
+	}
+}
+
+// TestShedderDepthCallback: every park mirrors into the depth callback and
+// balances back to zero however the wait ends.
+func TestShedderDepthCallback(t *testing.T) {
+	var depth atomic.Int64
+	sh := newShedder(1, 4, func(d int64) { depth.Add(d) })
+	hold, _ := sh.admit(context.Background(), time.Second)
+	// Fast path never touches the callback.
+	if g := depth.Load(); g != 0 {
+		t.Fatalf("depth gauge %d after fast-path admit, want 0", g)
+	}
+	// Timeout path: up then down.
+	sh.admit(context.Background(), time.Millisecond)
+	if g := depth.Load(); g != 0 {
+		t.Fatalf("depth gauge %d after timed-out wait, want 0", g)
+	}
+	// Served path: park, release the slot, the waiter is served.
+	served := make(chan struct{})
+	go func() {
+		rel, _ := sh.admit(context.Background(), 10*time.Second)
+		if rel != nil {
+			rel()
+		}
+		close(served)
+	}()
+	waitFor(t, func() bool { return sh.queueDepth() == 1 })
+	hold()
+	<-served
+	if g := depth.Load(); g != 0 {
+		t.Fatalf("depth gauge %d after served wait, want 0", g)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

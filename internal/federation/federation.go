@@ -37,6 +37,7 @@ import (
 	"payless/internal/engine"
 	"payless/internal/market"
 	"payless/internal/obs"
+	"payless/internal/overload"
 )
 
 // Endpoint configures one market mirror.
@@ -138,8 +139,20 @@ func (e *endpoint) stats() (calls, failures, streak int64, ewma time.Duration) {
 // Caller is the federated market.Caller.
 type Caller struct {
 	cfg      Config
-	eps      []*endpoint
 	breakers *engine.BreakerSet // keyed endpoint + "|" + dataset
+
+	// mu guards eps for hot reload: UpdateEndpoints swaps the slice
+	// wholesale (never mutates entries in place), so readers that copied
+	// the header under RLock keep a consistent view for the whole call.
+	mu  sync.RWMutex
+	eps []*endpoint
+}
+
+// endpoints snapshots the current endpoint pool.
+func (f *Caller) endpoints() []*endpoint {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.eps
 }
 
 // New builds a federated caller over the given endpoints. At least one
@@ -204,8 +217,9 @@ func (f *Caller) rank(q catalog.AccessQuery) []candidate {
 			}
 		}
 	}
-	cands := make([]candidate, 0, len(f.eps))
-	for _, ep := range f.eps {
+	eps := f.endpoints()
+	cands := make([]candidate, 0, len(eps))
+	for _, ep := range eps {
 		factor := ep.PriceFactor
 		lat := ep.latency()
 		if mirrors != nil {
@@ -248,6 +262,12 @@ func (f *Caller) Call(ctx context.Context, q catalog.AccessQuery) (market.Result
 	// The idempotent CallID is assigned here, above every endpoint attempt:
 	// retries and hedges all present the same logical call, so any single
 	// endpoint bills it at most once (its replay ledger dedupes).
+	if q.CallID == "" {
+		// One fresh logical call = one deposit into the query's shared
+		// retry budget; the connectors below see the ID already set and
+		// never grant again.
+		overload.Grant(ctx, overload.GrantPerCall)
+	}
 	market.EnsureCallID(&q)
 	f.cfg.Metrics.ObserveFederationCall()
 
@@ -307,8 +327,10 @@ func (f *Caller) Call(ctx context.Context, q catalog.AccessQuery) (market.Result
 		return market.Result{}, f.exhausted(q, len(ranked), refused, minRetry, lastErr)
 	}
 
+	// A hedge that cannot fire before the caller's deadline is never armed:
+	// hedging exists to cut tail latency the caller will still experience.
 	var hedgeC <-chan time.Time
-	if f.cfg.HedgeAfter > 0 && len(ranked) > 1 {
+	if f.cfg.HedgeAfter > 0 && len(ranked) > 1 && !overload.ShortOf(ctx, f.cfg.HedgeAfter) {
 		t := time.NewTimer(f.cfg.HedgeAfter)
 		defer t.Stop()
 		hedgeC = t.C
@@ -322,7 +344,10 @@ func (f *Caller) Call(ctx context.Context, q catalog.AccessQuery) (market.Result
 			return market.Result{}, ctx.Err()
 		case <-hedgeC:
 			hedgeC = nil
-			if launchNext(true) {
+			// A hedge is speculation, not necessity: when the shared retry
+			// budget is empty it is skipped silently and the primary
+			// attempt keeps running alone.
+			if overload.Spend(ctx, 1) && launchNext(true) {
 				hedged = true
 				f.cfg.Metrics.ObserveFederationHedge()
 			}
@@ -352,9 +377,17 @@ func (f *Caller) Call(ctx context.Context, q catalog.AccessQuery) (market.Result
 			failovers++
 			f.cfg.Metrics.ObserveFederationFailover()
 			// Fail over only when nothing else is racing: with a hedge in
-			// flight, the hedge already is the next endpoint.
-			if inflight == 0 && !launchNext(false) {
-				return market.Result{}, f.exhausted(q, len(ranked), refused, minRetry, lastErr)
+			// flight, the hedge already is the next endpoint. A failover is
+			// an extra attempt like any other — it must be funded by the
+			// query's retry budget, or layered retries multiply.
+			if inflight == 0 {
+				if !overload.Spend(ctx, 1) {
+					return market.Result{}, fmt.Errorf("federation: not failing over for %s.%s: %w (last error: %v)",
+						q.Dataset, q.Table, overload.ErrRetryBudget, lastErr)
+				}
+				if !launchNext(false) {
+					return market.Result{}, f.exhausted(q, len(ranked), refused, minRetry, lastErr)
+				}
 			}
 		}
 	}
@@ -406,11 +439,68 @@ type EndpointHealth struct {
 	RetryInMillis int64 `json:"retry_in_ms,omitempty"`
 }
 
+// UpdateEndpoints hot-swaps the endpoint pool without dropping in-flight
+// calls: attempts already racing keep their endpoint handles (their
+// outcomes settle into the old state structs and drain normally), while
+// every later rank() sees the new pool. Endpoints surviving the swap by
+// name keep their observed health — latency EWMA, failure counters,
+// streak — so a reload never resets source selection to cold hints.
+// Validation mirrors New; on error the pool is left untouched. Breakers
+// keyed to removed endpoints linger unused until the set is next tripped.
+func (f *Caller) UpdateEndpoints(eps []Endpoint) error {
+	if len(eps) == 0 {
+		return errors.New("federation: no endpoints configured")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	old := make(map[string]*endpoint, len(f.eps))
+	for _, e := range f.eps {
+		old[e.Name] = e
+	}
+	seen := make(map[string]bool, len(eps))
+	built := make([]*endpoint, 0, len(eps))
+	for _, e := range eps {
+		if e.Name == "" {
+			return errors.New("federation: endpoint with empty name")
+		}
+		if seen[e.Name] {
+			return fmt.Errorf("federation: duplicate endpoint %q", e.Name)
+		}
+		if e.Caller == nil {
+			return fmt.Errorf("federation: endpoint %q has no transport", e.Name)
+		}
+		seen[e.Name] = true
+		if e.PriceFactor <= 0 {
+			e.PriceFactor = 1
+		}
+		ne := &endpoint{Endpoint: e}
+		if prev, ok := old[e.Name]; ok {
+			prev.mu.Lock()
+			ne.ewma, ne.calls, ne.failures, ne.streak = prev.ewma, prev.calls, prev.failures, prev.streak
+			prev.mu.Unlock()
+		}
+		built = append(built, ne)
+	}
+	f.eps = built
+	return nil
+}
+
+// Names lists the current endpoint pool's names in configuration order.
+func (f *Caller) Names() []string {
+	eps := f.endpoints()
+	out := make([]string, 0, len(eps))
+	for _, ep := range eps {
+		out = append(out, ep.Name)
+	}
+	return out
+}
+
 // Health reports every endpoint's state, in configuration order.
 func (f *Caller) Health() []EndpointHealth {
 	states := f.breakers.States()
-	out := make([]EndpointHealth, 0, len(f.eps))
-	for _, ep := range f.eps {
+	eps := f.endpoints()
+	out := make([]EndpointHealth, 0, len(eps))
+	for _, ep := range eps {
 		calls, failures, streak, ewma := ep.stats()
 		h := EndpointHealth{
 			Name:                ep.Name,

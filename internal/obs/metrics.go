@@ -159,6 +159,11 @@ type Metrics struct {
 	federationHedgeWins int64
 	federationExhausted int64
 
+	// Gauges (instantaneous levels, not cumulative): queries currently
+	// executing and requests currently parked in an admission queue.
+	inflight   int64
+	queueDepth int64
+
 	queryLatency    histogram
 	callLatency     histogram
 	optimizeLatency histogram
@@ -342,6 +347,30 @@ func (m *Metrics) ObserveFederationExhausted() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.federationExhausted++
+}
+
+// AddInflight moves the in-flight-queries gauge by delta: +1 as a query is
+// admitted, -1 as it settles. The overload-protection layers watch this
+// level to tell "busy" from "drowning".
+func (m *Metrics) AddInflight(delta int64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.inflight += delta
+}
+
+// AddQueueDepth moves the admission-queue-depth gauge by delta: +1 as a
+// request starts waiting for an execution slot, -1 as it is admitted or
+// shed. Fed by the daemon's load shedder.
+func (m *Metrics) AddQueueDepth(delta int64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queueDepth += delta
 }
 
 // ObserveFailedQuerySpend folds the money a FAILED query still spent into
@@ -625,6 +654,11 @@ type Snapshot struct {
 	FederationHedgeWins int64
 	FederationExhausted int64
 
+	// InflightQueries and QueueDepth are gauges: queries currently executing
+	// and requests currently parked waiting for an execution slot.
+	InflightQueries int64
+	QueueDepth      int64
+
 	QueryLatency    HistogramSnapshot
 	CallLatency     HistogramSnapshot
 	OptimizeLatency HistogramSnapshot
@@ -693,6 +727,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		FederationHedges:    m.federationHedges,
 		FederationHedgeWins: m.federationHedgeWins,
 		FederationExhausted: m.federationExhausted,
+
+		InflightQueries: m.inflight,
+		QueueDepth:      m.queueDepth,
 
 		QueryLatency:    m.queryLatency.snapshot(),
 		CallLatency:     m.callLatency.snapshot(),
@@ -764,6 +801,12 @@ func (m *Metrics) WritePrometheus(w io.Writer, prefix string) {
 	counter("federation_hedged_calls_total", "Hedge attempts launched after the primary exceeded HedgeAfter.", s.FederationHedges)
 	counter("federation_hedge_wins_total", "Hedges whose secondary endpoint answered first.", s.FederationHedgeWins)
 	counter("federation_exhausted_total", "Calls that failed on every configured endpoint.", s.FederationExhausted)
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s_%s %s\n# TYPE %s_%s gauge\n", prefix, name, help, prefix, name)
+		fmt.Fprintf(w, "%s_%s %d\n", prefix, name, v)
+	}
+	gauge("inflight_queries", "Queries currently executing.", s.InflightQueries)
+	gauge("queue_depth", "Requests currently queued for an execution slot.", s.QueueDepth)
 	hist := func(name, help string, h HistogramSnapshot) {
 		fmt.Fprintf(w, "# HELP %s_%s %s\n# TYPE %s_%s histogram\n", prefix, name, help, prefix, name)
 		for _, b := range h.Buckets {

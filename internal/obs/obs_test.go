@@ -296,3 +296,42 @@ func TestFederationMetricsFamilies(t *testing.T) {
 		t.Errorf("nil metrics federation snapshot: %+v", s)
 	}
 }
+
+func TestOverloadMetricsFamilies(t *testing.T) {
+	m := NewMetrics()
+	m.AddInflight(1)
+	m.AddInflight(1)
+	m.AddInflight(-1)
+	m.AddQueueDepth(1)
+	m.AddQueueDepth(1)
+	m.AddQueueDepth(1)
+	m.AddQueueDepth(-1)
+
+	s := m.Snapshot()
+	if s.InflightQueries != 1 || s.QueueDepth != 2 {
+		t.Errorf("gauges: inflight=%d queue=%d, want 1 2", s.InflightQueries, s.QueueDepth)
+	}
+
+	var b strings.Builder
+	m.WritePrometheus(&b, "payless")
+	out := b.String()
+	// These names are scraped by dashboards: pin them exactly, including the
+	// gauge TYPE lines.
+	for _, want := range []string{
+		"# TYPE payless_inflight_queries gauge",
+		"payless_inflight_queries 1",
+		"# TYPE payless_queue_depth gauge",
+		"payless_queue_depth 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q", want)
+		}
+	}
+
+	var nm *Metrics
+	nm.AddInflight(1)
+	nm.AddQueueDepth(1)
+	if s := nm.Snapshot(); s.InflightQueries != 0 || s.QueueDepth != 0 {
+		t.Errorf("nil metrics gauge snapshot: %+v", s)
+	}
+}

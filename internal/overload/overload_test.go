@@ -1,0 +1,153 @@
+package overload
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestRetryBudgetSpendAndGrant(t *testing.T) {
+	b := NewRetryBudget(2)
+	if !b.Spend(1) || !b.Spend(1) {
+		t.Fatalf("base credit of 2 should admit two unit spends")
+	}
+	if b.Spend(1) {
+		t.Fatalf("third spend must be denied on an empty budget")
+	}
+	b.Grant(GrantPerCall)
+	b.Grant(GrantPerCall)
+	if !b.Spend(1) {
+		t.Fatalf("two call grants (2 x %v) should fund one more attempt", GrantPerCall)
+	}
+	credit, granted, spent, denied := b.Stats()
+	if credit != 0 || granted != 1 || spent != 3 || denied != 1 {
+		t.Fatalf("stats = credit %v granted %v spent %d denied %d, want 0 1 3 1",
+			credit, granted, spent, denied)
+	}
+}
+
+func TestRetryBudgetNegativeBaseClamped(t *testing.T) {
+	b := NewRetryBudget(-5)
+	if b.Spend(1) {
+		t.Fatalf("negative base must clamp to zero credit, not go further negative")
+	}
+}
+
+func TestNilBudgetIsUnlimited(t *testing.T) {
+	var b *RetryBudget
+	for i := 0; i < 100; i++ {
+		if !b.Spend(1) {
+			t.Fatalf("nil budget must admit every spend")
+		}
+	}
+	b.Grant(1) // must not panic
+	if c, g, s, d := b.Stats(); c != 0 || g != 0 || s != 0 || d != 0 {
+		t.Fatalf("nil budget stats must be zero, got %v %v %v %v", c, g, s, d)
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	if BudgetFrom(context.Background()) != nil {
+		t.Fatalf("bare context must carry no budget")
+	}
+	if !Spend(context.Background(), 10) {
+		t.Fatalf("budget-free context must admit every spend")
+	}
+	b := NewRetryBudget(1)
+	ctx := WithBudget(context.Background(), b)
+	if BudgetFrom(ctx) != b {
+		t.Fatalf("BudgetFrom must return the attached budget")
+	}
+	Grant(ctx, 1)
+	if !Spend(ctx, 2) {
+		t.Fatalf("1 base + 1 grant should admit a spend of 2")
+	}
+	if Spend(ctx, 1) {
+		t.Fatalf("empty budget must deny through the context helpers too")
+	}
+}
+
+func TestWithBudgetNilIsIdentity(t *testing.T) {
+	ctx := context.Background()
+	if got := WithBudget(ctx, nil); got != ctx {
+		t.Fatalf("attaching a nil budget must not allocate a child context")
+	}
+}
+
+func TestRemainingAndShortOf(t *testing.T) {
+	if _, ok := Remaining(context.Background()); ok {
+		t.Fatalf("deadline-free context must report no remaining budget")
+	}
+	if ShortOf(context.Background(), time.Hour) {
+		t.Fatalf("deadline-free context is never short")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	rem, ok := Remaining(ctx)
+	if !ok || rem <= 0 || rem > 50*time.Millisecond {
+		t.Fatalf("remaining = %v ok=%v, want (0, 50ms]", rem, ok)
+	}
+	if !ShortOf(ctx, time.Second) {
+		t.Fatalf("a 50ms context is short of a 1s sleep")
+	}
+	if ShortOf(ctx, time.Microsecond) {
+		t.Fatalf("a 50ms context is not short of a 1µs sleep")
+	}
+}
+
+func TestJitterSpread(t *testing.T) {
+	rnd := rand.New(rand.NewSource(42)).Float64
+	base := 8 * time.Second
+	lo, hi := base, base
+	for i := 0; i < 1000; i++ {
+		j := Jitter(base, 0.25, rnd)
+		if j < time.Duration(float64(base)*0.75) || j >= time.Duration(float64(base)*1.25)+time.Nanosecond {
+			t.Fatalf("jittered %v outside [6s, 10s)", j)
+		}
+		if j < lo {
+			lo = j
+		}
+		if j > hi {
+			hi = j
+		}
+	}
+	// The spread must actually be used: over 1000 draws the extremes land
+	// near the bounds.
+	if lo > time.Duration(float64(base)*0.80) || hi < time.Duration(float64(base)*1.20) {
+		t.Fatalf("jitter spread [%v, %v] too narrow for ±25%% of %v", lo, hi, base)
+	}
+	if Jitter(0, 0.25, rnd) != 0 {
+		t.Fatalf("zero duration must pass through unjittered")
+	}
+	if Jitter(base, 0, rnd) != base {
+		t.Fatalf("zero fraction must pass through unjittered")
+	}
+}
+
+func TestRetryBudgetConcurrent(t *testing.T) {
+	b := NewRetryBudget(0)
+	const workers = 16
+	done := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			admitted := 0
+			for i := 0; i < 100; i++ {
+				b.Grant(GrantPerCall)
+				if b.Spend(1) {
+					admitted++
+				}
+			}
+			done <- admitted
+		}()
+	}
+	total := 0
+	for w := 0; w < workers; w++ {
+		total += <-done
+	}
+	// 16 workers × 100 grants of 0.5 = 800 tokens; spends are 1 each, so at
+	// most 800 admissions regardless of interleaving.
+	if total > workers*100/2 {
+		t.Fatalf("admitted %d spends from %d tokens of credit", total, workers*100/2)
+	}
+}

@@ -46,6 +46,7 @@ import (
 	"payless/internal/catalog"
 	"payless/internal/market"
 	"payless/internal/obs"
+	"payless/internal/overload"
 	"payless/internal/region"
 	"payless/internal/semstore"
 	"payless/internal/value"
@@ -248,8 +249,11 @@ func (s *Scheduler) Fetch(ctx context.Context, req Request) (market.Result, Info
 		}
 	}
 	// 3. Coalesce window: park sub-transaction fetches and let the window
-	// timer fuse whatever mergeable company shows up.
-	if s.cfg.Window > 0 && s.parkable(req) {
+	// timer fuse whatever mergeable company shows up. A caller whose
+	// deadline cannot outlive the window is dispatched immediately instead:
+	// parking it would spend its entire remaining budget waiting for
+	// company it will never get to bill with.
+	if s.cfg.Window > 0 && s.parkable(req) && !overload.ShortOf(ctx, s.cfg.Window) {
 		pr := s.park(req)
 		s.mu.Unlock()
 		s.delayedCalls.Add(1)

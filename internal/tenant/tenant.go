@@ -51,15 +51,25 @@ type Config struct {
 	// max(1, ceil(RatePerSec))).
 	RatePerSec float64
 	Burst      int
+	// Weight scales the tenant's shed tolerance under overload: a tenant
+	// with Weight 2 waits twice as long for an execution slot before being
+	// shed as one with Weight 1. <= 0 means 1 (equal treatment).
+	Weight float64
+	// Deadline is the tenant's default per-query deadline, used when a
+	// request neither carries an X-Deadline-Ms header nor relies on the
+	// daemon-wide default. 0 falls back to the daemon default.
+	Deadline time.Duration
 }
 
 // Tenant is one authenticated account's live state. All fields are guarded
 // by mu; methods are safe for concurrent use.
 type Tenant struct {
-	name   string
-	budget int64
+	name string
 
 	mu       sync.Mutex
+	budget   int64
+	weight   float64
+	deadline time.Duration
 	spent    int64 // transactions actually billed to this tenant's queries
 	reserved int64 // estimates of admitted, unsettled queries
 	queries  int64 // queries admitted past the budget
@@ -75,6 +85,25 @@ type Tenant struct {
 
 // Name returns the tenant's metric label.
 func (t *Tenant) Name() string { return t.name }
+
+// Weight returns the tenant's shed-tolerance multiplier (>= a minimum of a
+// neutral 1 when unset).
+func (t *Tenant) Weight() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.weight <= 0 {
+		return 1
+	}
+	return t.weight
+}
+
+// Deadline returns the tenant's default per-query deadline; 0 defers to the
+// daemon default.
+func (t *Tenant) Deadline() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.deadline
+}
 
 // Spend returns the transactions actually billed to this tenant so far.
 func (t *Tenant) Spend() int64 {
@@ -139,54 +168,106 @@ func (t *Tenant) settle(est, actual int64) {
 // implements the payless Admitter interface: the tenant is carried on the
 // query context (WithTenant/From), so one shared client serves every tenant.
 type Registry struct {
+	// tabmu guards the tenant table (byKey/byName/specs). It is separate
+	// from mu (the global-budget lock) so admission hot paths and admin CRUD
+	// never contend on one lock; reads vastly outnumber writes, hence RW.
+	tabmu  sync.RWMutex
 	byKey  map[string]*Tenant
-	names  []string // sorted, for deterministic metric rendering
 	byName map[string]*Tenant
+	specs  map[string]Config // declared configuration, for admin listing
 
-	globalBudget int64
 	mu           sync.Mutex
+	globalBudget int64
 	globalSpent  int64
 	globalRes    int64
 	rejectedGlob int64
 }
 
+// newTenant builds a tenant's live state from its declaration.
+func newTenant(c Config) *Tenant {
+	burst := float64(c.Burst)
+	if burst <= 0 && c.RatePerSec > 0 {
+		burst = c.RatePerSec
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	return &Tenant{
+		name: c.Name, budget: c.Budget, weight: c.Weight, deadline: c.Deadline,
+		rate: c.RatePerSec, burst: burst, tokens: burst,
+	}
+}
+
+// reconfigure updates a live tenant's declared knobs in place, preserving
+// its spend, reservations and counters — a hot-reloaded tenant does not get
+// a fresh budget.
+func (t *Tenant) reconfigure(c Config) {
+	burst := float64(c.Burst)
+	if burst <= 0 && c.RatePerSec > 0 {
+		burst = c.RatePerSec
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.budget = c.Budget
+	t.weight = c.Weight
+	t.deadline = c.Deadline
+	t.rate = c.RatePerSec
+	t.burst = burst
+	if t.tokens > burst {
+		t.tokens = burst
+	}
+}
+
+// validate checks one declaration against the other declarations in a set.
+func validate(cfgs []Config) error {
+	names := make(map[string]bool, len(cfgs))
+	keys := make(map[string]bool, len(cfgs))
+	for _, c := range cfgs {
+		if c.Name == "" || c.Key == "" {
+			return fmt.Errorf("tenant: name and key are required (name %q)", c.Name)
+		}
+		if names[c.Name] {
+			return fmt.Errorf("tenant: duplicate name %q", c.Name)
+		}
+		if keys[c.Key] {
+			return fmt.Errorf("tenant: duplicate key for %q", c.Name)
+		}
+		names[c.Name] = true
+		keys[c.Key] = true
+	}
+	return nil
+}
+
 // NewRegistry builds a registry from tenant declarations. globalBudget caps
 // the daemon's combined spend in transactions (0 unlimited).
 func NewRegistry(globalBudget int64, tenants ...Config) (*Registry, error) {
+	if err := validate(tenants); err != nil {
+		return nil, err
+	}
 	r := &Registry{
 		byKey:        make(map[string]*Tenant, len(tenants)),
 		byName:       make(map[string]*Tenant, len(tenants)),
+		specs:        make(map[string]Config, len(tenants)),
 		globalBudget: globalBudget,
 	}
 	for _, c := range tenants {
-		if c.Name == "" || c.Key == "" {
-			return nil, fmt.Errorf("tenant: name and key are required (name %q)", c.Name)
-		}
-		if _, dup := r.byName[c.Name]; dup {
-			return nil, fmt.Errorf("tenant: duplicate name %q", c.Name)
-		}
-		if _, dup := r.byKey[c.Key]; dup {
-			return nil, fmt.Errorf("tenant: duplicate key for %q", c.Name)
-		}
-		burst := float64(c.Burst)
-		if burst <= 0 && c.RatePerSec > 0 {
-			burst = c.RatePerSec
-			if burst < 1 {
-				burst = 1
-			}
-		}
-		t := &Tenant{name: c.Name, budget: c.Budget, rate: c.RatePerSec, burst: burst, tokens: burst}
+		t := newTenant(c)
 		r.byKey[c.Key] = t
 		r.byName[c.Name] = t
-		r.names = append(r.names, c.Name)
+		r.specs[c.Name] = c
 	}
-	sort.Strings(r.names)
 	return r, nil
 }
 
 // Authenticate resolves an API key to its tenant.
 func (r *Registry) Authenticate(key string) (*Tenant, error) {
-	if t, ok := r.byKey[key]; ok {
+	r.tabmu.RLock()
+	t, ok := r.byKey[key]
+	r.tabmu.RUnlock()
+	if ok {
 		return t, nil
 	}
 	return nil, ErrBadKey
@@ -194,8 +275,98 @@ func (r *Registry) Authenticate(key string) (*Tenant, error) {
 
 // Lookup resolves a tenant by name (tests and introspection).
 func (r *Registry) Lookup(name string) (*Tenant, bool) {
+	r.tabmu.RLock()
+	defer r.tabmu.RUnlock()
 	t, ok := r.byName[name]
 	return t, ok
+}
+
+// Configs lists the declared tenant configurations in name order — what the
+// admin API serves. Live counters are not included; those are metrics.
+func (r *Registry) Configs() []Config {
+	r.tabmu.RLock()
+	defer r.tabmu.RUnlock()
+	out := make([]Config, 0, len(r.specs))
+	for _, c := range r.specs {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Upsert adds a tenant or reconfigures an existing one (matched by name) at
+// runtime. A reconfigured tenant keeps its spend, reservations and counters
+// — only the declared knobs (key, budget, rate, weight, deadline) change.
+// The key must not belong to a different tenant. In-flight queries holding
+// the *Tenant keep settling against it either way.
+func (r *Registry) Upsert(c Config) error {
+	if err := validate([]Config{c}); err != nil {
+		return err
+	}
+	r.tabmu.Lock()
+	defer r.tabmu.Unlock()
+	if other, ok := r.byKey[c.Key]; ok && other.name != c.Name {
+		return fmt.Errorf("tenant: key already belongs to %q", other.name)
+	}
+	t, exists := r.byName[c.Name]
+	if exists {
+		delete(r.byKey, r.specs[c.Name].Key)
+		t.reconfigure(c)
+	} else {
+		t = newTenant(c)
+		r.byName[c.Name] = t
+	}
+	r.byKey[c.Key] = t
+	r.specs[c.Name] = c
+	return nil
+}
+
+// Remove deletes a tenant by name, reporting whether it existed. Queries
+// already in flight hold the *Tenant pointer and settle normally; new
+// requests with its key fail authentication immediately.
+func (r *Registry) Remove(name string) bool {
+	r.tabmu.Lock()
+	defer r.tabmu.Unlock()
+	c, ok := r.specs[name]
+	if !ok {
+		return false
+	}
+	delete(r.byKey, c.Key)
+	delete(r.byName, name)
+	delete(r.specs, name)
+	return true
+}
+
+// Apply replaces the whole tenant table and the global budget in one swap —
+// the SIGHUP hot-reload path. Tenants matched by name carry their live
+// state (spend, reservations, counters) across the swap; tenants absent
+// from the new set are removed; new names start fresh. The set is validated
+// first, so a bad reload leaves the registry untouched.
+func (r *Registry) Apply(globalBudget int64, cfgs []Config) error {
+	if err := validate(cfgs); err != nil {
+		return err
+	}
+	r.tabmu.Lock()
+	byKey := make(map[string]*Tenant, len(cfgs))
+	byName := make(map[string]*Tenant, len(cfgs))
+	specs := make(map[string]Config, len(cfgs))
+	for _, c := range cfgs {
+		t, exists := r.byName[c.Name]
+		if exists {
+			t.reconfigure(c)
+		} else {
+			t = newTenant(c)
+		}
+		byKey[c.Key] = t
+		byName[c.Name] = t
+		specs[c.Name] = c
+	}
+	r.byKey, r.byName, r.specs = byKey, byName, specs
+	r.tabmu.Unlock()
+	r.mu.Lock()
+	r.globalBudget = globalBudget
+	r.mu.Unlock()
+	return nil
 }
 
 // ctxKey keys the tenant on a query context.
@@ -270,13 +441,20 @@ func (r *Registry) WriteMetrics(w io.Writer, prefix string) {
 		name                                      string
 		spent, reserved, queries, rejected, rated int64
 	}
-	rows := make([]row, 0, len(r.names))
-	for _, name := range r.names {
+	r.tabmu.RLock()
+	names := make([]string, 0, len(r.byName))
+	for name := range r.byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	rows := make([]row, 0, len(names))
+	for _, name := range names {
 		t := r.byName[name]
 		t.mu.Lock()
 		rows = append(rows, row{name, t.spent, t.reserved, t.queries, t.rejected, t.rateLimited})
 		t.mu.Unlock()
 	}
+	r.tabmu.RUnlock()
 	obs.WriteCounterHead(w, prefix, "tenant_spend_total", "Transactions billed to queries this tenant triggered (first-payer attribution).")
 	for _, x := range rows {
 		obs.WriteLabeledCounter(w, prefix, "tenant_spend_total", "tenant", x.name, x.spent)

@@ -198,3 +198,144 @@ func TestWriteMetricsAttributesSpendPerTenant(t *testing.T) {
 		t.Fatalf("tenants not in sorted order:\n%s", out)
 	}
 }
+
+func TestUpsertAddsAndReconfigures(t *testing.T) {
+	r := testRegistry(t, 0, Config{Name: "alice", Key: "key-a", Budget: 10})
+
+	// Add a new tenant at runtime.
+	if err := r.Upsert(Config{Name: "bob", Key: "key-b", Weight: 2, Deadline: time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Authenticate("key-b")
+	if err != nil || b.Name() != "bob" {
+		t.Fatalf("key-b -> %v, %v", b, err)
+	}
+	if b.Weight() != 2 || b.Deadline() != time.Second {
+		t.Fatalf("weight=%v deadline=%v, want 2 1s", b.Weight(), b.Deadline())
+	}
+
+	// Spend some budget, then reconfigure: counters must survive, knobs
+	// must change, and the old key must stop working after rotation.
+	a, _ := r.Authenticate("key-a")
+	ctx := WithTenant(context.Background(), a)
+	if err := r.Reserve(ctx, 4); err != nil {
+		t.Fatal(err)
+	}
+	r.Settle(ctx, 4, 4)
+	if err := r.Upsert(Config{Name: "alice", Key: "key-a2", Budget: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Authenticate("key-a"); !errors.Is(err, ErrBadKey) {
+		t.Fatalf("rotated-away key still works: %v", err)
+	}
+	a2, err := r.Authenticate("key-a2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2 != a {
+		t.Fatal("reconfigure must keep the live tenant, not mint a new one")
+	}
+	if a2.Spend() != 4 {
+		t.Fatalf("spend after reconfigure = %d, want 4 (preserved)", a2.Spend())
+	}
+	// New budget 5 with 4 already spent: a 2-transaction estimate must be
+	// rejected under the reloaded budget.
+	if err := r.Reserve(WithTenant(context.Background(), a2), 2); !errors.Is(err, ErrTenantOverBudget) {
+		t.Fatalf("reloaded budget not enforced: %v", err)
+	}
+}
+
+func TestUpsertRejectsForeignKey(t *testing.T) {
+	r := testRegistry(t, 0,
+		Config{Name: "alice", Key: "key-a"},
+		Config{Name: "bob", Key: "key-b"},
+	)
+	if err := r.Upsert(Config{Name: "alice", Key: "key-b"}); err == nil {
+		t.Fatal("stealing another tenant's key must fail")
+	}
+	if a, err := r.Authenticate("key-a"); err != nil || a.Name() != "alice" {
+		t.Fatalf("failed upsert must leave the table untouched: %v %v", a, err)
+	}
+}
+
+func TestRemoveTenant(t *testing.T) {
+	r := testRegistry(t, 0, Config{Name: "alice", Key: "key-a"})
+	a, _ := r.Authenticate("key-a")
+	ctx := WithTenant(context.Background(), a)
+	if err := r.Reserve(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Remove("alice") {
+		t.Fatal("remove reported the tenant missing")
+	}
+	if r.Remove("alice") {
+		t.Fatal("second remove must report false")
+	}
+	if _, err := r.Authenticate("key-a"); !errors.Is(err, ErrBadKey) {
+		t.Fatalf("removed tenant still authenticates: %v", err)
+	}
+	// The in-flight query settles against its held pointer; global spend
+	// still books it.
+	r.Settle(ctx, 3, 3)
+	if got := r.GlobalSpend(); got != 3 {
+		t.Fatalf("global spend = %d, want 3 (in-flight settle after removal)", got)
+	}
+}
+
+func TestApplyHotReload(t *testing.T) {
+	r := testRegistry(t, 100,
+		Config{Name: "alice", Key: "key-a", Budget: 10},
+		Config{Name: "bob", Key: "key-b"},
+	)
+	a, _ := r.Authenticate("key-a")
+	ctx := WithTenant(context.Background(), a)
+	if err := r.Reserve(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	r.Settle(ctx, 2, 2)
+
+	// Reload: alice rotates key + budget, bob disappears, carol appears.
+	err := r.Apply(50, []Config{
+		{Name: "alice", Key: "key-a9", Budget: 20},
+		{Name: "carol", Key: "key-c", RatePerSec: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := r.Authenticate("key-a9")
+	if err != nil || a2 != a {
+		t.Fatalf("alice must survive the reload as the same live tenant: %v %v", a2, err)
+	}
+	if a2.Spend() != 2 {
+		t.Fatalf("alice's spend lost across reload: %d", a2.Spend())
+	}
+	if _, err := r.Authenticate("key-b"); !errors.Is(err, ErrBadKey) {
+		t.Fatal("bob must be gone after the reload")
+	}
+	if _, err := r.Authenticate("key-c"); err != nil {
+		t.Fatalf("carol must exist after the reload: %v", err)
+	}
+	cfgs := r.Configs()
+	if len(cfgs) != 2 || cfgs[0].Name != "alice" || cfgs[1].Name != "carol" {
+		t.Fatalf("Configs() = %+v", cfgs)
+	}
+
+	// An invalid reload leaves everything untouched.
+	if err := r.Apply(50, []Config{{Name: "x", Key: ""}}); err == nil {
+		t.Fatal("invalid reload accepted")
+	}
+	if _, err := r.Authenticate("key-a9"); err != nil {
+		t.Fatal("failed reload must leave the table untouched")
+	}
+}
+
+func TestWeightDefaultsToOne(t *testing.T) {
+	r := testRegistry(t, 0, Config{Name: "alice", Key: "key-a"})
+	a, _ := r.Authenticate("key-a")
+	if a.Weight() != 1 {
+		t.Fatalf("unset weight = %v, want 1", a.Weight())
+	}
+	if a.Deadline() != 0 {
+		t.Fatalf("unset deadline = %v, want 0", a.Deadline())
+	}
+}

@@ -103,6 +103,26 @@ func WithHedgeAfter(d time.Duration) Option {
 	}
 }
 
+// WithQueryDeadline bounds each query's wall-clock time when the caller's
+// context carries no deadline of its own. The deadline propagates: retry
+// backoffs, hedge timers and coalesce parking all check the remaining
+// budget before sleeping. d <= 0 keeps the default (no deadline).
+func WithQueryDeadline(d time.Duration) Option {
+	return func(c *Config) {
+		if d > 0 {
+			c.QueryDeadline = d
+		}
+	}
+}
+
+// WithRetryBudget sets the base credit of the per-query retry-token budget
+// shared by connector retries, federation failovers and hedges (each spends
+// one token; every fresh logical call deposits half a token). base 0 keeps
+// the default credit (3); negative disables budgeting entirely.
+func WithRetryBudget(base float64) Option {
+	return func(c *Config) { c.RetryBudget = base }
+}
+
 // WithStatistics selects the updatable statistic implementation.
 func WithStatistics(kind StatsKind) Option {
 	return func(c *Config) { c.Statistics = kind }

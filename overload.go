@@ -1,0 +1,158 @@
+package payless
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"payless/internal/catalog"
+	"payless/internal/connector"
+	"payless/internal/federation"
+	"payless/internal/overload"
+)
+
+// queryScope derives the per-query context every query runs under: the
+// configured QueryDeadline is applied when the caller supplied no deadline
+// of its own, and a fresh retry-token budget is attached so transport
+// retries, federation failovers and hedges across the whole query share one
+// pool instead of multiplying independently per layer.
+func (c *Client) queryScope(ctx context.Context) (context.Context, context.CancelFunc) {
+	cancel := context.CancelFunc(func() {})
+	if d := c.cfg.QueryDeadline; d > 0 {
+		if _, has := ctx.Deadline(); !has {
+			ctx, cancel = context.WithTimeout(ctx, d)
+		}
+	}
+	if c.cfg.RetryBudget >= 0 {
+		base := c.cfg.RetryBudget
+		if base == 0 {
+			base = overload.DefaultBaseCredit
+		}
+		ctx = overload.WithBudget(ctx, overload.NewRetryBudget(base))
+	}
+	return ctx, cancel
+}
+
+// AddQueueDepth moves the client's admission-queue-depth gauge
+// (payless_queue_depth) by delta. The daemon's load shedder feeds it as
+// requests start and stop waiting for an execution slot; embedding callers
+// with their own admission queue may do the same.
+func (c *Client) AddQueueDepth(delta int64) { c.metrics.AddQueueDepth(delta) }
+
+// mirrorTable is the federation layer's mutable view of which endpoints
+// mirror each market table and at what terms. It starts as a copy of the
+// catalog's Mirror annotations and is rewritten by
+// UpdateFederationEndpoints, so routing terms can change at runtime without
+// mutating catalog tables that queries read concurrently.
+type mirrorTable struct {
+	mu      sync.RWMutex
+	byTable map[string][]catalog.Mirror
+}
+
+// newMirrorTable seeds the table from the catalog annotations.
+func newMirrorTable(tables []*catalog.Table) *mirrorTable {
+	mt := &mirrorTable{byTable: make(map[string][]catalog.Mirror)}
+	for _, t := range tables {
+		if t.Local || len(t.Mirrors) == 0 {
+			continue
+		}
+		mt.byTable[t.Name] = append([]catalog.Mirror(nil), t.Mirrors...)
+	}
+	return mt
+}
+
+// get is the federation Config.Mirrors callback.
+func (mt *mirrorTable) get(table string) []catalog.Mirror {
+	mt.mu.RLock()
+	defer mt.mu.RUnlock()
+	return mt.byTable[table]
+}
+
+// sync rewrites the mirror sets after an endpoint swap. Only tables whose
+// mirror set named exactly the previous endpoint pool are rewritten — those
+// were auto-annotated "every endpoint offers this table" entries (the
+// OpenFederated default); a table pinned to a subset of endpoints keeps its
+// pinning, minus endpoints that no longer exist.
+func (mt *mirrorTable) sync(prevNames []string, eps []MarketEndpoint) {
+	prev := make(map[string]bool, len(prevNames))
+	for _, n := range prevNames {
+		prev[n] = true
+	}
+	auto := make([]catalog.Mirror, 0, len(eps))
+	alive := make(map[string]bool, len(eps))
+	for _, ep := range eps {
+		alive[ep.Name] = true
+		auto = append(auto, catalog.Mirror{
+			Endpoint:    ep.Name,
+			PriceFactor: ep.PriceFactor,
+			LatencyHint: ep.LatencyHint,
+			AccountKey:  ep.AccountKey,
+		})
+	}
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	for table, ms := range mt.byTable {
+		full := len(ms) == len(prev)
+		for _, m := range ms {
+			if !prev[m.Endpoint] {
+				full = false
+				break
+			}
+		}
+		if full {
+			mt.byTable[table] = append([]catalog.Mirror(nil), auto...)
+			continue
+		}
+		kept := ms[:0]
+		for _, m := range ms {
+			if alive[m.Endpoint] {
+				kept = append(kept, m)
+			}
+		}
+		mt.byTable[table] = kept
+	}
+}
+
+// UpdateFederationEndpoints hot-swaps the federated client's endpoint pool:
+// the new set replaces the old atomically, endpoints kept by name carry
+// their observed health (latency EWMA, failure streaks, call counts) across
+// the swap, and in-flight calls complete against the endpoints they
+// started on. Auto-annotated mirror sets (every endpoint offers every
+// table — the OpenFederated default) are rewritten to the new pool's terms;
+// mirror sets pinned to an endpoint subset keep their pinning. Endpoints
+// without a pre-built Caller get an HTTP connector from BaseURL using the
+// client's transport knobs. Returns an error — leaving the pool untouched —
+// on a non-federated client or an invalid endpoint set.
+func (c *Client) UpdateFederationEndpoints(endpoints []MarketEndpoint) error {
+	if c.fed == nil {
+		return fmt.Errorf("payless: client is not federated")
+	}
+	eps := make([]MarketEndpoint, len(endpoints))
+	copy(eps, endpoints)
+	built := make([]federation.Endpoint, 0, len(eps))
+	for i := range eps {
+		if eps[i].Name == "" {
+			eps[i].Name = fmt.Sprintf("endpoint-%d", i)
+		}
+		if eps[i].Caller == nil {
+			if eps[i].BaseURL == "" {
+				return fmt.Errorf("payless: federation endpoint %q needs a BaseURL or a Caller", eps[i].Name)
+			}
+			eps[i].Caller = connector.New(eps[i].BaseURL, eps[i].AccountKey, c.cfg.connectorOptions()...)
+		}
+		built = append(built, federation.Endpoint{
+			Name:        eps[i].Name,
+			Caller:      eps[i].Caller,
+			PriceFactor: eps[i].PriceFactor,
+			LatencyHint: eps[i].LatencyHint,
+		})
+	}
+	c.fedmu.Lock()
+	defer c.fedmu.Unlock()
+	prevNames := c.fed.Names()
+	if err := c.fed.UpdateEndpoints(built); err != nil {
+		return err
+	}
+	c.mirrors.sync(prevNames, eps)
+	return nil
+}

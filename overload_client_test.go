@@ -1,0 +1,218 @@
+package payless
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"payless/internal/catalog"
+	"payless/internal/market"
+	"payless/internal/overload"
+)
+
+// scopeProbe wraps a market.Caller and records the query scope each call
+// ran under: whether the context carried a deadline and which retry budget
+// (if any) was attached.
+type scopeProbe struct {
+	inner market.Caller
+
+	mu        sync.Mutex
+	deadlines []bool
+	budgets   []*overload.RetryBudget
+}
+
+func (p *scopeProbe) Call(ctx context.Context, q catalog.AccessQuery) (market.Result, error) {
+	_, has := ctx.Deadline()
+	p.mu.Lock()
+	p.deadlines = append(p.deadlines, has)
+	p.budgets = append(p.budgets, overload.BudgetFrom(ctx))
+	p.mu.Unlock()
+	return p.inner.Call(ctx, q)
+}
+
+func (p *scopeProbe) seen() (deadlines []bool, budgets []*overload.RetryBudget) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]bool(nil), p.deadlines...), append([]*overload.RetryBudget(nil), p.budgets...)
+}
+
+func TestQueryScopeAttachesDeadlineAndBudget(t *testing.T) {
+	probe := &scopeProbe{}
+	client, _, w := testSetup(t, func(cfg *Config) {
+		probe.inner = cfg.Caller
+		cfg.Caller = probe
+		cfg.QueryDeadline = time.Minute
+	})
+	defer client.Close()
+
+	sql := fmt.Sprintf("SELECT * FROM Weather WHERE Country = 'United States' AND Date >= %d AND Date <= %d", w.Dates[2], w.Dates[4])
+	if _, err := client.Query(sql); err != nil {
+		t.Fatal(err)
+	}
+	// A disjoint date slab, so the second query must hit the market too
+	// (the first purchase cannot cover it).
+	sql2 := fmt.Sprintf("SELECT * FROM Weather WHERE Country = '%s' AND Date >= %d AND Date <= %d", w.Countries[1], w.Dates[10], w.Dates[12])
+	if _, err := client.Query(sql2); err != nil {
+		t.Fatal(err)
+	}
+
+	deadlines, budgets := probe.seen()
+	if len(deadlines) == 0 {
+		t.Fatal("probe saw no market calls")
+	}
+	for i, has := range deadlines {
+		if !has {
+			t.Errorf("call %d ran without the configured QueryDeadline", i)
+		}
+	}
+	for i, b := range budgets {
+		if b == nil {
+			t.Errorf("call %d ran without a retry budget", i)
+		}
+	}
+	// Each query must get a FRESH budget: one query's retries must not
+	// drain another's allowance.
+	if budgets[0] == budgets[len(budgets)-1] {
+		t.Error("two queries shared one retry budget")
+	}
+}
+
+func TestQueryScopeKeepsCallerDeadline(t *testing.T) {
+	probe := &scopeProbe{}
+	client, _, w := testSetup(t, func(cfg *Config) {
+		probe.inner = cfg.Caller
+		cfg.Caller = probe
+		cfg.QueryDeadline = time.Hour
+	})
+	defer client.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	sql := fmt.Sprintf("SELECT * FROM Weather WHERE Country = 'United States' AND Date >= %d AND Date <= %d", w.Dates[2], w.Dates[3])
+	if _, err := client.QueryContext(ctx, sql); err != nil {
+		t.Fatal(err)
+	}
+	deadlines, _ := probe.seen()
+	if len(deadlines) == 0 {
+		t.Fatal("probe saw no market calls")
+	}
+	// The caller's tighter deadline must survive; queryScope only fills in a
+	// default when none exists. An hour-scale replacement would show up as a
+	// deadline beyond the caller's 30s.
+	d, _ := ctx.Deadline()
+	if time.Until(d) > 31*time.Second {
+		t.Fatalf("caller deadline was replaced: %v away", time.Until(d))
+	}
+}
+
+func TestNegativeRetryBudgetDisablesBudgeting(t *testing.T) {
+	probe := &scopeProbe{}
+	client, _, w := testSetup(t, func(cfg *Config) {
+		probe.inner = cfg.Caller
+		cfg.Caller = probe
+		cfg.RetryBudget = -1
+	})
+	defer client.Close()
+	sql := fmt.Sprintf("SELECT * FROM Weather WHERE Country = 'United States' AND Date >= %d AND Date <= %d", w.Dates[2], w.Dates[3])
+	if _, err := client.Query(sql); err != nil {
+		t.Fatal(err)
+	}
+	_, budgets := probe.seen()
+	for i, b := range budgets {
+		if b != nil {
+			t.Errorf("call %d carried a budget despite RetryBudget < 0", i)
+		}
+	}
+}
+
+func TestInflightGaugeReturnsToZero(t *testing.T) {
+	client, _, w := testSetup(t, nil)
+	defer client.Close()
+	sql := fmt.Sprintf("SELECT * FROM Weather WHERE Country = 'United States' AND Date >= %d AND Date <= %d", w.Dates[2], w.Dates[3])
+	if _, err := client.Query(sql); err != nil {
+		t.Fatal(err)
+	}
+	if g := client.Metrics().InflightQueries; g != 0 {
+		t.Fatalf("inflight gauge = %d after all queries settled, want 0", g)
+	}
+	client.AddQueueDepth(2)
+	client.AddQueueDepth(-1)
+	if g := client.Metrics().QueueDepth; g != 1 {
+		t.Fatalf("queue depth gauge = %d, want 1", g)
+	}
+}
+
+func TestUpdateFederationEndpointsNonFederated(t *testing.T) {
+	client, _, _ := testSetup(t, nil)
+	defer client.Close()
+	if err := client.UpdateFederationEndpoints([]MarketEndpoint{{Name: "x"}}); err == nil {
+		t.Fatal("non-federated client must reject endpoint updates")
+	}
+}
+
+func TestUpdateFederationEndpointsHotSwap(t *testing.T) {
+	mirrors := buildMirrors(t, 2)
+	eps := mirrorEndpoints(mirrors, nil)
+	client, err := Open(Config{
+		Tables:                      mirrors[0].ExportCatalog(),
+		FederationEndpoints:         eps[:1], // start with mirror-0 only
+		DefaultTuplesPerTransaction: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	_, cw := buildChaosMarket(t) // same seed: just a query source
+	queries := chaosQueries(cw)
+	if _, err := client.Query(queries[0]); err != nil {
+		t.Fatal(err)
+	}
+	m0, _ := mirrors[0].MeterOf("acct")
+	if m0.Transactions == 0 {
+		t.Fatal("warm-up query billed nothing at mirror-0")
+	}
+
+	// Swap the pool to mirror-1 only: later queries must bill there.
+	if err := client.UpdateFederationEndpoints(eps[1:]); err != nil {
+		t.Fatal(err)
+	}
+	if h := client.FederationHealth(); len(h) != 1 || h[0].Name != "mirror-1" {
+		t.Fatalf("health after swap = %+v, want [mirror-1]", h)
+	}
+	if _, err := client.Query(queries[1]); err != nil {
+		t.Fatal(err)
+	}
+	m1, _ := mirrors[1].MeterOf("acct")
+	if m1.Transactions == 0 {
+		t.Fatal("post-swap query did not bill the new endpoint")
+	}
+	m0b, _ := mirrors[0].MeterOf("acct")
+	if m0b.Transactions != m0.Transactions {
+		t.Fatalf("removed endpoint kept billing: %d -> %d", m0.Transactions, m0b.Transactions)
+	}
+}
+
+func TestMirrorTableSync(t *testing.T) {
+	tables := []*catalog.Table{
+		{Name: "Auto", Mirrors: []catalog.Mirror{{Endpoint: "a", PriceFactor: 1}, {Endpoint: "b", PriceFactor: 2}}},
+		{Name: "Pinned", Mirrors: []catalog.Mirror{{Endpoint: "a", PriceFactor: 1}}},
+	}
+	mt := newMirrorTable(tables)
+	mt.sync([]string{"a", "b"}, []MarketEndpoint{
+		{Name: "b", PriceFactor: 3},
+		{Name: "c", PriceFactor: 4},
+	})
+	// Auto named the full previous pool: rewritten to the new pool's terms.
+	got := mt.get("Auto")
+	if len(got) != 2 || got[0].Endpoint != "b" || got[0].PriceFactor != 3 || got[1].Endpoint != "c" {
+		t.Fatalf("auto-annotated set not rewritten: %+v", got)
+	}
+	// Pinned named a subset: it keeps its pinning, minus dead endpoints —
+	// here its only endpoint is gone, so the set empties.
+	if got := mt.get("Pinned"); len(got) != 0 {
+		t.Fatalf("pinned set should drop removed endpoints only: %+v", got)
+	}
+}

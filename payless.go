@@ -189,6 +189,24 @@ type Config struct {
 	// is cancelled and the shared idempotent CallID keeps any one endpoint
 	// from billing twice. 0 (the default) disables hedging.
 	HedgeAfter time.Duration
+	// QueryDeadline bounds each query's wall-clock time when the caller's
+	// context carries no deadline of its own. The deadline propagates through
+	// every layer — connector retry backoffs, federation hedges, and
+	// scheduler coalesce parking all check the remaining budget before
+	// sleeping, so no layer waits past a deadline the query cannot meet.
+	// A context that already has a deadline keeps it. 0 disables the default.
+	QueryDeadline time.Duration
+	// RetryBudget is the base credit of the per-query retry-token budget
+	// shared by every recovery mechanism under one query: connector
+	// transport retries, federation failovers, and hedges each spend one
+	// token, and each fresh logical market call deposits half a token, so
+	// total extra attempts stay around 1.5x the call count however retries
+	// nest across layers. Exhaustion surfaces as ErrRetryBudget (distinct
+	// from ErrCircuitOpen: the budget says "stop amplifying", the breaker
+	// says "stop calling a known-dead market"). 0 uses the default base
+	// credit (3); negative disables budgeting (unlimited retries, the
+	// pre-budget behaviour).
+	RetryBudget float64
 	// StoreDir enables durable mode: the semantic store keeps a write-ahead
 	// log and atomic snapshots in this directory, and Open recovers whatever
 	// a previous process (however it died) had made durable. Empty (the
@@ -366,8 +384,12 @@ type Client struct {
 	// federation layer then owns per-endpoint×dataset breakers instead).
 	breakers *engine.BreakerSet
 	// fed is the federated source-selection caller; nil for single-market
-	// clients.
-	fed *federation.Caller
+	// clients. mirrors is its mutable table→mirror view, rewritten by
+	// UpdateFederationEndpoints; fedmu serialises endpoint updates so the
+	// pool swap and the mirror-table rewrite stay consistent.
+	fed     *federation.Caller
+	mirrors *mirrorTable
+	fedmu   sync.Mutex
 	// plans is the parameterized plan-template cache; nil when disabled.
 	plans *core.PlanCache
 
@@ -448,6 +470,7 @@ func Open(cfg Config, opts ...Option) (*Client, error) {
 	// the federation layer's per-endpoint×dataset ones, so one dead mirror
 	// never blacklists a dataset that healthy mirrors still serve.
 	var fed *federation.Caller
+	var mirrors *mirrorTable
 	if len(cfg.FederationEndpoints) > 0 {
 		eps := make([]federation.Endpoint, 0, len(cfg.FederationEndpoints))
 		for i, me := range cfg.FederationEndpoints {
@@ -465,18 +488,17 @@ func Open(cfg Config, opts ...Option) (*Client, error) {
 				LatencyHint: me.LatencyHint,
 			})
 		}
+		// The mirror table starts as a copy of the catalog annotations and is
+		// the one the federation layer reads from then on, so hot endpoint
+		// updates can rewrite routing terms without mutating the catalog.
+		mirrors = newMirrorTable(cfg.Tables)
 		var err error
 		fed, err = federation.New(eps, federation.Config{
 			BreakerThreshold: cfg.BreakerThreshold,
 			BreakerCooldown:  cfg.BreakerCooldown,
 			HedgeAfter:       cfg.HedgeAfter,
 			Metrics:          metrics,
-			Mirrors: func(table string) []catalog.Mirror {
-				if t, ok := cat.Lookup(table); ok {
-					return t.Mirrors
-				}
-				return nil
-			},
+			Mirrors:          mirrors.get,
 		})
 		if err != nil {
 			return nil, err
@@ -492,6 +514,7 @@ func Open(cfg Config, opts ...Option) (*Client, error) {
 		cfg:     cfg,
 		metrics: metrics,
 		fed:     fed,
+		mirrors: mirrors,
 	}
 	if fed == nil {
 		c.breakers = engine.NewBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown).WithMetrics(metrics)
@@ -538,7 +561,7 @@ func (c *Client) Close() error {
 }
 
 // begin registers one in-flight query, failing fast once Close has started.
-// Every successful begin must be paired with c.inflight.Done().
+// Every successful begin must be paired with c.done().
 func (c *Client) begin() error {
 	c.closemu.Lock()
 	defer c.closemu.Unlock()
@@ -546,7 +569,15 @@ func (c *Client) begin() error {
 		return ErrClosed
 	}
 	c.inflight.Add(1)
+	c.metrics.AddInflight(1)
 	return nil
+}
+
+// done settles one in-flight query: the gauge drops before the WaitGroup so
+// Close/Drain observers never see a negative level.
+func (c *Client) done() {
+	c.metrics.AddInflight(-1)
+	c.inflight.Done()
 }
 
 // CheckpointStore folds the durable store's WAL into a snapshot (temp file,
@@ -876,7 +907,9 @@ func (c *Client) queryCached(ctx context.Context, sql string, cache *core.PlanCa
 	if err := c.begin(); err != nil {
 		return nil, err
 	}
-	defer c.inflight.Done()
+	defer c.done()
+	ctx, cancel := c.queryScope(ctx)
+	defer cancel()
 	start := time.Now()
 	tr := c.beginTrace(sql)
 	res, err := c.run(ctx, sql, tr, cache)
